@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench fuzz experiments clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+	gofmt -l .
+
+test:
+	go test ./...
+
+# One iteration per benchmark: regenerates every figure series quickly.
+bench:
+	go test -bench=. -benchmem -benchtime 1x .
+
+fuzz:
+	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s
+	go test ./internal/sqlparse -fuzz 'FuzzParseNaive$$' -fuzztime 30s
+
+# Paper-scale sweeps with timeouts (slow; see -scale to shrink).
+experiments:
+	go run ./cmd/experiments -figure all
+
+clean:
+	go clean ./...

@@ -1,0 +1,275 @@
+// Command projpush runs one project-join query end to end: it generates a
+// 3-COLOR instance (random or one of the paper's structured families),
+// builds the plan for a chosen optimization method, executes it over the
+// six-tuple edge database, and reports the answer together with the
+// structural statistics the paper's analysis is about (plan width, maximum
+// intermediate cardinality, tuples materialized).
+//
+//	projpush -family random -order 20 -density 3.0 -method bucketelimination
+//	projpush -family augladder -order 10 -all
+//	projpush -family ladder -order 4 -method earlyprojection -sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/pgplanner"
+	"projpush/internal/plan"
+	"projpush/internal/sqlgen"
+	"projpush/internal/workload"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "random", "graph family: random, augpath, ladder, augladder, augcircladder, cycle, complete")
+		order     = flag.Int("order", 15, "graph order (vertices for random, family parameter otherwise)")
+		density   = flag.Float64("density", 3.0, "edge density m/n (random family only)")
+		method    = flag.String("method", string(core.MethodBucketElimination), "optimization method: straightforward, earlyprojection, reordering, bucketelimination, hybrid")
+		all       = flag.Bool("all", false, "run every method and compare")
+		free      = flag.Float64("free", 0, "fraction of vertices kept free (0 = Boolean query)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-run execution timeout")
+		maxRows   = flag.Int("maxrows", 10_000_000, "intermediate row cap (0 = unlimited)")
+		showSQL   = flag.Bool("sql", false, "print the generated SQL instead of executing")
+		explain   = flag.Bool("explain", false, "print the plan tree with actual cardinalities instead of the summary line")
+		analyze   = flag.Bool("analyze", false, "print the structural report (treewidth bounds, induced widths, plan widths) and exit")
+		colors    = flag.Int("colors", 3, "number of colors (k-COLOR)")
+		graphFile = flag.String("graphfile", "", "load a DIMACS .col graph instead of generating one")
+		cnfFile   = flag.String("cnffile", "", "load a DIMACS CNF formula and solve it as a project-join query")
+		queryFile = flag.String("query", "", "load a query+database file (Datalog-style, see internal/cqparse)")
+		suiteFile = flag.String("suite", "", "run every instance of a JSON workload suite (see -emitsuite)")
+		emitSuite = flag.Float64("emitsuite", 0, "print the paper's workload suite at the given scale as JSON and exit")
+		emitQuery = flag.Bool("emitquery", false, "print the generated instance as a query file (the -query format) and exit")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *emitSuite > 0 {
+		if err := workload.WriteSuite(os.Stdout, workload.PaperSuite(*emitSuite)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *suiteFile != "" {
+		runSuite(*suiteFile, core.Method(*method), *all, *timeout, *maxRows, rng)
+		return
+	}
+
+	var (
+		q   *cq.Query
+		db  cq.Database
+		g   *graph.Graph
+		err error
+	)
+	switch {
+	case *queryFile != "":
+		f, ferr := os.Open(*queryFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		parsed, ferr := cqparse.Parse(f)
+		f.Close()
+		if ferr != nil {
+			fatal(ferr)
+		}
+		q, db = parsed.Query, parsed.DB
+		fmt.Fprintf(os.Stderr, "instance: %s, %d atoms, %d variables, free=%v\n",
+			*queryFile, len(q.Atoms), q.NumVars(), q.Free)
+	case *cnfFile != "":
+		f, ferr := os.Open(*cnfFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		sat, ferr := instance.ReadDIMACSCNF(f)
+		f.Close()
+		if ferr != nil {
+			fatal(ferr)
+		}
+		vars := instance.SATVariablesInClauses(sat)
+		var freeVars []cq.Var
+		if *free > 0 {
+			freeVars = instance.ChooseFree(vars, *free, rng)
+		} else {
+			freeVars = vars[:1]
+		}
+		q, db, err = instance.SATQuery(sat, freeVars)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "instance: CNF %s, %d clauses, %d variables, free=%v\n",
+			*cnfFile, len(sat.Clauses), sat.NumVars, q.Free)
+	default:
+		if *graphFile != "" {
+			f, ferr := os.Open(*graphFile)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			g, err = instance.ReadDIMACSGraph(f)
+			f.Close()
+		} else {
+			g, err = buildGraph(*family, *order, *density, rng)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		var freeVars []cq.Var
+		if *free > 0 {
+			freeVars = instance.ChooseFree(instance.EdgeVertices(g), *free, rng)
+		} else {
+			freeVars = instance.BooleanFree(g)
+		}
+		q, err = instance.ColorQuery(g, freeVars)
+		if err != nil {
+			fatal(err)
+		}
+		db = instance.ColorDatabase(*colors)
+		fmt.Fprintf(os.Stderr, "instance: %v, %d atoms, %d variables, free=%v\n", g, len(q.Atoms), q.NumVars(), q.Free)
+	}
+
+	if *emitQuery {
+		if err := cqparse.Write(os.Stdout, db, q); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *analyze {
+		rep, err := core.AnalyzeStructure(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		return
+	}
+
+	methods := []core.Method{core.Method(*method)}
+	if *all {
+		methods = core.Methods
+	}
+	for _, m := range methods {
+		var p plan.Node
+		if m == "hybrid" {
+			choice, err := core.Hybrid(q, pgplanner.NewCostModel(db), rng)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("hybrid picked %s (estimated cost %.0f, rows %.0f)\n",
+				choice.Candidate, choice.Estimate.Cost, choice.Estimate.Rows)
+			p = choice.Plan
+		} else {
+			var err error
+			p, err = core.BuildPlan(m, q, rng)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", m, err))
+			}
+		}
+		if *showSQL {
+			sql, err := sqlgen.FromPlan(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- %s\n%s\n\n", m, sql)
+			continue
+		}
+		if *explain {
+			out, err := engine.Explain(p, db, engine.Options{Timeout: *timeout, MaxRows: *maxRows}, true)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- %s\n%s\n", m, out)
+			continue
+		}
+		st := plan.Analyze(p)
+		res, err := engine.Exec(p, db, engine.Options{Timeout: *timeout, MaxRows: *maxRows})
+		if err != nil {
+			fmt.Printf("%-18s width=%-3d ERROR: %v\n", m, st.Width, err)
+			continue
+		}
+		answer := "EMPTY"
+		if res.Nonempty() {
+			answer = fmt.Sprintf("NONEMPTY (%d tuples)", res.Rel.Len())
+		}
+		fmt.Printf("%-18s width=%-3d time=%-12v maxrows=%-8d tuples=%-9d joins=%-3d %s\n",
+			m, st.Width, res.Stats.Elapsed.Round(time.Microsecond),
+			res.Stats.MaxRows, res.Stats.Tuples, res.Stats.Joins, answer)
+	}
+}
+
+// runSuite executes every spec of a workload suite under the chosen
+// method(s), one summary line per (spec, method).
+func runSuite(path string, method core.Method, all bool, timeout time.Duration, maxRows int, rng *rand.Rand) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	suite, err := workload.ReadSuite(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	methods := []core.Method{method}
+	if all {
+		methods = core.Methods
+	}
+	fmt.Printf("suite %s: %d instances\n", suite.Name, len(suite.Specs))
+	for _, sp := range suite.Specs {
+		q, db, err := sp.Build()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sp.Name, err))
+		}
+		for _, m := range methods {
+			p, err := core.BuildPlan(m, q, rng)
+			if err != nil {
+				fatal(fmt.Errorf("%s %s: %w", sp.Name, m, err))
+			}
+			st := plan.Analyze(p)
+			res, err := engine.Exec(p, db, engine.Options{Timeout: timeout, MaxRows: maxRows})
+			if err != nil {
+				fmt.Printf("%-28s %-18s width=%-3d TIMEOUT/%v\n", sp.Name, m, st.Width, err)
+				continue
+			}
+			answer := "EMPTY"
+			if res.Nonempty() {
+				answer = "NONEMPTY"
+			}
+			fmt.Printf("%-28s %-18s width=%-3d time=%-12v %s\n",
+				sp.Name, m, st.Width, res.Stats.Elapsed.Round(time.Microsecond), answer)
+		}
+	}
+}
+
+func buildGraph(family string, order int, density float64, rng *rand.Rand) (*graph.Graph, error) {
+	switch family {
+	case "random":
+		return graph.RandomDensity(order, density, rng)
+	case "augpath":
+		return graph.AugmentedPath(order), nil
+	case "ladder":
+		return graph.Ladder(order), nil
+	case "augladder":
+		return graph.AugmentedLadder(order), nil
+	case "augcircladder":
+		return graph.AugmentedCircularLadder(order), nil
+	case "cycle":
+		return graph.Cycle(order), nil
+	case "complete":
+		return graph.Complete(order), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "projpush:", err)
+	os.Exit(1)
+}

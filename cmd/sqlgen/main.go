@@ -1,0 +1,120 @@
+// Command sqlgen regenerates the paper's Appendix A: for a given instance
+// it prints the SQL each optimization method produces, in the dialect the
+// paper ships to PostgreSQL. With no flags it prints the pentagon example
+// of the appendix under all five conversions.
+//
+//	sqlgen                                   # pentagon, all conversions
+//	sqlgen -family ladder -order 3 -method bucketelimination
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/sqlgen"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "pentagon", "graph family: pentagon, random, augpath, ladder, augladder, augcircladder, cycle")
+		order     = flag.Int("order", 5, "graph order")
+		density   = flag.Float64("density", 2.0, "density (random family)")
+		method    = flag.String("method", "all", "method, naive, or all")
+		seed      = flag.Int64("seed", 1, "random seed")
+		queryFile = flag.String("query", "", "render a query file (the cqparse format) instead of a generated instance")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var q *cq.Query
+	var err error
+	if *queryFile != "" {
+		f, ferr := os.Open(*queryFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		parsed, ferr := cqparse.Parse(f)
+		f.Close()
+		if ferr != nil {
+			fatal(ferr)
+		}
+		q = parsed.Query
+	} else {
+		q, err = buildQuery(*family, *order, *density, rng)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *method == "naive" || *method == "all" {
+		sql, err := sqlgen.Naive(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- naive\n%s\n\n", sql)
+	}
+	for _, m := range core.Methods {
+		if *method != "all" && *method != string(m) {
+			continue
+		}
+		p, err := core.BuildPlan(m, q, rng)
+		if err != nil {
+			fatal(err)
+		}
+		sql, err := sqlgen.FromPlan(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- %s\n%s\n\n", m, sql)
+	}
+}
+
+func buildQuery(family string, order int, density float64, rng *rand.Rand) (*cq.Query, error) {
+	if family == "pentagon" {
+		// The Appendix A example, with its exact atom listing.
+		return &cq.Query{
+			Atoms: []cq.Atom{
+				{Rel: "edge", Args: []cq.Var{1, 2}},
+				{Rel: "edge", Args: []cq.Var{1, 5}},
+				{Rel: "edge", Args: []cq.Var{4, 5}},
+				{Rel: "edge", Args: []cq.Var{3, 4}},
+				{Rel: "edge", Args: []cq.Var{2, 3}},
+			},
+			Free: []cq.Var{1},
+		}, nil
+	}
+	var g *graph.Graph
+	var err error
+	switch family {
+	case "random":
+		g, err = graph.RandomDensity(order, density, rng)
+	case "augpath":
+		g = graph.AugmentedPath(order)
+	case "ladder":
+		g = graph.Ladder(order)
+	case "augladder":
+		g = graph.AugmentedLadder(order)
+	case "augcircladder":
+		g = graph.AugmentedCircularLadder(order)
+	case "cycle":
+		g = graph.Cycle(order)
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return instance.ColorQuery(g, instance.BooleanFree(g))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Minimization: join minimization à la Chandra–Merlin, the application
+// the paper's concluding remarks point at. A conjunctive query is
+// minimized by evaluating it over its own canonical database — a
+// project-join query over a tiny database, so bucket elimination is the
+// natural engine for the homomorphism tests.
+//
+//	go run ./examples/minimization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"projpush"
+)
+
+func main() {
+	edge := func(u, v projpush.Var) projpush.Atom {
+		return projpush.Atom{Rel: "edge", Args: []projpush.Var{u, v}}
+	}
+
+	cases := []struct {
+		name string
+		q    *projpush.Query
+	}{
+		{
+			"duplicated atoms",
+			&projpush.Query{
+				Atoms: []projpush.Atom{edge(0, 1), edge(0, 1), edge(1, 2), edge(1, 2)},
+				Free:  []projpush.Var{0},
+			},
+		},
+		{
+			"redundant branches folding onto a path",
+			&projpush.Query{
+				Atoms: []projpush.Atom{edge(0, 1), edge(0, 2), edge(2, 3), edge(0, 4), edge(4, 5)},
+				Free:  []projpush.Var{0},
+			},
+		},
+		{
+			"a directed 4-cycle (its own core)",
+			&projpush.Query{
+				Atoms: []projpush.Atom{edge(0, 1), edge(1, 2), edge(2, 3), edge(3, 0)},
+			},
+		},
+		{
+			"4-cycle with a chord shortcut",
+			&projpush.Query{
+				Atoms: []projpush.Atom{edge(0, 1), edge(1, 2), edge(2, 3), edge(3, 0), edge(1, 0)},
+			},
+		},
+	}
+
+	for _, c := range cases {
+		min, err := projpush.MinimizeQuery(c.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		equiv, err := projpush.EquivalentQueries(c.q, min)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  original:  %v\n  minimized: %v\n  atoms %d -> %d, equivalent=%v\n\n",
+			c.name, c.q, min, len(c.q.Atoms), len(min.Atoms), equiv)
+	}
+
+	// Containment between chains: a longer chain is contained in a
+	// shorter one (fewer constraints = more answers for the shorter).
+	chain := func(k int) *projpush.Query {
+		q := &projpush.Query{Free: []projpush.Var{0}}
+		for i := 0; i < k; i++ {
+			q.Atoms = append(q.Atoms, edge(i, i+1))
+		}
+		return q
+	}
+	long, short := chain(5), chain(2)
+	a, err := projpush.ContainedIn(long, short)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := projpush.ContainedIn(short, long)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain5 ⊆ chain2: %v (want true)\nchain2 ⊆ chain5: %v\n", a, b)
+}

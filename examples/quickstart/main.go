@@ -1,0 +1,87 @@
+// Quickstart: build a project-join query, optimize it with each of the
+// paper's methods, and compare plan widths and execution statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"projpush"
+)
+
+func main() {
+	// An augmented ladder of order 8: 32 vertices, 38 edges. Deciding
+	// 3-colorability is the query π_{v0}(⋈ edge(vi,vj)).
+	g := projpush.AugmentedLadder(8)
+	q, err := projpush.ColorQuery(g, projpush.BooleanFree(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := projpush.ColorDatabase(3)
+
+	fmt.Printf("query: %d atoms over %d variables\n\n", len(q.Atoms), q.NumVars())
+	fmt.Printf("%-18s %-7s %-14s %-10s %s\n", "method", "width", "time", "max rows", "answer")
+
+	for _, m := range projpush.Methods {
+		p, err := projpush.BuildPlan(m, q, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := projpush.Execute(p, db, projpush.ExecOptions{
+			Timeout: 10 * time.Second,
+			MaxRows: 5_000_000,
+		})
+		if err != nil {
+			fmt.Printf("%-18s %-7d %s\n", m, projpush.PlanWidth(p), err)
+			continue
+		}
+		answer := "not 3-colorable"
+		if res.Nonempty() {
+			answer = "3-colorable"
+		}
+		fmt.Printf("%-18s %-7d %-14v %-10d %s\n",
+			m, projpush.PlanWidth(p), res.Stats.Elapsed.Round(time.Microsecond),
+			res.Stats.MaxRows, answer)
+	}
+
+	// The bucket-elimination plan is also available as the SQL the paper
+	// would ship to PostgreSQL.
+	p, err := projpush.BuildPlan(projpush.BucketElimination, q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql, err := projpush.SQL(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbucket-elimination SQL (first lines):\n%s\n", firstLines(sql, 6))
+}
+
+func firstLines(s string, n int) string {
+	out := ""
+	for i, line := range splitLines(s) {
+		if i >= n {
+			return out + "   ..."
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,3 @@
+module projpush
+
+go 1.22

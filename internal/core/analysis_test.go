@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/graph"
+)
+
+func TestAnalyzeStructureLadder(t *testing.T) {
+	q := colorQuery(t, graph.Ladder(6))
+	r, err := AnalyzeStructure(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Vars != 12 || r.Atoms != 16 {
+		t.Fatalf("shape: %+v", r)
+	}
+	if r.TreewidthExact != 2 {
+		t.Fatalf("ladder treewidth = %d, want 2", r.TreewidthExact)
+	}
+	if r.TreewidthLower > r.TreewidthExact {
+		t.Fatalf("lower bound %d exceeds exact %d", r.TreewidthLower, r.TreewidthExact)
+	}
+	for h, w := range r.InducedWidths {
+		if w < r.TreewidthExact {
+			t.Fatalf("%s induced width %d below treewidth", h, w)
+		}
+	}
+	if r.MethodWidths[MethodBucketElimination] < r.TreewidthExact+1 {
+		t.Fatalf("bucket width %d below treewidth+1", r.MethodWidths[MethodBucketElimination])
+	}
+	if r.MethodWidths[MethodStraightforward] != r.Vars {
+		t.Fatalf("straightforward width %d != #vars %d",
+			r.MethodWidths[MethodStraightforward], r.Vars)
+	}
+	if r.HypertreeWidth < 1 {
+		t.Fatalf("hypertree estimate %d", r.HypertreeWidth)
+	}
+	out := r.String()
+	for _, marker := range []string{"treewidth: 2", "induced widths:", "plan widths:"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("report missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+func TestAnalyzeStructureLargeGraphSkipsExact(t *testing.T) {
+	g := graph.Ladder(20) // 40 variables: beyond the exact solver
+	q := colorQuery(t, g)
+	r, err := AnalyzeStructure(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TreewidthExact != -1 {
+		t.Fatal("exact treewidth should be skipped for 40 vertices")
+	}
+	if !strings.Contains(r.String(), ">=") {
+		t.Fatalf("report should show the lower bound:\n%s", r.String())
+	}
+}
+
+func TestAnalyzeStructureEmptyQuery(t *testing.T) {
+	if _, err := AnalyzeStructure(&cq.Query{}); err == nil {
+		t.Fatal("accepted empty query")
+	}
+}

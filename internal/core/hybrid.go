@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"projpush/internal/cq"
+	"projpush/internal/pgplanner"
+	"projpush/internal/plan"
+)
+
+// HybridChoice is the outcome of the hybrid optimizer: the chosen plan,
+// which candidate produced it, and the model estimate that won.
+type HybridChoice struct {
+	Plan      plan.Node
+	Candidate string
+	Estimate  pgplanner.PlanEstimate
+}
+
+// Hybrid combines structural and cost-based optimization — the paper's
+// fourth future-work item ("structural query optimization needs to be
+// combined with cost-based optimization"). Structural rewriting
+// generates a small portfolio of projection-pushed candidate plans
+// (early projection, greedy reordering, bucket elimination under MCS and
+// min-fill orders, and the local-search-improved order); the cost model
+// then ranks the portfolio and the cheapest plan wins. Unlike the
+// pure cost-based planner, the search space is a handful of plans, so
+// compile time stays trivial; unlike pure structural optimization, data
+// statistics get a vote.
+func Hybrid(q *cq.Query, cm *pgplanner.CostModel, rng *rand.Rand) (*HybridChoice, error) {
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("core: query has no atoms")
+	}
+	type candidate struct {
+		name  string
+		build func() (plan.Node, error)
+	}
+	candidates := []candidate{
+		{"earlyprojection", func() (plan.Node, error) { return EarlyProjection(q) }},
+		{"reordering", func() (plan.Node, error) { return Reordering(q, rng) }},
+		{"bucketelimination/mcs", func() (plan.Node, error) { return BucketElimination(q, rng) }},
+		{"treedecomposition/minfill", func() (plan.Node, error) {
+			return TreeDecompositionPlan(q, OrderMinFill, rng)
+		}},
+		{"bucketelimination/improved", func() (plan.Node, error) {
+			return BucketEliminationImproved(q, 200, rng)
+		}},
+	}
+	var best *HybridChoice
+	for _, c := range candidates {
+		p, err := c.build()
+		if err != nil {
+			return nil, fmt.Errorf("core: hybrid candidate %s: %w", c.name, err)
+		}
+		est, err := cm.EstimatePlan(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: hybrid candidate %s: %w", c.name, err)
+		}
+		if best == nil || est.Cost < best.Estimate.Cost {
+			best = &HybridChoice{Plan: p, Candidate: c.name, Estimate: est}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/pgplanner"
+	"projpush/internal/plan"
+)
+
+func TestHybridPicksACandidateAndExecutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := instance.ColorDatabase(3)
+	cm := pgplanner.NewCostModel(db)
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(5)
+		m := n + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.Random(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 {
+			continue
+		}
+		q := colorQuery(t, g)
+		choice, err := Hybrid(q, cm, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Candidate == "" || choice.Plan == nil {
+			t.Fatal("empty hybrid choice")
+		}
+		if err := plan.Validate(choice.Plan, q); err != nil {
+			t.Fatalf("hybrid plan invalid: %v", err)
+		}
+		res, err := engine.Exec(choice.Plan, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.EvalOracle(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Rel.Equal(want) {
+			t.Fatalf("trial %d: hybrid plan disagrees with oracle", trial)
+		}
+	}
+}
+
+func TestHybridBeatsStraightforwardEstimate(t *testing.T) {
+	// On an augmented ladder the projection-pushing candidates have far
+	// lower estimated cost than the unpushed baseline.
+	g := graph.AugmentedLadder(6)
+	q := colorQuery(t, g)
+	cm := pgplanner.NewCostModel(instance.ColorDatabase(3))
+	choice, err := Hybrid(q, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Straightforward(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfEst, err := cm.EstimatePlan(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Estimate.Cost >= sfEst.Cost {
+		t.Fatalf("hybrid estimate %g not below straightforward %g",
+			choice.Estimate.Cost, sfEst.Cost)
+	}
+}
+
+func TestHybridEstimateTracksActual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db := instance.ColorDatabase(3)
+	cm := pgplanner.NewCostModel(db)
+	g, err := graph.Random(10, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := colorQuery(t, g)
+	p, err := BucketElimination(q, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cm.EstimatePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Exec(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := float64(res.Rel.Len())
+	if actual > 0 && (est.Rows > actual*100 || est.Rows < actual/100) {
+		t.Fatalf("estimate %f wildly off actual %f", est.Rows, actual)
+	}
+}
+
+func TestHybridEmptyQuery(t *testing.T) {
+	cm := pgplanner.NewCostModel(instance.ColorDatabase(3))
+	if _, err := Hybrid(&cq.Query{}, cm, nil); err == nil {
+		t.Fatal("accepted empty query")
+	}
+}

@@ -1,0 +1,43 @@
+package cq
+
+// Normalize returns a copy of the query with variables renamed to
+// 0..n-1 in first-occurrence order, plus the mapping applied. Normalized
+// queries make cross-query comparison and canonical hashing sane:
+// structurally identical queries normalize to identical atom lists.
+func Normalize(q *Query) (*Query, map[Var]Var) {
+	m := make(map[Var]Var)
+	next := 0
+	get := func(v Var) Var {
+		if nv, ok := m[v]; ok {
+			return nv
+		}
+		m[v] = next
+		next++
+		return m[v]
+	}
+	out := &Query{
+		Atoms: make([]Atom, len(q.Atoms)),
+		Free:  make([]Var, len(q.Free)),
+	}
+	for i, a := range q.Atoms {
+		args := make([]Var, len(a.Args))
+		for j, v := range a.Args {
+			args[j] = get(v)
+		}
+		out.Atoms[i] = Atom{Rel: a.Rel, Args: args}
+	}
+	for i, v := range q.Free {
+		out.Free[i] = get(v)
+	}
+	return out, m
+}
+
+// Fingerprint returns a canonical string for the query: its rendering
+// after normalization. Two queries have equal fingerprints iff they are
+// identical up to variable renaming (atom order matters — reordered
+// atoms are different syntactic queries even when semantically equal; use
+// package minimize for semantic equivalence).
+func Fingerprint(q *Query) string {
+	n, _ := Normalize(q)
+	return n.String()
+}

@@ -1,0 +1,173 @@
+// Package engine evaluates project-join plans over in-memory databases.
+//
+// It is the stand-in for the PostgreSQL backend of the paper's experiments:
+// a main-memory executor with hash joins and SELECT DISTINCT semantics.
+// Execution is instrumented — maximum intermediate cardinality and arity,
+// tuples materialized, operator counts — because those quantities, not
+// hardware details, drive the paper's running-time curves. Runs can be
+// bounded by a deadline and a row cap so that deliberately bad plans (the
+// straightforward method on augmented circular ladders) terminate the way
+// the paper reports them: as timeouts.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+	"projpush/internal/relation"
+)
+
+// Options bounds and instruments an execution.
+type Options struct {
+	// Timeout aborts the run after this duration. Zero means no timeout.
+	Timeout time.Duration
+	// MaxRows caps the cardinality of any intermediate relation.
+	// Zero means no cap.
+	MaxRows int
+}
+
+// ErrTimeout is returned when a run exceeds Options.Timeout.
+var ErrTimeout = errors.New("engine: execution timed out")
+
+// ErrRowLimit is returned when an intermediate result exceeds
+// Options.MaxRows.
+var ErrRowLimit = errors.New("engine: intermediate result exceeds row cap")
+
+// Stats instruments one execution.
+type Stats struct {
+	// MaxRows is the largest intermediate (or final) cardinality.
+	MaxRows int
+	// MaxArity is the widest intermediate (or final) schema. For a
+	// projection-pushed plan this is the plan's width; the paper's
+	// Theorem 1 bounds its optimum by treewidth+1.
+	MaxArity int
+	// Tuples is the total number of tuples materialized across all
+	// operators.
+	Tuples int64
+	// Work counts tuples touched by the join and projection kernels
+	// (probe matches, build rows, input rows).
+	Work int64
+	// Joins and Projections count operators executed.
+	Joins, Projections int
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	// Rel is the final relation (over the plan root's schema).
+	Rel *relation.Relation
+	// Stats instruments the run.
+	Stats Stats
+}
+
+// Nonempty reports whether the query result is nonempty — the answer to a
+// Boolean query.
+func (r *Result) Nonempty() bool { return !r.Rel.Empty() }
+
+type executor struct {
+	db    cq.Database
+	lim   relation.Limit
+	stats Stats
+}
+
+// Exec evaluates the plan over db under opt.
+// On timeout or row-cap violation it returns ErrTimeout or ErrRowLimit
+// (wrapped); the partial stats collected so far are returned alongside so
+// harnesses can report how far a run got.
+func Exec(n plan.Node, db cq.Database, opt Options) (*Result, error) {
+	ex := &executor{db: db}
+	ex.lim.MaxRows = opt.MaxRows
+	ex.lim.Work = &ex.stats.Work
+	if opt.Timeout > 0 {
+		ex.lim.Deadline = time.Now().Add(opt.Timeout)
+	}
+	start := time.Now()
+	rel, err := ex.eval(n)
+	ex.stats.Elapsed = time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, relation.ErrDeadline):
+			err = fmt.Errorf("%w after %v: %v", ErrTimeout, ex.stats.Elapsed, err)
+		case errors.Is(err, relation.ErrRowLimit):
+			err = fmt.Errorf("%w: %v", ErrRowLimit, err)
+		}
+		return &Result{Rel: nil, Stats: ex.stats}, err
+	}
+	return &Result{Rel: rel, Stats: ex.stats}, nil
+}
+
+func (ex *executor) observe(r *relation.Relation) error {
+	if r.Len() > ex.stats.MaxRows {
+		ex.stats.MaxRows = r.Len()
+	}
+	if r.Arity() > ex.stats.MaxArity {
+		ex.stats.MaxArity = r.Arity()
+	}
+	ex.stats.Tuples += int64(r.Len())
+	return nil
+}
+
+func (ex *executor) eval(n plan.Node) (*relation.Relation, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		rel, ok := ex.db[t.Atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q", t.Atom.Rel)
+		}
+		if rel.Arity() != len(t.Atom.Args) {
+			return nil, fmt.Errorf("engine: atom %s arity mismatch with relation (%d columns)",
+				t.Atom, rel.Arity())
+		}
+		// Bind the stored relation's columns to the atom's variables.
+		m := make(map[relation.Attr]relation.Attr, rel.Arity())
+		for i, a := range rel.Attrs() {
+			m[a] = t.Atom.Args[i]
+		}
+		bound := relation.Rename(rel, m)
+		if err := ex.observe(bound); err != nil {
+			return nil, err
+		}
+		return bound, nil
+
+	case *plan.Join:
+		l, err := ex.eval(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.eval(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		out, err := relation.JoinLimited(l, r, &ex.lim)
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.Joins++
+		if err := ex.observe(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case *plan.Project:
+		c, err := ex.eval(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		out, err := relation.ProjectLimited(c, t.Cols, &ex.lim)
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.Projections++
+		if err := ex.observe(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", n)
+	}
+}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+	"projpush/internal/relation"
+)
+
+// This file implements a second executor for the same plans: a
+// Volcano-style iterator (pull) engine, the execution model PostgreSQL —
+// the paper's backend — actually uses. Joins build a hash table on the
+// right input and stream the left input through it; projections
+// deduplicate on the fly. Tuples flow one at a time, so operators other
+// than hash-table builds and DISTINCT never materialize full
+// intermediates.
+//
+// The materializing executor (Exec) and this one compute identical
+// results; BenchmarkAblationExecutor compares them. For the paper's
+// workloads the two behave alike because SELECT DISTINCT subqueries force
+// materialization at every projection anyway — which is exactly why
+// intermediate *arity* (width) rather than engine style governs cost.
+
+// iterator produces tuples over a fixed schema, one per Next call.
+type iterator interface {
+	// Schema returns the output attributes in column order.
+	Schema() []cq.Var
+	// Next returns the next tuple, or nil at end of stream. The
+	// returned tuple is only valid until the next call.
+	Next() (relation.Tuple, error)
+}
+
+// execContext carries limits and instrumentation shared by a pipeline.
+type execContext struct {
+	deadline time.Time
+	maxRows  int
+	stats    *Stats
+	ticks    int
+}
+
+func (c *execContext) tick() error {
+	c.ticks++
+	if c.ticks%4096 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return relation.ErrDeadline
+	}
+	return nil
+}
+
+// scanIter streams a base relation with columns bound to atom variables.
+type scanIter struct {
+	schema []cq.Var
+	rows   []relation.Tuple
+	pos    int
+}
+
+func (s *scanIter) Schema() []cq.Var { return s.schema }
+
+func (s *scanIter) Next() (relation.Tuple, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, nil
+}
+
+// hashJoinIter builds a hash table over the right input, then streams the
+// left input, probing and emitting combined tuples.
+type hashJoinIter struct {
+	ctx         *execContext
+	left, right iterator
+	schema      []cq.Var
+
+	sharedLeft  []int // column indexes of shared attrs in left
+	sharedRight []int // column indexes in right
+	leftCols    []int // schema assembly: left column index or -1
+	rightCols   []int // schema assembly: right column index or -1
+
+	table   map[string][]relation.Tuple
+	built   bool
+	cur     relation.Tuple // current left tuple
+	matches []relation.Tuple
+	midx    int
+	out     relation.Tuple
+}
+
+func newHashJoinIter(ctx *execContext, left, right iterator) *hashJoinIter {
+	ls, rs := left.Schema(), right.Schema()
+	rpos := make(map[cq.Var]int, len(rs))
+	for i, a := range rs {
+		rpos[a] = i
+	}
+	j := &hashJoinIter{ctx: ctx, left: left, right: right}
+	for i, a := range ls {
+		j.schema = append(j.schema, a)
+		j.leftCols = append(j.leftCols, i)
+		j.rightCols = append(j.rightCols, -1)
+		if ri, ok := rpos[a]; ok {
+			j.sharedLeft = append(j.sharedLeft, i)
+			j.sharedRight = append(j.sharedRight, ri)
+		}
+	}
+	lpos := make(map[cq.Var]int, len(ls))
+	for i, a := range ls {
+		lpos[a] = i
+	}
+	for i, a := range rs {
+		if _, ok := lpos[a]; !ok {
+			j.schema = append(j.schema, a)
+			j.leftCols = append(j.leftCols, -1)
+			j.rightCols = append(j.rightCols, i)
+		}
+	}
+	j.out = make(relation.Tuple, len(j.schema))
+	return j
+}
+
+func (j *hashJoinIter) Schema() []cq.Var { return j.schema }
+
+func (j *hashJoinIter) key(t relation.Tuple, cols []int) string {
+	b := make([]byte, 0, len(cols)*5)
+	for _, c := range cols {
+		v := t[c]
+		if v >= 0 && v < 255 {
+			b = append(b, byte(v))
+		} else {
+			u := uint32(v)
+			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+	}
+	return string(b)
+}
+
+func (j *hashJoinIter) build() error {
+	j.table = make(map[string][]relation.Tuple)
+	n := 0
+	for {
+		t, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		if err := j.ctx.tick(); err != nil {
+			return err
+		}
+		n++
+		if j.ctx.maxRows > 0 && n > j.ctx.maxRows {
+			return relation.ErrRowLimit
+		}
+		k := j.key(t, j.sharedRight)
+		j.table[k] = append(j.table[k], t.Clone())
+	}
+	j.built = true
+	return nil
+}
+
+func (j *hashJoinIter) Next() (relation.Tuple, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if j.cur != nil && j.midx < len(j.matches) {
+			rt := j.matches[j.midx]
+			j.midx++
+			for i := range j.schema {
+				if lc := j.leftCols[i]; lc >= 0 {
+					j.out[i] = j.cur[lc]
+				} else {
+					j.out[i] = rt[j.rightCols[i]]
+				}
+			}
+			return j.out, nil
+		}
+		t, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return nil, nil
+		}
+		if err := j.ctx.tick(); err != nil {
+			return nil, err
+		}
+		j.cur = t.Clone()
+		j.matches = j.table[j.key(t, j.sharedLeft)]
+		j.midx = 0
+	}
+}
+
+// distinctProjectIter projects its input onto cols and deduplicates —
+// the SELECT DISTINCT subquery boundary.
+type distinctProjectIter struct {
+	ctx    *execContext
+	in     iterator
+	schema []cq.Var
+	idx    []int
+	seen   map[string]struct{}
+	out    relation.Tuple
+}
+
+func newDistinctProjectIter(ctx *execContext, in iterator, cols []cq.Var) (*distinctProjectIter, error) {
+	pos := make(map[cq.Var]int, len(in.Schema()))
+	for i, a := range in.Schema() {
+		pos[a] = i
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, ok := pos[c]
+		if !ok {
+			return nil, fmt.Errorf("engine: projection column x%d not in input schema", c)
+		}
+		idx[i] = j
+	}
+	return &distinctProjectIter{
+		ctx:    ctx,
+		in:     in,
+		schema: append([]cq.Var(nil), cols...),
+		idx:    idx,
+		seen:   make(map[string]struct{}),
+		out:    make(relation.Tuple, len(cols)),
+	}, nil
+}
+
+func (d *distinctProjectIter) Schema() []cq.Var { return d.schema }
+
+func (d *distinctProjectIter) Next() (relation.Tuple, error) {
+	for {
+		t, err := d.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return nil, nil
+		}
+		if err := d.ctx.tick(); err != nil {
+			return nil, err
+		}
+		for i, j := range d.idx {
+			d.out[i] = t[j]
+		}
+		k := d.key(d.out)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		if d.ctx.maxRows > 0 && len(d.seen) > d.ctx.maxRows {
+			return nil, relation.ErrRowLimit
+		}
+		if d.ctx.stats != nil {
+			if len(d.seen) > d.ctx.stats.MaxRows {
+				d.ctx.stats.MaxRows = len(d.seen)
+			}
+			d.ctx.stats.Tuples++
+		}
+		return d.out, nil
+	}
+}
+
+func (d *distinctProjectIter) key(t relation.Tuple) string {
+	b := make([]byte, 0, len(t)*5)
+	for _, v := range t {
+		if v >= 0 && v < 255 {
+			b = append(b, byte(v))
+		} else {
+			u := uint32(v)
+			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+	}
+	return string(b)
+}
+
+// buildIterator lowers a plan to an iterator pipeline.
+func buildIterator(ctx *execContext, n plan.Node, db cq.Database) (iterator, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		rel, ok := db[t.Atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q", t.Atom.Rel)
+		}
+		if rel.Arity() != len(t.Atom.Args) {
+			return nil, fmt.Errorf("engine: atom %s arity mismatch", t.Atom)
+		}
+		return &scanIter{schema: t.Atom.Args, rows: rel.Tuples()}, nil
+	case *plan.Join:
+		l, err := buildIterator(ctx, t.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := buildIterator(ctx, t.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.stats != nil {
+			ctx.stats.Joins++
+		}
+		return newHashJoinIter(ctx, l, r), nil
+	case *plan.Project:
+		in, err := buildIterator(ctx, t.Child, db)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.stats != nil {
+			ctx.stats.Projections++
+		}
+		return newDistinctProjectIter(ctx, in, t.Cols)
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", n)
+	}
+}
+
+// ExecIterator evaluates the plan with the Volcano-style pull engine and
+// materializes only the final result. Results are identical to Exec; the
+// Stats collected are coarser (no per-operator intermediate sizes other
+// than DISTINCT states).
+func ExecIterator(n plan.Node, db cq.Database, opt Options) (*Result, error) {
+	var stats Stats
+	ctx := &execContext{maxRows: opt.MaxRows, stats: &stats}
+	if opt.Timeout > 0 {
+		ctx.deadline = time.Now().Add(opt.Timeout)
+	}
+	start := time.Now()
+	it, err := buildIterator(ctx, n, db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(append([]cq.Var(nil), it.Schema()...))
+	for {
+		t, err := it.Next()
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			switch {
+			case errors.Is(err, relation.ErrDeadline):
+				err = fmt.Errorf("%w after %v: %v", ErrTimeout, stats.Elapsed, err)
+			case errors.Is(err, relation.ErrRowLimit):
+				err = fmt.Errorf("%w: %v", ErrRowLimit, err)
+			}
+			return &Result{Stats: stats}, err
+		}
+		if t == nil {
+			break
+		}
+		out.Add(t)
+		if opt.MaxRows > 0 && out.Len() > opt.MaxRows {
+			stats.Elapsed = time.Since(start)
+			return &Result{Stats: stats}, fmt.Errorf("%w: final result", ErrRowLimit)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	if out.Arity() > stats.MaxArity {
+		stats.MaxArity = out.Arity()
+	}
+	return &Result{Rel: out, Stats: stats}, nil
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"projpush/internal/cq"
+	"projpush/internal/relation"
+)
+
+// EvalOracle evaluates the conjunctive query by straightforward
+// backtracking search over variable assignments, with no relational
+// algebra involved. It exists as an independent correctness oracle for the
+// plan-based evaluation paths: every optimization method must produce the
+// same relation this function produces.
+//
+// It enumerates assignments variable by variable (in first-occurrence
+// order), pruning with every atom whose variables are fully assigned, and
+// collects the distinct projections onto the free variables. It is
+// exponential and intended for small queries in tests.
+func EvalOracle(q *cq.Query, db cq.Database) (*relation.Relation, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+
+	vars := q.Vars()
+	varIdx := make(map[cq.Var]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+
+	// Candidate domain per variable: the distinct values seen in any
+	// column the variable is bound to (intersected across atoms).
+	domains := make([][]relation.Value, len(vars))
+	for i, v := range vars {
+		var dom map[relation.Value]bool
+		for _, a := range q.Atoms {
+			for col, av := range a.Args {
+				if av != v {
+					continue
+				}
+				colVals := make(map[relation.Value]bool)
+				rel := db[a.Rel]
+				attr := rel.Attrs()[col]
+				rel.Each(func(t relation.Tuple) bool {
+					colVals[rel.Value(t, attr)] = true
+					return true
+				})
+				if dom == nil {
+					dom = colVals
+				} else {
+					for val := range dom {
+						if !colVals[val] {
+							delete(dom, val)
+						}
+					}
+				}
+			}
+		}
+		if dom == nil {
+			return nil, fmt.Errorf("engine: variable x%d has no domain", v)
+		}
+		vals := make([]relation.Value, 0, len(dom))
+		for val := range dom {
+			vals = append(vals, val)
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		domains[i] = vals
+	}
+
+	// For pruning: atoms become checkable at the depth where their last
+	// variable gets assigned.
+	atomDepth := make([][]cq.Atom, len(vars))
+	for _, a := range q.Atoms {
+		depth := 0
+		for _, v := range a.Args {
+			if d := varIdx[v]; d > depth {
+				depth = d
+			}
+		}
+		atomDepth[depth] = append(atomDepth[depth], a)
+	}
+
+	out := relation.New(q.Free)
+	assign := make([]relation.Value, len(vars))
+	freeIdx := make([]int, len(q.Free))
+	for i, v := range q.Free {
+		freeIdx[i] = varIdx[v]
+	}
+
+	var search func(depth int)
+	search = func(depth int) {
+		if depth == len(vars) {
+			row := make(relation.Tuple, len(freeIdx))
+			for i, j := range freeIdx {
+				row[i] = assign[j]
+			}
+			out.Add(row)
+			return
+		}
+		for _, val := range domains[depth] {
+			assign[depth] = val
+			ok := true
+			for _, a := range atomDepth[depth] {
+				rel := db[a.Rel]
+				t := make(relation.Tuple, len(a.Args))
+				for col, v := range a.Args {
+					t[col] = assign[varIdx[v]]
+				}
+				if !rel.Contains(t) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				search(depth + 1)
+			}
+		}
+	}
+	search(0)
+	return out, nil
+}
+
+// OracleNonempty reports whether the query has a nonempty answer according
+// to the backtracking oracle.
+func OracleNonempty(q *cq.Query, db cq.Database) (bool, error) {
+	r, err := EvalOracle(q, db)
+	if err != nil {
+		return false, err
+	}
+	return !r.Empty(), nil
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+	"projpush/internal/relation"
+)
+
+// ExecParallel evaluates the plan like Exec but computes the two sides
+// of a join concurrently when both are non-trivial subtrees. Bucket
+// elimination and tree-decomposition plans are bushy — sibling buckets
+// share no state — so independent subtrees parallelize cleanly. workers
+// bounds the number of concurrently evaluating subtrees (values < 2
+// degenerate to sequential execution).
+//
+// Results are identical to Exec. Statistics are aggregated across
+// goroutines; per-operator counters are exact, Work and MaxRows are
+// merged from each goroutine's private counters.
+func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Result, error) {
+	if workers < 2 {
+		return Exec(n, db, opt)
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = time.Now().Add(opt.Timeout)
+	}
+	pe := &parallelExec{
+		db:       db,
+		deadline: deadline,
+		maxRows:  opt.MaxRows,
+		sem:      make(chan struct{}, workers),
+	}
+	start := time.Now()
+	rel, err := pe.eval(n)
+	pe.stats.Elapsed = time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, relation.ErrDeadline):
+			err = fmt.Errorf("%w after %v: %v", ErrTimeout, pe.stats.Elapsed, err)
+		case errors.Is(err, relation.ErrRowLimit):
+			err = fmt.Errorf("%w: %v", ErrRowLimit, err)
+		}
+		return &Result{Stats: pe.stats}, err
+	}
+	return &Result{Rel: rel, Stats: pe.stats}, nil
+}
+
+type parallelExec struct {
+	db       cq.Database
+	deadline time.Time
+	maxRows  int
+	sem      chan struct{}
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// observe merges one operator's output into the shared stats.
+func (pe *parallelExec) observe(r *relation.Relation, kind byte, work int64) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if r.Len() > pe.stats.MaxRows {
+		pe.stats.MaxRows = r.Len()
+	}
+	if r.Arity() > pe.stats.MaxArity {
+		pe.stats.MaxArity = r.Arity()
+	}
+	pe.stats.Tuples += int64(r.Len())
+	pe.stats.Work += work
+	switch kind {
+	case 'j':
+		pe.stats.Joins++
+	case 'p':
+		pe.stats.Projections++
+	}
+}
+
+// lim builds a fresh private limit for one operator invocation.
+func (pe *parallelExec) lim(work *int64) *relation.Limit {
+	return &relation.Limit{MaxRows: pe.maxRows, Deadline: pe.deadline, Work: work}
+}
+
+// subtreeSize counts plan nodes, to decide whether forking pays off.
+func subtreeSize(n plan.Node) int {
+	size := 1
+	for _, c := range n.Children() {
+		size += subtreeSize(c)
+	}
+	return size
+}
+
+func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		rel, ok := pe.db[t.Atom.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q", t.Atom.Rel)
+		}
+		if rel.Arity() != len(t.Atom.Args) {
+			return nil, fmt.Errorf("engine: atom %s arity mismatch", t.Atom)
+		}
+		m := make(map[relation.Attr]relation.Attr, rel.Arity())
+		for i, a := range rel.Attrs() {
+			m[a] = t.Atom.Args[i]
+		}
+		bound := relation.Rename(rel, m)
+		pe.observe(bound, 's', 0)
+		return bound, nil
+
+	case *plan.Join:
+		l, r, err := pe.evalPair(t.Left, t.Right)
+		if err != nil {
+			return nil, err
+		}
+		var work int64
+		out, err := relation.JoinLimited(l, r, pe.lim(&work))
+		if err != nil {
+			return nil, err
+		}
+		pe.observe(out, 'j', work)
+		return out, nil
+
+	case *plan.Project:
+		c, err := pe.eval(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		var work int64
+		out, err := relation.ProjectLimited(c, t.Cols, pe.lim(&work))
+		if err != nil {
+			return nil, err
+		}
+		pe.observe(out, 'p', work)
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", n)
+	}
+}
+
+// evalPair evaluates two subtrees, concurrently when both are non-trivial
+// and a worker slot is free.
+func (pe *parallelExec) evalPair(a, b plan.Node) (*relation.Relation, *relation.Relation, error) {
+	if subtreeSize(a) < 3 || subtreeSize(b) < 3 {
+		ra, err := pe.eval(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, err := pe.eval(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ra, rb, nil
+	}
+	select {
+	case pe.sem <- struct{}{}:
+		var (
+			rb  *relation.Relation
+			ebr error
+			wg  sync.WaitGroup
+		)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-pe.sem }()
+			rb, ebr = pe.eval(b)
+		}()
+		ra, ear := pe.eval(a)
+		wg.Wait()
+		if ear != nil {
+			return nil, nil, ear
+		}
+		if ebr != nil {
+			return nil, nil, ebr
+		}
+		return ra, rb, nil
+	default:
+		// No free worker: stay sequential.
+		ra, err := pe.eval(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		rb, err := pe.eval(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ra, rb, nil
+	}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+)
+
+func TestExecParallelMatchesSequential(t *testing.T) {
+	db := edgeDB()
+	for _, n := range []int{3, 5, 7} {
+		q := cycleQuery(n)
+		p := straightforward(q)
+		a, err := Exec(p, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ExecParallel(p, db, Options{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Rel.Equal(b.Rel) {
+			t.Fatalf("cycle %d: parallel result differs", n)
+		}
+		if b.Stats.Joins != a.Stats.Joins || b.Stats.Projections != a.Stats.Projections {
+			t.Fatalf("cycle %d: operator counts differ: %+v vs %+v", n, b.Stats, a.Stats)
+		}
+	}
+}
+
+func TestExecParallelBushyPlan(t *testing.T) {
+	// A genuinely bushy plan: two independent 3-chains joined at the
+	// top. Both sides are non-trivial subtrees, so they fork.
+	db := edgeDB()
+	side := func(base cq.Var) plan.Node {
+		return &plan.Project{
+			Child: &plan.Join{
+				Left:  scan(base, base+1),
+				Right: scan(base+1, base+2),
+			},
+			Cols: []cq.Var{base, base + 2},
+		}
+	}
+	p := &plan.Project{
+		Child: &plan.Join{Left: side(0), Right: side(2)},
+		Cols:  []cq.Var{0, 4},
+	}
+	a, err := Exec(p, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		b, err := ExecParallel(p, db, Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Rel.Equal(b.Rel) {
+			t.Fatalf("workers=%d: parallel result differs", workers)
+		}
+	}
+}
+
+func TestExecParallelRandomPlans(t *testing.T) {
+	db := edgeDB()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		// Random bushy join shape over a chain of variables.
+		nvars := 4 + rng.Intn(4)
+		var build func(lo, hi int) plan.Node
+		build = func(lo, hi int) plan.Node {
+			if hi-lo == 1 {
+				return scan(lo, lo+1)
+			}
+			mid := lo + 1 + rng.Intn(hi-lo-1)
+			j := &plan.Join{Left: build(lo, mid), Right: build(mid, hi)}
+			if rng.Intn(2) == 0 {
+				return &plan.Project{Child: j, Cols: []cq.Var{lo, hi}}
+			}
+			return j
+		}
+		p := &plan.Project{Child: build(0, nvars), Cols: []cq.Var{0}}
+		a, err := Exec(p, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ExecParallel(p, db, Options{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Rel.Equal(b.Rel) {
+			t.Fatalf("trial %d: parallel differs", trial)
+		}
+	}
+}
+
+func TestExecParallelTimeout(t *testing.T) {
+	q := cycleQuery(13)
+	_, err := ExecParallel(straightforward(q), edgeDB(), Options{Timeout: time.Nanosecond}, 4)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestExecParallelRowCap(t *testing.T) {
+	q := cycleQuery(9)
+	_, err := ExecParallel(straightforward(q), edgeDB(), Options{MaxRows: 10}, 4)
+	if !errors.Is(err, ErrRowLimit) {
+		t.Fatalf("err = %v, want ErrRowLimit", err)
+	}
+}
+
+func TestExecParallelDegeneratesToSequential(t *testing.T) {
+	q := cycleQuery(4)
+	p := straightforward(q)
+	a, err := ExecParallel(p, edgeDB(), Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rel.Len() != 3 {
+		t.Fatalf("workers=0 result: %v", a.Rel)
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders a series as an ASCII plot with a logarithmic y axis —
+// the terminal rendition of the paper's logscale figures. Each method
+// gets a symbol; points that coincide print '*'; cells whose runs mostly
+// timed out print '!' pinned to the top row. Height counts plot rows
+// (excluding axes); sensible values are 10–24.
+func Chart(s *Series, height int) string {
+	if len(s.Rows) == 0 {
+		return s.Title + "\n(no data)\n"
+	}
+	if height < 4 {
+		height = 4
+	}
+
+	// Collect medians (seconds) and the y range.
+	type point struct {
+		col, method int
+		y           float64 // seconds; NaN = timeout
+	}
+	var points []point
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for col, r := range s.Rows {
+		for mi := range r.Cells {
+			med, ok := r.Cells[mi].Sample.Median()
+			if !ok {
+				points = append(points, point{col, mi, math.NaN()})
+				continue
+			}
+			y := med.Seconds()
+			if y <= 0 {
+				y = 1e-9
+			}
+			points = append(points, point{col, mi, y})
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(ymin, 1) { // everything timed out
+		ymin, ymax = 1e-3, 1
+	}
+	if ymax <= ymin {
+		ymax = ymin * 10
+	}
+	logMin, logMax := math.Log10(ymin), math.Log10(ymax)
+
+	symbols := methodSymbols(s)
+	colWidth := 6
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(s.Rows)*colWidth))
+	}
+	put := func(row, col int, ch byte) {
+		pos := col*colWidth + colWidth/2
+		cur := grid[row][pos]
+		switch {
+		case cur == ' ':
+			grid[row][pos] = ch
+		case cur != ch:
+			grid[row][pos] = '*'
+		}
+	}
+	for _, p := range points {
+		ch := symbols[p.method]
+		if math.IsNaN(p.y) {
+			put(0, p.col, '!')
+			continue
+		}
+		frac := (math.Log10(p.y) - logMin) / (logMax - logMin)
+		row := int(math.Round(float64(height-1) * (1 - frac)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		put(row, p.col, ch)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (log time, '!' = timeout)\n", s.Title)
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.2gs ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.2gs ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	// X axis.
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", len(s.Rows)*colWidth) + "\n")
+	axis := make([]byte, len(s.Rows)*colWidth)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	for col, r := range s.Rows {
+		lbl := fmt.Sprintf("%g", r.X)
+		pos := col*colWidth + colWidth/2 - len(lbl)/2
+		for i := 0; i < len(lbl) && pos+i < len(axis); i++ {
+			if pos+i >= 0 {
+				axis[pos+i] = lbl[i]
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%s %s  (%s)\n", strings.Repeat(" ", 10), string(axis), s.XLabel)
+	// Legend.
+	if len(s.Rows) > 0 {
+		b.WriteString("legend: ")
+		for mi, c := range s.Rows[0].Cells {
+			if mi > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%c=%s", symbols[mi], c.Method)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// methodSymbols assigns one distinct symbol per method: the first unique
+// uppercase letter of the method name, falling back to digits.
+func methodSymbols(s *Series) []byte {
+	if len(s.Rows) == 0 {
+		return nil
+	}
+	used := map[byte]bool{'*': true, '!': true}
+	out := make([]byte, len(s.Rows[0].Cells))
+	for i, c := range s.Rows[0].Cells {
+		var ch byte
+		for j := 0; j < len(c.Method); j++ {
+			cand := upper(c.Method[j])
+			if !used[cand] {
+				ch = cand
+				break
+			}
+		}
+		if ch == 0 {
+			ch = byte('0' + i%10)
+		}
+		used[ch] = true
+		out[i] = ch
+	}
+	return out
+}
+
+func upper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}

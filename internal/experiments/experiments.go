@@ -1,0 +1,463 @@
+// Package experiments defines the paper's experiments (Figures 2–9 plus
+// the 3-SAT/2-SAT consistency check of Section 7) as reusable sweeps:
+// generate instances, translate them to project-join queries, build a
+// plan per optimization method, execute with a timeout, and report median
+// times the way the paper's plots do.
+//
+// The harness separates the two quantities the paper measures: plan
+// construction ("compile") effort, which is what blows up for the
+// cost-based naive method (Figure 2), and query execution time, which is
+// what the structural methods improve (Figures 3–9).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/pgplanner"
+	"projpush/internal/plan"
+	"projpush/internal/stats"
+)
+
+// Config controls a sweep.
+type Config struct {
+	// Seed makes the sweep reproducible.
+	Seed int64
+	// Reps is the number of instances measured per point; the paper
+	// reports medians over repetitions.
+	Reps int
+	// Timeout bounds each run; aborted runs are reported as timeouts,
+	// matching the paper's "timing out at around order 7" remarks.
+	Timeout time.Duration
+	// MaxRows caps intermediate results as a memory guard (0 = none).
+	MaxRows int
+	// FreeFraction is the fraction of vertices kept free; 0 runs the
+	// Boolean variant (one projected variable), 0.2 the paper's
+	// non-Boolean variant.
+	FreeFraction float64
+	// Methods lists the structural methods to compare; nil means all.
+	Methods []core.Method
+	// IncludeNaive adds the cost-based naive baseline: join order from
+	// the DP/GEQO planner (compile time included in the measurement),
+	// no projection pushing. The paper drops it after Figure 2 because
+	// its execution matches straightforward while compilation explodes.
+	IncludeNaive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxRows == 0 {
+		c.MaxRows = 5_000_000
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = core.Methods
+	}
+	return c
+}
+
+// Cell is one (x, method) measurement.
+type Cell struct {
+	Method string
+	Sample stats.Sample
+	// Width is the maximum plan width observed across repetitions —
+	// the structural quantity behind the running times.
+	Width int
+}
+
+// Row is one x-coordinate of a figure with all method measurements.
+type Row struct {
+	X     float64
+	Cells []Cell
+}
+
+// Series is a reproduced figure: a titled table of rows.
+type Series struct {
+	Title  string
+	XLabel string
+	Rows   []Row
+}
+
+// Family names a structured graph family from Figure 1.
+type Family string
+
+// The structured query families of Figures 6–9.
+const (
+	FamilyAugmentedPath           Family = "augmented-path"
+	FamilyLadder                  Family = "ladder"
+	FamilyAugmentedLadder         Family = "augmented-ladder"
+	FamilyAugmentedCircularLadder Family = "augmented-circular-ladder"
+)
+
+// BuildFamily constructs a family instance of the given order.
+func BuildFamily(f Family, order int) (*graph.Graph, error) {
+	switch f {
+	case FamilyAugmentedPath:
+		return graph.AugmentedPath(order), nil
+	case FamilyLadder:
+		return graph.Ladder(order), nil
+	case FamilyAugmentedLadder:
+		return graph.AugmentedLadder(order), nil
+	case FamilyAugmentedCircularLadder:
+		if order < 3 {
+			return nil, fmt.Errorf("experiments: circular ladder needs order >= 3")
+		}
+		return graph.AugmentedCircularLadder(order), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown family %q", f)
+	}
+}
+
+// randomClamped generates a random graph at the given density, clamping
+// the edge count to the simple-graph maximum so scaled-down sweeps with
+// high densities degrade to complete graphs instead of failing.
+func randomClamped(order int, density float64, rng *rand.Rand) (*graph.Graph, error) {
+	m := int(density*float64(order) + 0.5)
+	if max := order * (order - 1) / 2; m > max {
+		m = max
+	}
+	return graph.Random(order, m, rng)
+}
+
+// freeVars picks the query's target schema per the config.
+func freeVars(g *graph.Graph, frac float64, rng *rand.Rand) []cq.Var {
+	if frac <= 0 {
+		return instance.BooleanFree(g)
+	}
+	return instance.ChooseFree(instance.EdgeVertices(g), frac, rng)
+}
+
+// measure builds and executes one method on one query, returning the
+// execution duration (plan construction included; it is negligible, as
+// the paper notes for the subquery-based methods) and the plan width.
+func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) (time.Duration, int, error) {
+	start := time.Now()
+	p, err := core.BuildPlan(m, q, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := plan.Analyze(p).Width
+	_, err = engine.Exec(p, db, engine.Options{Timeout: cfg.Timeout, MaxRows: cfg.MaxRows})
+	return time.Since(start), w, err
+}
+
+// measureNaive runs the naive method end to end: cost-based planning
+// (DP or GEQO) picks a join order, then the straightforward-shaped plan
+// executes. The returned duration includes the planner's compile time,
+// the quantity that dominates it.
+func measureNaive(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) (time.Duration, int, error) {
+	start := time.Now()
+	cm := pgplanner.NewCostModel(db)
+	res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := core.StraightforwardOrder(q, res.Order)
+	if err != nil {
+		return 0, 0, err
+	}
+	w := plan.Analyze(p).Width
+	_, err = engine.Exec(p, db, engine.Options{Timeout: cfg.Timeout, MaxRows: cfg.MaxRows})
+	return time.Since(start), w, err
+}
+
+// runPoint measures all methods over Reps instances supplied by gen.
+func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error)) (Row, error) {
+	cells := len(cfg.Methods)
+	if cfg.IncludeNaive {
+		cells++
+	}
+	row := Row{X: x, Cells: make([]Cell, cells)}
+	if cfg.IncludeNaive {
+		row.Cells[0].Method = "naive"
+	}
+	offset := cells - len(cfg.Methods)
+	for i, m := range cfg.Methods {
+		row.Cells[offset+i].Method = string(m)
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(x*1000)))
+		q, db, err := gen(rep, rng)
+		if err != nil {
+			return row, err
+		}
+		record := func(cell *Cell, d time.Duration, w int, err error) {
+			if w > cell.Width {
+				cell.Width = w
+			}
+			if err != nil {
+				cell.Sample.AddTimeout()
+				return
+			}
+			cell.Sample.Add(d)
+		}
+		if cfg.IncludeNaive {
+			d, w, err := measureNaive(q, db, rng, cfg)
+			record(&row.Cells[0], d, w, err)
+		}
+		for i, m := range cfg.Methods {
+			d, w, err := measure(m, q, db, rng, cfg)
+			record(&row.Cells[offset+i], d, w, err)
+		}
+	}
+	return row, nil
+}
+
+// DensityScaling reproduces Figure 3: random 3-COLOR queries of a fixed
+// order with the density swept.
+func DensityScaling(cfg Config, order int, densities []float64) (*Series, error) {
+	cfg = cfg.withDefaults()
+	db := instance.ColorDatabase(3)
+	s := &Series{
+		Title:  fmt.Sprintf("3-COLOR density scaling, order=%d, free=%.0f%%", order, cfg.FreeFraction*100),
+		XLabel: "density",
+	}
+	for _, d := range densities {
+		row, err := runPoint(d, cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
+			g, err := randomClamped(order, d, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			if g.M() == 0 {
+				return nil, nil, fmt.Errorf("experiments: density %f yields no edges", d)
+			}
+			q, err := instance.ColorQuery(g, freeVars(g, cfg.FreeFraction, rng))
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, db, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// OrderScaling reproduces Figures 4 and 5: random 3-COLOR queries of a
+// fixed density with the order swept.
+func OrderScaling(cfg Config, density float64, orders []int) (*Series, error) {
+	cfg = cfg.withDefaults()
+	db := instance.ColorDatabase(3)
+	s := &Series{
+		Title:  fmt.Sprintf("3-COLOR order scaling, density=%.1f, free=%.0f%%", density, cfg.FreeFraction*100),
+		XLabel: "order",
+	}
+	for _, n := range orders {
+		row, err := runPoint(float64(n), cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
+			g, err := randomClamped(n, density, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			if g.M() == 0 {
+				return nil, nil, fmt.Errorf("experiments: no edges at order %d", n)
+			}
+			q, err := instance.ColorQuery(g, freeVars(g, cfg.FreeFraction, rng))
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, db, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// StructuredScaling reproduces Figures 6–9: a structured family with the
+// order swept.
+func StructuredScaling(cfg Config, family Family, orders []int) (*Series, error) {
+	cfg = cfg.withDefaults()
+	db := instance.ColorDatabase(3)
+	s := &Series{
+		Title:  fmt.Sprintf("3-COLOR %s, free=%.0f%%", family, cfg.FreeFraction*100),
+		XLabel: "order",
+	}
+	for _, n := range orders {
+		g, err := BuildFamily(family, n)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runPoint(float64(n), cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
+			q, err := instance.ColorQuery(g, freeVars(g, cfg.FreeFraction, rng))
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, db, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// CompileTimeScaling reproduces Figure 2: the planning ("compile") effort
+// of the cost-based naive method against the straightforward method on
+// random 3-SAT queries with 5 variables, density swept. Cells report the
+// planner's wall-clock time; for the naive method that is the DP/GEQO
+// search, for straightforward it is plan construction only.
+func CompileTimeScaling(cfg Config, nvars int, densities []float64) (*Series, error) {
+	cfg = cfg.withDefaults()
+	s := &Series{
+		Title:  fmt.Sprintf("3-SAT compile-time scaling, %d variables", nvars),
+		XLabel: "density",
+	}
+	for _, d := range densities {
+		m := int(d*float64(nvars) + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		row := Row{X: d, Cells: []Cell{{Method: "naive(planner)"}, {Method: "straightforward"}}}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*104729 + int64(d*1000)))
+			sat, err := instance.RandomSAT(3, nvars, m, rng)
+			if err != nil {
+				return nil, err
+			}
+			vars := instance.SATVariablesInClauses(sat)
+			q, db, err := instance.SATQuery(sat, vars[:1])
+			if err != nil {
+				return nil, err
+			}
+			cm := pgplanner.NewCostModel(db)
+
+			start := time.Now()
+			res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{})
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[0].Sample.Add(time.Since(start))
+			if int(res.PlansExplored) > row.Cells[0].Width {
+				// Reuse Width to carry plans explored for this figure.
+				row.Cells[0].Width = int(res.PlansExplored)
+			}
+
+			start = time.Now()
+			if _, err := core.Straightforward(q); err != nil {
+				return nil, err
+			}
+			row.Cells[1].Sample.Add(time.Since(start))
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// SATScaling runs the Section 7 consistency check: the structural methods
+// on random k-SAT queries with the density swept.
+func SATScaling(cfg Config, k, nvars int, densities []float64) (*Series, error) {
+	cfg = cfg.withDefaults()
+	s := &Series{
+		Title:  fmt.Sprintf("%d-SAT density scaling, %d variables, free=%.0f%%", k, nvars, cfg.FreeFraction*100),
+		XLabel: "density",
+	}
+	for _, d := range densities {
+		m := int(d*float64(nvars) + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		row, err := runPoint(d, cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
+			sat, err := instance.RandomSAT(k, nvars, m, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			vars := instance.SATVariablesInClauses(sat)
+			var free []cq.Var
+			if cfg.FreeFraction > 0 {
+				free = instance.ChooseFree(vars, cfg.FreeFraction, rng)
+			} else {
+				free = vars[:1]
+			}
+			q, db, err := instance.SATQuery(sat, free)
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, db, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// Report renders a series as an aligned text table, one row per x value
+// and one column per method, cells showing the median duration (or
+// "timeout") as the paper's logscale plots do.
+func Report(s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	header := []string{s.XLabel}
+	if len(s.Rows) > 0 {
+		for _, c := range s.Rows[0].Cells {
+			header = append(header, c.Method)
+		}
+	}
+	widths := make([]int, len(header))
+	var lines [][]string
+	lines = append(lines, header)
+	for _, r := range s.Rows {
+		line := []string{fmt.Sprintf("%g", r.X)}
+		for i := range r.Cells {
+			line = append(line, r.Cells[i].Sample.String())
+		}
+		lines = append(lines, line)
+	}
+	for _, line := range lines {
+		for i, cell := range line {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, line := range lines {
+		for i, cell := range line {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders a series as comma-separated values: one row per x with a
+// median-seconds column per method (empty for timeouts) — the format for
+// external plotting tools.
+func CSV(s *Series) string {
+	var b strings.Builder
+	b.WriteString(s.XLabel)
+	if len(s.Rows) > 0 {
+		for _, c := range s.Rows[0].Cells {
+			b.WriteString(",")
+			b.WriteString(c.Method)
+		}
+	}
+	b.WriteString("\n")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%g", r.X)
+		for i := range r.Cells {
+			b.WriteString(",")
+			if med, ok := r.Cells[i].Sample.Median(); ok {
+				fmt.Fprintf(&b, "%g", med.Seconds())
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

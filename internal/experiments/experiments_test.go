@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"projpush/internal/core"
+)
+
+// fast returns a config small enough for unit tests.
+func fast() Config {
+	return Config{
+		Seed:    1,
+		Reps:    2,
+		Timeout: 2 * time.Second,
+		MaxRows: 500_000,
+	}
+}
+
+func TestDensityScalingSmall(t *testing.T) {
+	s, err := DensityScaling(fast(), 8, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if len(r.Cells) != len(core.Methods) {
+			t.Fatalf("cells = %d", len(r.Cells))
+		}
+		for _, c := range r.Cells {
+			if c.Sample.Runs() != 2 {
+				t.Fatalf("%s at %g: runs = %d", c.Method, r.X, c.Sample.Runs())
+			}
+			if c.Width == 0 {
+				t.Fatalf("%s: width not recorded", c.Method)
+			}
+		}
+	}
+}
+
+func TestOrderScalingWidthOrdering(t *testing.T) {
+	s, err := OrderScaling(fast(), 2.0, []int{8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Rows {
+		var sf, be int
+		for _, c := range r.Cells {
+			switch core.Method(c.Method) {
+			case core.MethodStraightforward:
+				sf = c.Width
+			case core.MethodBucketElimination:
+				be = c.Width
+			}
+		}
+		if be >= sf {
+			t.Fatalf("order %g: bucket width %d not below straightforward %d", r.X, be, sf)
+		}
+	}
+}
+
+func TestStructuredScalingFamilies(t *testing.T) {
+	for _, f := range []Family{
+		FamilyAugmentedPath, FamilyLadder,
+		FamilyAugmentedLadder, FamilyAugmentedCircularLadder,
+	} {
+		cfg := fast()
+		cfg.Methods = []core.Method{core.MethodEarlyProjection, core.MethodBucketElimination}
+		s, err := StructuredScaling(cfg, f, []int{4, 6})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(s.Rows) != 2 || len(s.Rows[0].Cells) != 2 {
+			t.Fatalf("%s: shape wrong", f)
+		}
+	}
+}
+
+func TestStructuredScalingUnknownFamily(t *testing.T) {
+	if _, err := StructuredScaling(fast(), Family("nope"), []int{4}); err == nil {
+		t.Fatal("accepted unknown family")
+	}
+	if _, err := BuildFamily(FamilyAugmentedCircularLadder, 2); err == nil {
+		t.Fatal("accepted circular ladder of order 2")
+	}
+}
+
+func TestCompileTimeScaling(t *testing.T) {
+	s, err := CompileTimeScaling(fast(), 5, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if len(r.Cells) != 2 {
+			t.Fatalf("cells = %d", len(r.Cells))
+		}
+		naive, _ := r.Cells[0].Sample.Median()
+		sf, _ := r.Cells[1].Sample.Median()
+		if naive < sf {
+			t.Fatalf("density %g: planner compile %v below straightforward %v", r.X, naive, sf)
+		}
+	}
+	// Planner effort grows with density.
+	if s.Rows[1].Cells[0].Width <= s.Rows[0].Cells[0].Width {
+		t.Fatalf("plans explored did not grow: %d -> %d",
+			s.Rows[0].Cells[0].Width, s.Rows[1].Cells[0].Width)
+	}
+}
+
+func TestSATScaling(t *testing.T) {
+	cfg := fast()
+	cfg.Methods = []core.Method{core.MethodStraightforward, core.MethodBucketElimination}
+	s, err := SATScaling(cfg, 3, 8, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// 2-SAT works too.
+	s2, err := SATScaling(cfg, 2, 8, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Rows) != 1 {
+		t.Fatal("2-SAT scaling failed")
+	}
+}
+
+func TestTimeoutsReported(t *testing.T) {
+	cfg := fast()
+	cfg.Timeout = time.Nanosecond
+	cfg.Methods = []core.Method{core.MethodStraightforward}
+	s, err := DensityScaling(cfg, 8, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Rows[0].Cells[0]
+	if c.Sample.Timeouts != c.Sample.Runs() {
+		t.Fatalf("expected every run to time out, got %+v", c.Sample)
+	}
+	if !strings.Contains(Report(s), "timeout") {
+		t.Fatal("report does not show timeouts")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	s, err := DensityScaling(fast(), 8, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(s)
+	if !strings.Contains(rep, "density") {
+		t.Fatalf("report missing x label:\n%s", rep)
+	}
+	for _, m := range core.Methods {
+		if !strings.Contains(rep, string(m)) {
+			t.Fatalf("report missing method %s:\n%s", m, rep)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	if len(lines) != 3 { // title, header, one row
+		t.Fatalf("report shape:\n%s", rep)
+	}
+}
+
+func TestNonBooleanConfig(t *testing.T) {
+	cfg := fast()
+	cfg.FreeFraction = 0.2
+	cfg.Methods = []core.Method{core.MethodBucketElimination}
+	s, err := DensityScaling(cfg, 10, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Title, "free=20%") {
+		t.Fatalf("title: %s", s.Title)
+	}
+}
+
+func TestIncludeNaive(t *testing.T) {
+	cfg := fast()
+	cfg.IncludeNaive = true
+	cfg.Methods = []core.Method{core.MethodBucketElimination}
+	s, err := DensityScaling(cfg, 8, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Rows[0].Cells
+	if len(cells) != 2 || cells[0].Method != "naive" {
+		t.Fatalf("cells: %+v", cells)
+	}
+	if cells[0].Sample.Runs() != cfg.Reps {
+		t.Fatal("naive cell not measured")
+	}
+	// Naive never pushes projections: its width is the variable count.
+	if cells[0].Width <= cells[1].Width {
+		t.Fatalf("naive width %d should exceed bucket width %d",
+			cells[0].Width, cells[1].Width)
+	}
+}

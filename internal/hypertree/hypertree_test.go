@@ -1,0 +1,135 @@
+package hypertree
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/joingraph"
+	"projpush/internal/treedec"
+)
+
+func colorQ(t *testing.T, g *graph.Graph) *cq.Query {
+	t.Helper()
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestGreedyValidOnRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(8)
+		m := n + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.Random(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 {
+			continue
+		}
+		q := colorQ(t, g)
+		jg := joingraph.Build(q)
+		elim := treedec.EliminationOrder(treedec.MCS(jg.G, jg.Vertices(q.Free), rng))
+		td := treedec.FromOrder(jg.G, elim)
+		d, err := Greedy(q, jg, td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(q, jg); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Binary atoms: each guard atom covers at most 2 bag vertices,
+		// so width is within [⌈(tw+1)/2⌉, tw+1].
+		bagMax := td.Width() + 1
+		if w := d.Width(); w > bagMax || 2*w < bagMax {
+			t.Fatalf("trial %d: hypertree width %d out of range for bag size %d", trial, w, bagMax)
+		}
+	}
+}
+
+func TestWideAtomsCollapseWidth(t *testing.T) {
+	// A clique over 6 variables as a single 6-ary atom: treewidth of the
+	// join graph is 5, but one atom guards everything — hypertree width 1
+	// (the classical separation between the width notions).
+	q := &cq.Query{
+		Atoms: []cq.Atom{{Rel: "r6", Args: []cq.Var{0, 1, 2, 3, 4, 5}}},
+		Free:  []cq.Var{0},
+	}
+	w, d, err := Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Fatalf("single-atom clique hypertree width = %d, want 1", w)
+	}
+	if err := d.Validate(q, joingraph.Build(q)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleWidths(t *testing.T) {
+	// A triangle of binary atoms: treewidth 2 (bags of 3), guards need
+	// 2 binary atoms per 3-vertex bag.
+	q := colorQ(t, graph.Cycle(3))
+	w, _, err := Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("triangle hypertree width = %d, want 2", w)
+	}
+}
+
+func TestPathWidthOne(t *testing.T) {
+	// A path decomposes into bags of 2 covered by single edge atoms:
+	// hypertree width 1, the acyclicity certificate.
+	q := colorQ(t, graph.Path(8))
+	w, _, err := Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Fatalf("path hypertree width = %d, want 1", w)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	q := &cq.Query{Free: []cq.Var{0}}
+	jg := joingraph.Build(&cq.Query{
+		Atoms: []cq.Atom{{Rel: "edge", Args: []cq.Var{0, 1}}},
+		Free:  []cq.Var{0},
+	})
+	td := treedec.Trivial(jg.G)
+	if _, err := Greedy(q, jg, td); err == nil {
+		t.Fatal("accepted query with no atoms")
+	}
+}
+
+func TestValidateCatchesBadGuards(t *testing.T) {
+	q := colorQ(t, graph.Path(3))
+	jg := joingraph.Build(q)
+	td := treedec.Trivial(jg.G)
+	d, err := Greedy(q, jg, td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(q, jg); err != nil {
+		t.Fatal(err)
+	}
+	d.Guards[0] = d.Guards[0][:1] // drop an atom: coverage breaks
+	if err := d.Validate(q, jg); err == nil {
+		t.Fatal("accepted uncovering guard")
+	}
+	d.Guards[0] = []int{99}
+	if err := d.Validate(q, jg); err == nil {
+		t.Fatal("accepted out-of-range guard atom")
+	}
+}

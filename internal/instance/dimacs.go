@@ -1,0 +1,186 @@
+package instance
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"projpush/internal/graph"
+)
+
+// This file reads and writes the DIMACS exchange formats, so the paper's
+// workloads can be swapped for standard benchmark instances: the DIMACS
+// graph-coloring format (".col": "p edge N M" and "e u v" lines,
+// 1-indexed vertices) and the DIMACS CNF format ("p cnf N M" with
+// zero-terminated clause lines).
+
+// ReadDIMACSGraph parses a DIMACS .col graph. Comment lines ("c ...")
+// are skipped; vertices are converted to 0-indexed. Duplicate edges and
+// self-loops — both appear in published instances — are dropped.
+func ReadDIMACSGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *graph.Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || (fields[1] != "edge" && fields[1] != "col") {
+				return nil, fmt.Errorf("dimacs: line %d: want \"p edge N M\", got %q", line, sc.Text())
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad vertex count %q", line, fields[2])
+			}
+			g = graph.New(n)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("dimacs: line %d: edge before problem line", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dimacs: line %d: want \"e u v\"", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad edge endpoints", line)
+			}
+			if u < 1 || v < 1 || u > g.N || v > g.N {
+				return nil, fmt.Errorf("dimacs: line %d: endpoint out of range", line)
+			}
+			if u != v { // published instances contain stray self-loops
+				g.AddEdge(u-1, v-1)
+			}
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown line type %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	return g, nil
+}
+
+// WriteDIMACSGraph writes g in DIMACS .col format.
+func WriteDIMACSGraph(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(w, "p edge %d %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(w, "e %d %d\n", e[0]+1, e[1]+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDIMACSCNF parses a DIMACS CNF formula. Clauses may span lines and
+// are terminated by 0. A literal ±v maps to variable v-1 with the sign
+// as polarity. Clauses repeating a variable are rejected (the
+// project-join encoding needs distinct variables per atom); published
+// instances normally satisfy this.
+func ReadDIMACSCNF(r io.Reader) (*SAT, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var s *SAT
+	var cur Clause
+	seen := map[int]bool{}
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || fields[0] == "c" {
+			continue
+		}
+		if fields[0] == "p" {
+			if s != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: line %d: want \"p cnf N M\"", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad variable count", line)
+			}
+			s = &SAT{NumVars: n}
+			continue
+		}
+		if s == nil {
+			return nil, fmt.Errorf("dimacs: line %d: clause before problem line", line)
+		}
+		for _, f := range fields {
+			lit, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad literal %q", line, f)
+			}
+			if lit == 0 {
+				if len(cur) > 0 {
+					s.Clauses = append(s.Clauses, cur)
+					cur = nil
+					seen = map[int]bool{}
+				}
+				continue
+			}
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > s.NumVars {
+				return nil, fmt.Errorf("dimacs: line %d: variable %d out of range", line, v)
+			}
+			if seen[v-1] {
+				return nil, fmt.Errorf("dimacs: line %d: clause repeats variable %d", line, v)
+			}
+			seen[v-1] = true
+			cur = append(cur, Lit{Var: v - 1, Pos: lit > 0})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	if len(cur) > 0 {
+		s.Clauses = append(s.Clauses, cur)
+	}
+	return s, nil
+}
+
+// WriteDIMACSCNF writes the formula in DIMACS CNF format.
+func WriteDIMACSCNF(w io.Writer, s *SAT) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", s.NumVars, len(s.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range s.Clauses {
+		for _, lit := range cl {
+			v := lit.Var + 1
+			if !lit.Pos {
+				v = -v
+			}
+			if _, err := fmt.Fprintf(w, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "0"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package instance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"projpush/internal/graph"
+)
+
+func TestReadDIMACSGraph(t *testing.T) {
+	in := `c a triangle with noise
+p edge 3 3
+e 1 2
+e 2 3
+e 3 1
+e 1 1
+e 2 1
+`
+	g, err := ReadDIMACSGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 3 {
+		t.Fatalf("graph = %v, want triangle", g)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadDIMACSGraphErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no problem line", "e 1 2\n"},
+		{"missing problem", "c nothing\n"},
+		{"bad problem", "p graph 3 3\n"},
+		{"duplicate problem", "p edge 2 0\np edge 2 0\n"},
+		{"endpoint out of range", "p edge 2 1\ne 1 5\n"},
+		{"garbage line", "p edge 2 1\nx 1 2\n"},
+		{"bad endpoints", "p edge 2 1\ne one two\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadDIMACSGraph(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestDIMACSGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.Random(12, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDIMACSGraph(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACSGraph(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", back, g)
+	}
+	for _, e := range g.Edges {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("lost edge %v", e)
+		}
+	}
+}
+
+func TestReadDIMACSCNF(t *testing.T) {
+	in := `c small formula
+p cnf 4 3
+1 -2 3 0
+-1 4 0
+2 -3
+-4 0
+`
+	s, err := ReadDIMACSCNF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars != 4 || len(s.Clauses) != 3 {
+		t.Fatalf("shape: %+v", s)
+	}
+	// Third clause spans two lines: 2 -3 -4 0.
+	last := s.Clauses[2]
+	if len(last) != 3 || last[0] != (Lit{1, true}) || last[1] != (Lit{2, false}) || last[2] != (Lit{3, false}) {
+		t.Fatalf("spanning clause = %v", last)
+	}
+}
+
+func TestReadDIMACSCNFErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no problem", "1 2 0\n"},
+		{"bad problem", "p sat 3 1\n"},
+		{"variable out of range", "p cnf 2 1\n3 0\n"},
+		{"repeated variable", "p cnf 2 1\n1 -1 0\n"},
+		{"bad literal", "p cnf 2 1\nx 0\n"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadDIMACSCNF(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestDIMACSCNFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s, err := RandomSAT(3, 8, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDIMACSCNF(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACSCNF(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != s.NumVars || len(back.Clauses) != len(s.Clauses) {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := range s.Clauses {
+		for j := range s.Clauses[i] {
+			if back.Clauses[i][j] != s.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestReadDIMACSCNFTrailingClauseWithoutZero(t *testing.T) {
+	in := "p cnf 2 1\n1 2\n"
+	s, err := ReadDIMACSCNF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Clauses) != 1 || len(s.Clauses[0]) != 2 {
+		t.Fatalf("trailing clause not captured: %+v", s)
+	}
+}

@@ -1,0 +1,91 @@
+package joingraph
+
+import (
+	"testing"
+
+	"projpush/internal/cq"
+)
+
+func TestBuildBinaryAtomsMirrorGraph(t *testing.T) {
+	// For the paper's 3-COLOR queries over binary edge atoms with a
+	// single free variable, the join graph is exactly the input graph.
+	q := &cq.Query{
+		Atoms: []cq.Atom{
+			{Rel: "edge", Args: []cq.Var{0, 1}},
+			{Rel: "edge", Args: []cq.Var{1, 2}},
+			{Rel: "edge", Args: []cq.Var{2, 0}},
+		},
+		Free: []cq.Var{0},
+	}
+	jg := Build(q)
+	if jg.G.N != 3 || jg.G.M() != 3 {
+		t.Fatalf("join graph %v, want triangle", jg.G)
+	}
+}
+
+func TestBuildAtomClique(t *testing.T) {
+	// A ternary atom yields a triangle.
+	q := &cq.Query{
+		Atoms: []cq.Atom{{Rel: "r", Args: []cq.Var{5, 7, 9}}},
+		Free:  []cq.Var{5},
+	}
+	jg := Build(q)
+	if jg.G.M() != 3 {
+		t.Fatalf("clique edges = %d, want 3", jg.G.M())
+	}
+	a, b, c := jg.Index[5], jg.Index[7], jg.Index[9]
+	if !jg.G.HasEdge(a, b) || !jg.G.HasEdge(b, c) || !jg.G.HasEdge(a, c) {
+		t.Fatal("atom clique incomplete")
+	}
+}
+
+func TestBuildTargetSchemaClique(t *testing.T) {
+	// Two disjoint atoms whose variables are tied together only by the
+	// target schema: the free clique must appear.
+	q := &cq.Query{
+		Atoms: []cq.Atom{
+			{Rel: "r", Args: []cq.Var{0, 1}},
+			{Rel: "r", Args: []cq.Var{2, 3}},
+		},
+		Free: []cq.Var{0, 2},
+	}
+	jg := Build(q)
+	if !jg.G.HasEdge(jg.Index[0], jg.Index[2]) {
+		t.Fatal("target-schema clique edge missing")
+	}
+	// No spurious edges between 1 and 3.
+	if jg.G.HasEdge(jg.Index[1], jg.Index[3]) {
+		t.Fatal("spurious edge between unrelated variables")
+	}
+}
+
+func TestBuildDedupAcrossAtoms(t *testing.T) {
+	// Repeated co-occurrence must not duplicate edges.
+	q := &cq.Query{
+		Atoms: []cq.Atom{
+			{Rel: "r", Args: []cq.Var{0, 1}},
+			{Rel: "s", Args: []cq.Var{0, 1}},
+		},
+		Free: []cq.Var{0},
+	}
+	jg := Build(q)
+	if jg.G.M() != 1 {
+		t.Fatalf("edges = %d, want 1", jg.G.M())
+	}
+}
+
+func TestVarSetAndVertices(t *testing.T) {
+	q := &cq.Query{
+		Atoms: []cq.Atom{{Rel: "r", Args: []cq.Var{10, 20}}},
+		Free:  []cq.Var{10},
+	}
+	jg := Build(q)
+	vs := jg.VarSet([]int{0, 1})
+	if vs[0] != 10 || vs[1] != 20 {
+		t.Fatalf("VarSet = %v", vs)
+	}
+	idx := jg.Vertices([]cq.Var{20, 10, 99})
+	if idx[0] != 1 || idx[1] != 0 || idx[2] != -1 {
+		t.Fatalf("Vertices = %v", idx)
+	}
+}

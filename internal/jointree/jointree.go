@@ -1,0 +1,348 @@
+// Package jointree implements the paper's join-expression trees
+// (Section 5): evaluation orders for project-join queries in which joins
+// are evaluated bottom-up and projection is applied as early as possible.
+//
+// A join-expression tree node carries a working label L_w (the schema of
+// the intermediate relation computed at the node) and a projected label
+// L_p (the columns passed to the parent). The width of the tree is the
+// maximum working-label size; minimized over all trees this is the query's
+// join width, which Theorem 1 identifies as treewidth(join graph) + 1.
+//
+// The package provides both directions of that theorem:
+//
+//   - FromDecomposition (Algorithm 3, via the Mark-and-Sweep of
+//     Algorithm 2) converts a tree decomposition of the join graph into a
+//     join-expression tree whose width is at most the decomposition width
+//     plus one.
+//   - ToDecomposition (Algorithm 1) converts a join-expression tree back
+//     into a tree decomposition of width = join-tree width − 1.
+//
+// ToPlan lowers a join-expression tree to an executable plan.
+package jointree
+
+import (
+	"fmt"
+	"sort"
+
+	"projpush/internal/cq"
+	"projpush/internal/joingraph"
+	"projpush/internal/plan"
+	"projpush/internal/treedec"
+)
+
+// Node is a join-expression tree node.
+type Node struct {
+	// Atom is non-nil exactly for leaves, which read one query atom.
+	Atom *cq.Atom
+	// Children are the subtrees joined at this node (empty for leaves).
+	Children []*Node
+	// Working is L_w: the schema of the relation computed here. For a
+	// leaf it is the atom's variables; for an interior node, the union
+	// of the children's projected labels.
+	Working []cq.Var
+	// Projected is L_p: the columns this node passes upward — the
+	// subset of Working still needed outside the subtree (the target
+	// schema, for the root).
+	Projected []cq.Var
+}
+
+// Tree is a rooted join-expression tree for a query.
+type Tree struct {
+	Root  *Node
+	Query *cq.Query
+}
+
+// Width returns the width of the tree: the maximum working-label size
+// over all nodes.
+func (t *Tree) Width() int {
+	w := 0
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if len(n.Working) > w {
+			w = len(n.Working)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return w
+}
+
+// Nodes returns all nodes in pre-order.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Validate checks the join-expression tree invariants: leaves carry atoms
+// with Working = atom variables; interior working labels are the union of
+// children's projected labels; projected labels are subsets of working
+// labels; the root's projected label equals the query's target schema;
+// and the leaf atoms are exactly the query's atoms.
+func (t *Tree) Validate() error {
+	var leafAtoms []cq.Atom
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.Atom != nil {
+			if len(n.Children) != 0 {
+				return fmt.Errorf("jointree: leaf with children")
+			}
+			leafAtoms = append(leafAtoms, *n.Atom)
+			if !sameVarSet(n.Working, n.Atom.Args) {
+				return fmt.Errorf("jointree: leaf working label %v != atom vars %v",
+					n.Working, n.Atom.Args)
+			}
+		} else {
+			if len(n.Children) == 0 {
+				return fmt.Errorf("jointree: interior node with no children")
+			}
+			union := make(map[cq.Var]bool)
+			for _, c := range n.Children {
+				for _, v := range c.Projected {
+					union[v] = true
+				}
+			}
+			if len(union) != len(n.Working) {
+				return fmt.Errorf("jointree: working label %v is not the union of children projections",
+					n.Working)
+			}
+			for _, v := range n.Working {
+				if !union[v] {
+					return fmt.Errorf("jointree: working label %v is not the union of children projections",
+						n.Working)
+				}
+			}
+		}
+		w := make(map[cq.Var]bool, len(n.Working))
+		for _, v := range n.Working {
+			w[v] = true
+		}
+		for _, v := range n.Projected {
+			if !w[v] {
+				return fmt.Errorf("jointree: projected label %v ⊄ working label %v",
+					n.Projected, n.Working)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	if !sameVarSet(t.Root.Projected, t.Query.Free) {
+		return fmt.Errorf("jointree: root projected label %v != target schema %v",
+			t.Root.Projected, t.Query.Free)
+	}
+	// Leaf atoms = query atoms as multisets.
+	want := make(map[string]int)
+	for _, a := range t.Query.Atoms {
+		want[a.String()]++
+	}
+	for _, a := range leafAtoms {
+		want[a.String()]--
+	}
+	for k, c := range want {
+		if c != 0 {
+			return fmt.Errorf("jointree: leaf atoms disagree with query at %s", k)
+		}
+	}
+	return nil
+}
+
+func sameVarSet(a, b []cq.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[cq.Var]bool, len(a))
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromDecomposition implements Algorithm 3: it simplifies the given tree
+// decomposition of q's join graph with Mark-and-Sweep (Algorithm 2),
+// attaches a leaf for every atom to the node covering it, roots the tree
+// at the node covering the target schema, and computes working and
+// projected labels. The resulting tree has width at most dec.Width() + 1.
+func FromDecomposition(q *cq.Query, jg *joingraph.JoinGraph, dec *treedec.Decomposition) (*Tree, error) {
+	// Relations for the sweep: each atom's vertex set, then R_T.
+	rels := make([][]int, 0, len(q.Atoms)+1)
+	for _, a := range q.Atoms {
+		rels = append(rels, sortedVertices(jg, a.Args))
+	}
+	rels = append(rels, sortedVertices(jg, q.Free))
+
+	s, err := treedec.MarkAndSweep(dec, rels)
+	if err != nil {
+		return nil, err
+	}
+	d := s.Dec
+	rootIdx := s.RelNode[len(rels)-1]
+
+	// Build the interior skeleton.
+	nodes := make([]*Node, d.NumNodes())
+	for i := range nodes {
+		nodes[i] = &Node{}
+	}
+	parent := make([]int, d.NumNodes())
+	for i := range parent {
+		parent[i] = -2
+	}
+	var order []int // pre-order
+	parent[rootIdx] = -1
+	stack := []int{rootIdx}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, w := range d.Adj[u] {
+			if parent[w] == -2 {
+				parent[w] = u
+				nodes[u].Children = append(nodes[u].Children, nodes[w])
+				stack = append(stack, w)
+			}
+		}
+	}
+
+	// Attach atom leaves to their host nodes.
+	for j, a := range q.Atoms {
+		leaf := &Node{
+			Atom:      &q.Atoms[j],
+			Working:   append([]cq.Var(nil), a.Args...),
+			Projected: append([]cq.Var(nil), a.Args...),
+		}
+		host := nodes[s.RelNode[j]]
+		host.Children = append(host.Children, leaf)
+	}
+
+	// Compute labels bottom-up over the interior nodes (reverse
+	// pre-order visits children before parents).
+	bagVars := func(i int) map[cq.Var]bool {
+		m := make(map[cq.Var]bool, len(d.Bags[i]))
+		for _, v := range d.Bags[i] {
+			m[jg.Vars[v]] = true
+		}
+		return m
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		n := nodes[i]
+		union := make(map[cq.Var]bool)
+		for _, c := range n.Children {
+			for _, v := range c.Projected {
+				union[v] = true
+			}
+		}
+		n.Working = varSlice(union)
+		if parent[i] == -1 {
+			n.Projected = append([]cq.Var(nil), q.Free...)
+			continue
+		}
+		pb := bagVars(parent[i])
+		var proj []cq.Var
+		for _, v := range n.Working {
+			if pb[v] {
+				proj = append(proj, v)
+			}
+		}
+		n.Projected = proj
+	}
+
+	t := &Tree{Root: nodes[rootIdx], Query: q}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("jointree: Algorithm 3 produced an invalid tree: %w", err)
+	}
+	return t, nil
+}
+
+// ToDecomposition implements Algorithm 1 / Lemma 1: drop the projected
+// labels and use the working labels as bags, yielding a tree decomposition
+// of the join graph with width = tree width − 1.
+func ToDecomposition(t *Tree, jg *joingraph.JoinGraph) *treedec.Decomposition {
+	var bags [][]int
+	var adj [][]int
+	var build func(n *Node) int
+	build = func(n *Node) int {
+		idx := len(bags)
+		bags = append(bags, sortedVertices(jg, n.Working))
+		adj = append(adj, nil)
+		for _, c := range n.Children {
+			ci := build(c)
+			adj[idx] = append(adj[idx], ci)
+			adj[ci] = append(adj[ci], idx)
+		}
+		return idx
+	}
+	build(t.Root)
+	return &treedec.Decomposition{Bags: bags, Adj: adj}
+}
+
+// ToPlan lowers the join-expression tree to an executable plan: each
+// interior node joins its children's plans left-deep and projects to its
+// projected label; leaves scan their atoms. Projections that keep every
+// column are skipped.
+func (t *Tree) ToPlan() plan.Node {
+	var lower func(n *Node) plan.Node
+	lower = func(n *Node) plan.Node {
+		if n.Atom != nil {
+			return &plan.Scan{Atom: *n.Atom}
+		}
+		children := make([]plan.Node, len(n.Children))
+		for i, c := range n.Children {
+			children[i] = lower(c)
+		}
+		joined := plan.LeftDeepJoin(children)
+		if len(n.Projected) == len(joined.Attrs()) {
+			return joined
+		}
+		return &plan.Project{Child: joined, Cols: n.Projected}
+	}
+	root := lower(t.Root)
+	// Guarantee the root schema is exactly the target schema even when
+	// the final projection was a no-op by column count but differs in
+	// set (it cannot, by Validate) — and when the query is a single
+	// atom whose schema already matches, keep the plan minimal.
+	if !sameVarSet(root.Attrs(), t.Query.Free) {
+		root = &plan.Project{Child: root, Cols: t.Query.Free}
+	}
+	return root
+}
+
+func sortedVertices(jg *joingraph.JoinGraph, vars []cq.Var) []int {
+	out := make([]int, 0, len(vars))
+	for _, v := range vars {
+		if i, ok := jg.Index[v]; ok {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func varSlice(m map[cq.Var]bool) []cq.Var {
+	out := make([]cq.Var, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

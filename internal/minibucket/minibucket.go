@@ -1,0 +1,188 @@
+// Package minibucket implements Dechter's mini-bucket elimination, the
+// approximation scheme the paper lists as a promising extension
+// (Section 7). Where bucket elimination joins *all* relations in a bucket
+// before projecting out the bucket variable — paying up to the induced
+// width in intermediate arity — mini-bucket elimination with bound i
+// partitions each bucket into mini-buckets of at most i variables and
+// processes each separately.
+//
+// The price of the bound is completeness: the result is an upper
+// approximation. A nonempty mini-bucket result does not prove the query
+// nonempty, but an empty result does prove it empty (each mini-bucket
+// join relaxes the constraint set). With the bound at least the induced
+// width, mini-buckets coincide with full bucket elimination and the
+// result is exact.
+package minibucket
+
+import (
+	"fmt"
+
+	"projpush/internal/cq"
+	"projpush/internal/relation"
+)
+
+// Result is the outcome of a mini-bucket run.
+type Result struct {
+	// Rel over-approximates the true query result: it is a superset of
+	// the exact relation over the free variables.
+	Rel *relation.Relation
+	// Exact reports whether no bucket was actually split, in which case
+	// Rel is the exact answer.
+	Exact bool
+	// MaxArity is the largest intermediate arity used.
+	MaxArity int
+}
+
+// Evaluate runs mini-bucket elimination with the given variable order
+// (free variables first, as for bucket elimination) and arity bound.
+// bound must be at least 1; the bound counts variables per mini-bucket
+// join (the "i" of MBE(i)).
+func Evaluate(q *cq.Query, db cq.Database, order []cq.Var, bound int) (*Result, error) {
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("minibucket: query has no atoms")
+	}
+	if bound < 1 {
+		return nil, fmt.Errorf("minibucket: bound must be >= 1, got %d", bound)
+	}
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	num := make(map[cq.Var]int, len(order))
+	for i, v := range order {
+		if _, dup := num[v]; dup {
+			return nil, fmt.Errorf("minibucket: variable x%d repeated in order", v)
+		}
+		num[v] = i
+	}
+	for _, v := range q.Vars() {
+		if _, ok := num[v]; !ok {
+			return nil, fmt.Errorf("minibucket: variable x%d missing from order", v)
+		}
+	}
+	numFree := len(q.Free)
+	for _, v := range q.Free {
+		if num[v] >= numFree {
+			return nil, fmt.Errorf("minibucket: free variable x%d not at the front of the order", v)
+		}
+	}
+
+	res := &Result{Exact: true}
+	observe := func(r *relation.Relation) {
+		if r.Arity() > res.MaxArity {
+			res.MaxArity = r.Arity()
+		}
+	}
+
+	bucketOf := func(r *relation.Relation) int {
+		max := -1
+		for _, v := range r.Attrs() {
+			if num[v] > max {
+				max = num[v]
+			}
+		}
+		return max
+	}
+
+	buckets := make([][]*relation.Relation, len(order))
+	var residual []*relation.Relation
+	place := func(r *relation.Relation) {
+		if b := bucketOf(r); b >= 0 {
+			buckets[b] = append(buckets[b], r)
+		} else {
+			residual = append(residual, r)
+		}
+	}
+	for _, a := range q.Atoms {
+		rel := db[a.Rel]
+		m := make(map[relation.Attr]relation.Attr, rel.Arity())
+		for c, attr := range rel.Attrs() {
+			m[attr] = a.Args[c]
+		}
+		bound := relation.Rename(rel, m)
+		observe(bound)
+		place(bound)
+	}
+
+	for i := len(order) - 1; i >= numFree; i-- {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		groups := partition(buckets[i], bound)
+		if len(groups) > 1 {
+			res.Exact = false
+		}
+		for _, grp := range groups {
+			joined := grp[0]
+			for _, r := range grp[1:] {
+				joined = relation.Join(joined, r)
+				observe(joined)
+			}
+			keep := make([]cq.Var, 0, joined.Arity())
+			for _, v := range joined.Attrs() {
+				if v != order[i] {
+					keep = append(keep, v)
+				}
+			}
+			projected := relation.Project(joined, keep)
+			observe(projected)
+			place(projected)
+		}
+	}
+
+	var final *relation.Relation
+	join := func(r *relation.Relation) {
+		if final == nil {
+			final = r
+		} else {
+			final = relation.Join(final, r)
+			observe(final)
+		}
+	}
+	for i := 0; i < numFree; i++ {
+		for _, r := range buckets[i] {
+			join(r)
+		}
+	}
+	for _, r := range residual {
+		join(r)
+	}
+	if final == nil {
+		return nil, fmt.Errorf("minibucket: nothing to join (no free variables and empty residue)")
+	}
+	res.Rel = relation.Project(final, q.Free)
+	observe(res.Rel)
+	return res, nil
+}
+
+// partition greedily splits a bucket's relations into groups whose
+// combined schema has at most bound variables. Every relation lands in
+// the first group it fits; relations wider than the bound get singleton
+// groups (their arity cannot be reduced anyway).
+func partition(rels []*relation.Relation, bound int) [][]*relation.Relation {
+	var groups [][]*relation.Relation
+	var groupVars []map[cq.Var]bool
+next:
+	for _, r := range rels {
+		for gi, g := range groups {
+			merged := make(map[cq.Var]bool, len(groupVars[gi])+r.Arity())
+			for v := range groupVars[gi] {
+				merged[v] = true
+			}
+			for _, v := range r.Attrs() {
+				merged[v] = true
+			}
+			if len(merged) <= bound {
+				groups[gi] = append(g, r)
+				groupVars[gi] = merged
+				continue next
+			}
+		}
+		vars := make(map[cq.Var]bool, r.Arity())
+		for _, v := range r.Attrs() {
+			vars[v] = true
+		}
+		groups = append(groups, []*relation.Relation{r})
+		groupVars = append(groupVars, vars)
+	}
+	return groups
+}

@@ -1,0 +1,134 @@
+// Package minimize implements conjunctive-query containment and join
+// minimization in the Chandra–Merlin style, which the paper's concluding
+// remarks single out as a natural application of its techniques: deciding
+// Q1 ⊆ Q2 reduces to evaluating Q2 over the canonical database of Q1 —
+// itself a project-join query over a tiny database, exactly the setting
+// where bucket elimination shines. Accordingly the homomorphism tests
+// here are evaluated with the paper's bucket-elimination method.
+package minimize
+
+import (
+	"fmt"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/relation"
+)
+
+// ContainedIn reports whether q1 ⊆ q2: every database maps q1's result
+// into q2's. By Chandra–Merlin this holds iff there is a homomorphism
+// from q2 to q1 fixing the free variables, decided by evaluating q2 over
+// q1's canonical database and checking that the frozen image of the
+// target schema is in the result.
+//
+// The queries must have identical target schemas (same variables, same
+// order); otherwise containment is ill-typed and an error is returned.
+func ContainedIn(q1, q2 *cq.Query, opt engine.Options) (bool, error) {
+	if len(q1.Free) != len(q2.Free) {
+		return false, fmt.Errorf("minimize: target schemas differ in arity: %v vs %v", q1.Free, q2.Free)
+	}
+	for i := range q1.Free {
+		if q1.Free[i] != q2.Free[i] {
+			return false, fmt.Errorf("minimize: target schemas differ: %v vs %v", q1.Free, q2.Free)
+		}
+	}
+	db, frozen := cq.CanonicalDatabase(q1)
+	// q2 may mention relations q1 never uses; no tuples exist for them,
+	// so containment fails. Register empty relations so evaluation is
+	// well defined rather than erroring.
+	for _, a := range q2.Atoms {
+		if _, ok := db[a.Rel]; !ok {
+			attrs := make([]relation.Attr, len(a.Args))
+			for i := range attrs {
+				attrs[i] = i
+			}
+			db[a.Rel] = relation.New(attrs)
+		}
+		if db[a.Rel].Arity() != len(a.Args) {
+			return false, fmt.Errorf("minimize: relation %q used with different arities", a.Rel)
+		}
+	}
+	p, err := core.BucketElimination(q2, nil)
+	if err != nil {
+		return false, err
+	}
+	res, err := engine.Exec(p, db, opt)
+	if err != nil {
+		return false, err
+	}
+	// The homomorphism must fix the free variables: check the frozen
+	// image of q1's free tuple.
+	want := make(relation.Tuple, len(q1.Free))
+	for i, v := range q1.Free {
+		fv, ok := frozen[v]
+		if !ok {
+			return false, fmt.Errorf("minimize: free variable x%d not frozen (not in any atom?)", v)
+		}
+		want[i] = fv
+	}
+	// res.Rel columns follow q2.Free, which equals q1.Free exactly.
+	return res.Rel.Contains(want), nil
+}
+
+// Equivalent reports whether q1 and q2 return the same result on every
+// database (mutual containment).
+func Equivalent(q1, q2 *cq.Query, opt engine.Options) (bool, error) {
+	a, err := ContainedIn(q1, q2, opt)
+	if err != nil || !a {
+		return false, err
+	}
+	return ContainedIn(q2, q1, opt)
+}
+
+// Minimize returns an equivalent subquery of q with a minimal number of
+// atoms (a core of q): it repeatedly deletes any atom whose removal
+// preserves equivalence, until no atom can be dropped. Chandra–Merlin
+// guarantees the greedy process reaches a minimum for conjunctive
+// queries. The input query is not modified.
+func Minimize(q *cq.Query, opt engine.Options) (*cq.Query, error) {
+	cur := q.Clone()
+	for {
+		dropped := false
+		for i := 0; i < len(cur.Atoms); i++ {
+			if len(cur.Atoms) == 1 {
+				break
+			}
+			cand := cur.Clone()
+			cand.Atoms = append(cand.Atoms[:i], cand.Atoms[i+1:]...)
+			if !coversFree(cand) {
+				continue
+			}
+			// Dropping atoms can only enlarge the result (cur ⊆ cand
+			// always), so equivalence needs only cand ⊆ cur.
+			ok, err := ContainedIn(cand, cur, opt)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = cand
+				dropped = true
+				i--
+			}
+		}
+		if !dropped {
+			return cur, nil
+		}
+	}
+}
+
+// coversFree reports whether every free variable still occurs in an atom.
+func coversFree(q *cq.Query) bool {
+	occ := make(map[cq.Var]bool)
+	for _, a := range q.Atoms {
+		for _, v := range a.Args {
+			occ[v] = true
+		}
+	}
+	for _, v := range q.Free {
+		if !occ[v] {
+			return false
+		}
+	}
+	return true
+}

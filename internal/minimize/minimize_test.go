@@ -1,0 +1,279 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+func q(free []cq.Var, atoms ...cq.Atom) *cq.Query {
+	return &cq.Query{Atoms: atoms, Free: free}
+}
+
+func edge(u, v cq.Var) cq.Atom {
+	return cq.Atom{Rel: "edge", Args: []cq.Var{u, v}}
+}
+
+func TestSelfContainment(t *testing.T) {
+	c := q([]cq.Var{0}, edge(0, 1), edge(1, 2))
+	ok, err := ContainedIn(c, c, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("query not contained in itself")
+	}
+}
+
+func TestContainmentDroppingAtomsEnlarges(t *testing.T) {
+	// path2 ⊆ path1: fewer constraints is a superset, so the longer
+	// query is contained in the shorter one.
+	path2 := q([]cq.Var{0}, edge(0, 1), edge(1, 2))
+	path1 := q([]cq.Var{0}, edge(0, 1))
+	ok, err := ContainedIn(path2, path1, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("path2 must be contained in path1")
+	}
+	// And the converse also holds here: map x2 to x0 (edge(x1,x0) is
+	// not required — the hom maps atom-wise: edge(0,1)->edge(0,1),
+	// edge(1,2)->edge(1,0)? edge(1,0) is not an atom of path1, so the
+	// hom must instead reuse edge(0,1) with x2->x0... which needs atom
+	// edge(1,0). There is none: containment fails.
+	ok, err = ContainedIn(path1, path2, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("path1 ⊆ path2 must fail (no homomorphism fixing x0)")
+	}
+}
+
+func TestContainmentDirectedCycles(t *testing.T) {
+	// Boolean queries (no free vars): C2 (x0->x1->x0) and C4 cyclic.
+	c2 := q(nil, edge(0, 1), edge(1, 0))
+	c4 := q(nil, edge(0, 1), edge(1, 2), edge(2, 3), edge(3, 0))
+	// C4 (as a query) is contained in C2? hom C2 -> C4: need a mutual
+	// edge in C4: none. So no.
+	ok, err := ContainedIn(c4, c2, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("C4 ⊆ C2 requires hom C2→C4, which does not exist")
+	}
+	// C2 ⊆ C4: hom C4 -> C2 exists (alternate the two vertices).
+	ok, err = ContainedIn(c2, c4, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("C2 ⊆ C4 must hold (wrap C4 around C2)")
+	}
+}
+
+func TestEquivalentDuplicatedAtoms(t *testing.T) {
+	a := q([]cq.Var{0}, edge(0, 1), edge(0, 1), edge(1, 2))
+	b := q([]cq.Var{0}, edge(0, 1), edge(1, 2))
+	ok, err := Equivalent(a, b, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("duplicate atoms must not change semantics")
+	}
+}
+
+func TestMinimizeRemovesDuplicates(t *testing.T) {
+	a := q([]cq.Var{0}, edge(0, 1), edge(0, 1), edge(1, 2))
+	min, err := Minimize(a, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 2 {
+		t.Fatalf("minimized to %d atoms, want 2: %v", len(min.Atoms), min)
+	}
+	ok, err := Equivalent(a, min, engine.Options{})
+	if err != nil || !ok {
+		t.Fatalf("minimized query not equivalent: %v %v", ok, err)
+	}
+}
+
+func TestMinimizeFoldsRedundantBranch(t *testing.T) {
+	// Star from x0 to two leaves is equivalent to a single edge: the
+	// second branch folds onto the first.
+	a := q([]cq.Var{0}, edge(0, 1), edge(0, 2))
+	min, err := Minimize(a, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 1 {
+		t.Fatalf("star should minimize to one atom, got %v", min)
+	}
+}
+
+func TestMinimizeKeepsCore(t *testing.T) {
+	// A directed 4-cycle has no redundant atom (its core as a digraph
+	// query is itself — no pair of mutual edges to fold onto).
+	c4 := q(nil, edge(0, 1), edge(1, 2), edge(2, 3), edge(3, 0))
+	min, err := Minimize(c4, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 4 {
+		t.Fatalf("C4 should be its own core, got %d atoms", len(min.Atoms))
+	}
+}
+
+func TestMinimizePreservesFreeVariables(t *testing.T) {
+	// With every variable free, no homomorphic folding is possible:
+	// both atoms are pinned.
+	a := q([]cq.Var{0, 1, 2}, edge(0, 1), edge(0, 2))
+	min, err := Minimize(a, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 2 {
+		t.Fatalf("free variables must keep their atoms, got %v", min)
+	}
+	// Sanity: with only x0 and x2 free the x1-branch does fold
+	// (map x1 to x2), so minimization drops it.
+	b := q([]cq.Var{0, 2}, edge(0, 1), edge(0, 2))
+	minB, err := Minimize(b, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minB.Atoms) != 1 {
+		t.Fatalf("foldable branch kept: %v", minB)
+	}
+}
+
+func TestMinimizeSemanticsPreservedOnRealDatabase(t *testing.T) {
+	// Evaluate original and minimized queries over the 3-COLOR database
+	// and compare.
+	rng := rand.New(rand.NewSource(71))
+	db := instance.ColorDatabase(3)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(3)
+		g, err := graph.Random(n, n+rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 {
+			continue
+		}
+		orig, err := instance.ColorQuery(g, instance.BooleanFree(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := Minimize(orig, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(min.Atoms) > len(orig.Atoms) {
+			t.Fatal("minimization added atoms")
+		}
+		a, err := engine.EvalOracle(orig, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := engine.EvalOracle(min, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: minimization changed the answer", trial)
+		}
+	}
+}
+
+func TestContainedInSchemaMismatch(t *testing.T) {
+	a := q([]cq.Var{0}, edge(0, 1))
+	b := q([]cq.Var{1}, edge(0, 1))
+	if _, err := ContainedIn(a, b, engine.Options{}); err == nil {
+		t.Fatal("accepted different target schemas")
+	}
+}
+
+func TestContainedInUnknownRelation(t *testing.T) {
+	a := q([]cq.Var{0}, edge(0, 1))
+	b := q([]cq.Var{0}, cq.Atom{Rel: "other", Args: []cq.Var{0, 1}})
+	ok, err := ContainedIn(a, b, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("query over a relation absent from the canonical database cannot contain")
+	}
+}
+
+// bruteForceMinimalSize finds the size of the smallest equivalent
+// subquery by exhaustive subset search — the oracle for Minimize.
+func bruteForceMinimalSize(t *testing.T, q *cq.Query) int {
+	t.Helper()
+	n := len(q.Atoms)
+	best := n
+	for mask := 1; mask < 1<<n; mask++ {
+		size := 0
+		cand := &cq.Query{Free: q.Free}
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				cand.Atoms = append(cand.Atoms, q.Atoms[i])
+				size++
+			}
+		}
+		if size >= best || !coversFree(cand) {
+			continue
+		}
+		// Equivalence needs only cand ⊆ q (dropping atoms enlarges).
+		ok, err := ContainedIn(cand, q, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestMinimizeReachesBruteForceMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(3)
+		m := 1 + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.Random(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 || g.M() > 7 {
+			continue
+		}
+		orig, err := instance.ColorQuery(g, instance.BooleanFree(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Add a duplicated atom to guarantee some redundancy sometimes.
+		if rng.Intn(2) == 0 {
+			orig.Atoms = append(orig.Atoms, orig.Atoms[0])
+		}
+		min, err := Minimize(orig, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceMinimalSize(t, orig)
+		if len(min.Atoms) != want {
+			t.Fatalf("trial %d: Minimize got %d atoms, brute force %d (query %v)",
+				trial, len(min.Atoms), want, orig)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package pgplanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/plan"
+)
+
+func TestBushyDPCoversAllAtoms(t *testing.T) {
+	q, _, cm := colorSetup(t, graph.Path(7))
+	res, err := BushyDP(q, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := plan.Atoms(res.Plan)
+	if len(atoms) != len(q.Atoms) {
+		t.Fatalf("bushy plan has %d atoms, want %d", len(atoms), len(q.Atoms))
+	}
+	seen := map[string]int{}
+	for _, a := range atoms {
+		seen[a.String()]++
+	}
+	for _, a := range q.Atoms {
+		if seen[a.String()] == 0 {
+			t.Fatalf("atom %v missing", a)
+		}
+		seen[a.String()]--
+	}
+	if res.PlansExplored == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestBushyAtMostLeftDeepCost(t *testing.T) {
+	// The bushy space contains every left-deep tree, so the bushy
+	// optimum can never cost more.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(3)
+		m := n + rng.Intn(n/2+1)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.Random(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 || g.M() > 10 {
+			continue
+		}
+		q, _, cm := colorSetup(t, g)
+		left, err := DP(q, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bushy, err := BushyDP(q, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bushy.Cost > left.Cost+1e-6 {
+			t.Fatalf("trial %d: bushy cost %g above left-deep %g", trial, bushy.Cost, left.Cost)
+		}
+	}
+}
+
+func TestBushyPlanExecutesCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := instance.ColorDatabase(3)
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(3)
+		g, err := graph.Random(n, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 {
+			continue
+		}
+		q, _, cm := colorSetup(t, g)
+		res, err := BushyDP(q, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := &plan.Project{Child: res.Plan, Cols: q.Free}
+		if err := plan.Validate(full, q); err != nil {
+			t.Fatal(err)
+		}
+		got, err := engine.Exec(full, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.EvalOracle(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Rel.Equal(want) {
+			t.Fatalf("trial %d: bushy plan disagrees with oracle", trial)
+		}
+	}
+}
+
+func TestBushyDPLimits(t *testing.T) {
+	q, _, cm := colorSetup(t, graph.Path(20))
+	if _, err := BushyDP(q, cm); err == nil {
+		t.Fatal("accepted 19 atoms")
+	}
+	if _, err := BushyDP(&cq.Query{}, cm); err == nil {
+		t.Fatal("accepted empty query")
+	}
+}
+
+func TestBushyExploresMoreThanLeftDeep(t *testing.T) {
+	// 3^m vs 2^m·m: bushy explores strictly more pairs for enough atoms.
+	q, _, cm := colorSetup(t, graph.Path(11)) // 10 atoms
+	left, err := DP(q, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bushy, err := BushyDP(q, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bushy.PlansExplored <= left.PlansExplored {
+		t.Fatalf("bushy explored %d <= left-deep %d", bushy.PlansExplored, left.PlansExplored)
+	}
+}

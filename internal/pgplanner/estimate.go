@@ -1,0 +1,109 @@
+package pgplanner
+
+import (
+	"fmt"
+	"math"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+)
+
+// PlanEstimate is the cost model applied to a whole plan tree, including
+// projections — the piece a pure join-order planner lacks, and the
+// bridge the paper's Section 7 asks for between structural and
+// cost-based optimization: once projection-pushing rewrites produce
+// candidate plans, the cost model can rank them.
+type PlanEstimate struct {
+	// Rows is the estimated cardinality of the plan's output.
+	Rows float64
+	// Cost is the accumulated model cost (build + probe + output per
+	// join; input + output per projection).
+	Cost float64
+}
+
+// EstimatePlan walks a plan bottom-up estimating cardinalities: scans
+// report base cardinalities, joins apply one equality selectivity per
+// shared variable (independence assumptions, as in System R), and
+// DISTINCT projections cap their output by the product of the kept
+// columns' distinct counts.
+func (cm *CostModel) EstimatePlan(p plan.Node) (PlanEstimate, error) {
+	est, _, err := cm.estimateNode(p)
+	return est, err
+}
+
+// estimateNode returns the estimate plus each variable's distinct-count
+// bound in the node's output.
+func (cm *CostModel) estimateNode(p plan.Node) (PlanEstimate, map[cq.Var]float64, error) {
+	switch t := p.(type) {
+	case *plan.Scan:
+		base := float64(cm.BaseRows[t.Atom.Rel])
+		if base <= 0 {
+			base = 1
+		}
+		distinct := make(map[cq.Var]float64, len(t.Atom.Args))
+		for col, v := range t.Atom.Args {
+			distinct[v] = math.Min(cm.columnDistinct(t.Atom.Rel, col), base)
+		}
+		return PlanEstimate{Rows: base, Cost: 0}, distinct, nil
+
+	case *plan.Join:
+		le, ld, err := cm.estimateNode(t.Left)
+		if err != nil {
+			return PlanEstimate{}, nil, err
+		}
+		re, rd, err := cm.estimateNode(t.Right)
+		if err != nil {
+			return PlanEstimate{}, nil, err
+		}
+		rows := le.Rows * re.Rows
+		distinct := make(map[cq.Var]float64, len(ld)+len(rd))
+		for v, d := range ld {
+			distinct[v] = d
+		}
+		for v, d := range rd {
+			if prev, ok := distinct[v]; ok {
+				rows *= 1 / math.Max(prev, d)
+				distinct[v] = math.Min(prev, d)
+			} else {
+				distinct[v] = d
+			}
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		cost := le.Cost + re.Cost +
+			math.Min(le.Rows, re.Rows) + math.Max(le.Rows, re.Rows) + rows
+		return PlanEstimate{Rows: rows, Cost: cost}, distinct, nil
+
+	case *plan.Project:
+		ce, cd, err := cm.estimateNode(t.Child)
+		if err != nil {
+			return PlanEstimate{}, nil, err
+		}
+		// DISTINCT output is bounded by the child cardinality and the
+		// product of the kept columns' distinct counts.
+		cap := 1.0
+		distinct := make(map[cq.Var]float64, len(t.Cols))
+		for _, v := range t.Cols {
+			d, ok := cd[v]
+			if !ok {
+				return PlanEstimate{}, nil, fmt.Errorf("pgplanner: projection keeps unknown variable x%d", v)
+			}
+			distinct[v] = d
+			if cap < 1e18 { // avoid overflow on wide plans
+				cap *= d
+			}
+		}
+		rows := math.Min(ce.Rows, cap)
+		if rows < 1 {
+			rows = 1
+		}
+		return PlanEstimate{
+			Rows: rows,
+			Cost: ce.Cost + ce.Rows + rows,
+		}, distinct, nil
+
+	default:
+		return PlanEstimate{}, nil, fmt.Errorf("pgplanner: unknown plan node %T", p)
+	}
+}

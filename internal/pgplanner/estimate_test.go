@@ -1,0 +1,71 @@
+package pgplanner
+
+import (
+	"math"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/graph"
+	"projpush/internal/plan"
+)
+
+func TestEstimatePlanScan(t *testing.T) {
+	_, _, cm := colorSetup(t, graph.Path(3))
+	p := &plan.Scan{Atom: cq.Atom{Rel: "edge", Args: []cq.Var{0, 1}}}
+	est, err := cm.EstimatePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 6 || est.Cost != 0 {
+		t.Fatalf("scan estimate: %+v", est)
+	}
+}
+
+func TestEstimatePlanJoinExact(t *testing.T) {
+	// edge(0,1) ⋈ edge(1,2): true size 12; the model's 6·6/3 matches.
+	_, _, cm := colorSetup(t, graph.Path(3))
+	p := &plan.Join{
+		Left:  &plan.Scan{Atom: cq.Atom{Rel: "edge", Args: []cq.Var{0, 1}}},
+		Right: &plan.Scan{Atom: cq.Atom{Rel: "edge", Args: []cq.Var{1, 2}}},
+	}
+	est, err := cm.EstimatePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Rows-12) > 1e-9 {
+		t.Fatalf("join rows = %f, want 12", est.Rows)
+	}
+	if est.Cost <= 0 {
+		t.Fatal("join cost not accumulated")
+	}
+}
+
+func TestEstimatePlanProjectionCap(t *testing.T) {
+	// π{0} caps at 3 distinct colors even though the child has 12 rows.
+	_, _, cm := colorSetup(t, graph.Path(3))
+	p := &plan.Project{
+		Child: &plan.Join{
+			Left:  &plan.Scan{Atom: cq.Atom{Rel: "edge", Args: []cq.Var{0, 1}}},
+			Right: &plan.Scan{Atom: cq.Atom{Rel: "edge", Args: []cq.Var{1, 2}}},
+		},
+		Cols: []cq.Var{0},
+	}
+	est, err := cm.EstimatePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 3 {
+		t.Fatalf("projection estimate = %f, want 3", est.Rows)
+	}
+}
+
+func TestEstimatePlanUnknownVariable(t *testing.T) {
+	_, _, cm := colorSetup(t, graph.Path(3))
+	p := &plan.Project{
+		Child: &plan.Scan{Atom: cq.Atom{Rel: "edge", Args: []cq.Var{0, 1}}},
+		Cols:  []cq.Var{9},
+	}
+	if _, err := cm.EstimatePlan(p); err == nil {
+		t.Fatal("accepted projection of unknown variable")
+	}
+}

@@ -1,0 +1,272 @@
+package pgplanner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/plan"
+)
+
+func colorSetup(t *testing.T, g *graph.Graph) (*cq.Query, cq.Database, *CostModel) {
+	t.Helper()
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := instance.ColorDatabase(3)
+	return q, db, NewCostModel(db)
+}
+
+func TestNewCostModelStatistics(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	cm := NewCostModel(db)
+	if cm.BaseRows["edge"] != 6 {
+		t.Fatalf("edge rows = %d, want 6", cm.BaseRows["edge"])
+	}
+	d := cm.Distinct["edge"]
+	if len(d) != 2 || d[0] != 3 || d[1] != 3 {
+		t.Fatalf("edge distinct = %v, want [3 3]", d)
+	}
+}
+
+func TestEstimateIndependence(t *testing.T) {
+	q, _, cm := colorSetup(t, graph.Path(3)) // edge(0,1), edge(1,2)
+	// One atom: base cardinality.
+	if got := cm.Estimate(q, []int{0}); got != 6 {
+		t.Fatalf("single-atom estimate = %f, want 6", got)
+	}
+	// Two atoms sharing one variable: 6*6/3 = 12 (the true join size).
+	if got := cm.Estimate(q, []int{0, 1}); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("two-atom estimate = %f, want 12", got)
+	}
+}
+
+func TestDPFindsConnectedOrder(t *testing.T) {
+	// A path query: the optimal left-deep order avoids cross products.
+	q, _, cm := colorSetup(t, graph.Path(8))
+	res, err := DP(q, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "dp" {
+		t.Fatalf("algorithm = %s", res.Algorithm)
+	}
+	// The chosen order must never introduce a cross product: each atom
+	// after the first shares a variable with the prefix.
+	seen := map[cq.Var]bool{}
+	for _, v := range q.Atoms[res.Order[0]].Args {
+		seen[v] = true
+	}
+	for _, i := range res.Order[1:] {
+		shares := false
+		for _, v := range q.Atoms[i].Args {
+			if seen[v] {
+				shares = true
+			}
+		}
+		if !shares {
+			t.Fatalf("DP order %v has a cross product at atom %d", res.Order, i)
+		}
+		for _, v := range q.Atoms[i].Args {
+			seen[v] = true
+		}
+	}
+	// Cost of DP's order is no worse than the straightforward order.
+	id := make([]int, len(q.Atoms))
+	for i := range id {
+		id[i] = i
+	}
+	sfCost, _ := leftDeepCost(q, cm, id)
+	if res.Cost > sfCost+1e-9 {
+		t.Fatalf("DP cost %f above straightforward %f", res.Cost, sfCost)
+	}
+}
+
+func TestDPExploredGrowsExponentially(t *testing.T) {
+	// Figure 2's phenomenon: compile effort blows up with query size.
+	q5, _, cm := colorSetup(t, graph.Path(6))  // 5 atoms
+	q10, _, _ := colorSetup(t, graph.Path(11)) // 10 atoms
+	r5, err := DP(q5, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := DP(q10, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.PlansExplored < 16*r5.PlansExplored {
+		t.Fatalf("explored(10 atoms)=%d not ≫ explored(5 atoms)=%d",
+			r10.PlansExplored, r5.PlansExplored)
+	}
+}
+
+func TestDPRejectsHugeQueries(t *testing.T) {
+	q, _, cm := colorSetup(t, graph.Path(30))
+	if _, err := DP(q, cm); err == nil {
+		t.Fatal("DP accepted 29 atoms")
+	}
+}
+
+func TestGEQOProducesValidPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.Random(15, 45, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, cm := colorSetup(t, g)
+	res, err := GEQO(q, cm, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "geqo" {
+		t.Fatalf("algorithm = %s", res.Algorithm)
+	}
+	seen := make([]bool, len(q.Atoms))
+	for _, i := range res.Order {
+		if i < 0 || i >= len(seen) || seen[i] {
+			t.Fatalf("GEQO order is not a permutation: %v", res.Order)
+		}
+		seen[i] = true
+	}
+	if res.PlansExplored == 0 {
+		t.Fatal("no plans explored")
+	}
+}
+
+func TestGEQOImprovesOverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := graph.Random(14, 42, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, cm := colorSetup(t, g)
+	res, err := GEQO(q, cm, rng, Options{PoolSize: 128, Generations: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median random order cost should exceed GEQO's chosen cost.
+	worse := 0
+	for i := 0; i < 50; i++ {
+		c, _ := leftDeepCost(q, cm, rng.Perm(len(q.Atoms)))
+		if c >= res.Cost {
+			worse++
+		}
+	}
+	if worse < 40 {
+		t.Fatalf("GEQO result (cost %g) beats only %d/50 random orders", res.Cost, worse)
+	}
+}
+
+func TestPlanThresholdSwitch(t *testing.T) {
+	qSmall, _, cm := colorSetup(t, graph.Path(6))
+	rng := rand.New(rand.NewSource(7))
+	r, err := Plan(qSmall, cm, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "dp" {
+		t.Fatalf("small query used %s, want dp", r.Algorithm)
+	}
+	g, err := graph.Random(12, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBig, _, _ := colorSetup(t, g)
+	r, err = Plan(qBig, cm, rng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "geqo" {
+		t.Fatalf("30-atom query used %s, want geqo", r.Algorithm)
+	}
+}
+
+func TestNaivePlanExecutesCorrectly(t *testing.T) {
+	// The planner's order fed into a straightforward-shaped plan gives
+	// the same answers as the oracle (the naive method end to end).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(3)
+		g, err := graph.Random(n, n+rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 {
+			continue
+		}
+		q, db, cm := colorSetup(t, g)
+		res, err := Plan(q, cm, rng, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pq, err := q.Permute(res.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := make([]plan.Node, len(pq.Atoms))
+		for i := range pq.Atoms {
+			nodes[i] = &plan.Scan{Atom: pq.Atoms[i]}
+		}
+		p := &plan.Project{Child: plan.LeftDeepJoin(nodes), Cols: q.Free}
+		got, err := engine.Exec(p, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.EvalOracle(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Rel.Equal(want) {
+			t.Fatalf("trial %d: naive plan disagrees with oracle", trial)
+		}
+	}
+}
+
+func TestQuickGEQOAlwaysPermutation(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	cm := NewCostModel(db)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		m := n + rng.Intn(2*n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.Random(n, m, rng)
+		if err != nil || g.M() == 0 {
+			return err == nil
+		}
+		q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+		if err != nil {
+			return false
+		}
+		res, err := GEQO(q, cm, rng, Options{PoolSize: 16, Generations: 32})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(q.Atoms))
+		for _, i := range res.Order {
+			if i < 0 || i >= len(seen) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.GEQOThreshold != 12 || o.PoolCap != 1<<14 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}

@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"testing"
+
+	"projpush/internal/cq"
+)
+
+func scan(rel string, vars ...cq.Var) *Scan {
+	return &Scan{Atom: cq.Atom{Rel: rel, Args: vars}}
+}
+
+// pathQuery is edge(0,1) ⋈ edge(1,2) ⋈ edge(2,3) with free variable 0.
+func pathQuery() *cq.Query {
+	return &cq.Query{
+		Atoms: []cq.Atom{
+			{Rel: "edge", Args: []cq.Var{0, 1}},
+			{Rel: "edge", Args: []cq.Var{1, 2}},
+			{Rel: "edge", Args: []cq.Var{2, 3}},
+		},
+		Free: []cq.Var{0},
+	}
+}
+
+func straightforwardPlan(q *cq.Query) Node {
+	nodes := make([]Node, len(q.Atoms))
+	for i, a := range q.Atoms {
+		nodes[i] = &Scan{Atom: a}
+	}
+	return &Project{Child: LeftDeepJoin(nodes), Cols: q.Free}
+}
+
+func TestJoinAttrsOrder(t *testing.T) {
+	j := &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)}
+	got := j.Attrs()
+	want := []cq.Var{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("attrs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attrs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	q := pathQuery()
+	s := Analyze(straightforwardPlan(q))
+	if s.Width != 4 {
+		t.Fatalf("width = %d, want 4 (no projection pushing)", s.Width)
+	}
+	if s.Joins != 2 || s.Scans != 3 || s.Projects != 1 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if s.Depth != 4 {
+		t.Fatalf("depth = %d, want 4", s.Depth)
+	}
+}
+
+func TestAnalyzeEarlyProjectionWidth(t *testing.T) {
+	// π{0}( π{0,2}?? — build the early-projection plan for the path:
+	// π{0}( (π{0,2}(edge(0,1) ⋈ edge(1,2))) ⋈ edge(2,3) )
+	inner := &Project{
+		Child: &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0, 2},
+	}
+	root := &Project{
+		Child: &Join{Left: inner, Right: scan("edge", 2, 3)},
+		Cols:  []cq.Var{0},
+	}
+	s := Analyze(root)
+	if s.Width != 3 {
+		t.Fatalf("width = %d, want 3 with projection pushed", s.Width)
+	}
+	if err := Validate(root, pathQuery()); err != nil {
+		t.Fatalf("valid early-projection plan rejected: %v", err)
+	}
+}
+
+func TestAtomsInOrder(t *testing.T) {
+	q := pathQuery()
+	atoms := Atoms(straightforwardPlan(q))
+	if len(atoms) != 3 {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	for i := range atoms {
+		if atoms[i].String() != q.Atoms[i].String() {
+			t.Fatalf("atom %d = %v, want %v", i, atoms[i], q.Atoms[i])
+		}
+	}
+}
+
+func TestValidateAcceptsStraightforward(t *testing.T) {
+	q := pathQuery()
+	if err := Validate(straightforwardPlan(q), q); err != nil {
+		t.Fatalf("Validate rejected straightforward plan: %v", err)
+	}
+}
+
+func TestValidateRejectsMissingAtom(t *testing.T) {
+	q := pathQuery()
+	p := &Project{
+		Child: &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0},
+	}
+	if err := Validate(p, q); err == nil {
+		t.Fatal("Validate accepted plan missing an atom")
+	}
+}
+
+func TestValidateRejectsForeignAtom(t *testing.T) {
+	q := pathQuery()
+	nodes := []Node{
+		scan("edge", 0, 1), scan("edge", 1, 2), scan("edge", 2, 3),
+		scan("edge", 3, 4),
+	}
+	p := &Project{Child: LeftDeepJoin(nodes), Cols: q.Free}
+	if err := Validate(p, q); err == nil {
+		t.Fatal("Validate accepted plan with extra atom")
+	}
+}
+
+func TestValidateRejectsUnsafeProjection(t *testing.T) {
+	q := pathQuery()
+	// Project away variable 2 before edge(2,3) is joined: unsafe.
+	inner := &Project{
+		Child: &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0}, // drops 2, still needed by edge(2,3)
+	}
+	p := &Project{
+		Child: &Join{Left: inner, Right: scan("edge", 2, 3)},
+		Cols:  []cq.Var{0},
+	}
+	if err := Validate(p, q); err == nil {
+		t.Fatal("Validate accepted projection that kills a live variable")
+	}
+}
+
+func TestValidateRejectsDroppingFreeVariable(t *testing.T) {
+	q := pathQuery()
+	q.Free = []cq.Var{0, 3}
+	// Early-project 3 away even though it is free.
+	inner := &Project{
+		Child: LeftDeepJoin([]Node{
+			scan("edge", 0, 1), scan("edge", 1, 2), scan("edge", 2, 3),
+		}),
+		Cols: []cq.Var{0},
+	}
+	if err := Validate(inner, q); err == nil {
+		t.Fatal("Validate accepted plan dropping a free variable")
+	}
+}
+
+func TestValidateRejectsWrongRootSchema(t *testing.T) {
+	q := pathQuery()
+	nodes := make([]Node, len(q.Atoms))
+	for i, a := range q.Atoms {
+		nodes[i] = &Scan{Atom: a}
+	}
+	p := &Project{Child: LeftDeepJoin(nodes), Cols: []cq.Var{0, 1}}
+	if err := Validate(p, q); err == nil {
+		t.Fatal("Validate accepted root schema != free variables")
+	}
+}
+
+func TestValidateRejectsProjectionOutsideChildSchema(t *testing.T) {
+	q := &cq.Query{
+		Atoms: []cq.Atom{{Rel: "edge", Args: []cq.Var{0, 1}}},
+		Free:  []cq.Var{0},
+	}
+	p := &Project{Child: scan("edge", 0, 1), Cols: []cq.Var{5}}
+	if err := Validate(p, q); err == nil {
+		t.Fatal("Validate accepted projection to column not in child")
+	}
+}
+
+func TestValidateRejectsRepeatedProjectionColumn(t *testing.T) {
+	q := &cq.Query{
+		Atoms: []cq.Atom{{Rel: "edge", Args: []cq.Var{0, 1}}},
+		Free:  []cq.Var{0},
+	}
+	p := &Project{Child: scan("edge", 0, 1), Cols: []cq.Var{0, 0}}
+	if err := Validate(p, q); err == nil {
+		t.Fatal("Validate accepted repeated projection column")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	q := pathQuery()
+	a := straightforwardPlan(q)
+	b := straightforwardPlan(q)
+	if !Equal(a, b) {
+		t.Fatal("identical plans not Equal")
+	}
+	c := &Project{Child: LeftDeepJoin([]Node{
+		scan("edge", 1, 2), scan("edge", 0, 1), scan("edge", 2, 3),
+	}), Cols: q.Free}
+	if Equal(a, c) {
+		t.Fatal("different plans reported Equal")
+	}
+	if Equal(scan("edge", 0, 1), &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)}) {
+		t.Fatal("Scan equal to Join")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := &Project{
+		Child: &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0},
+	}
+	got := p.String()
+	want := "π{x0}(edge(x0,x1) ⋈ edge(x1,x2))"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestLeftDeepJoinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LeftDeepJoin(nil)
+}

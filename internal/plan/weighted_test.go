@@ -1,0 +1,49 @@
+package plan
+
+import (
+	"testing"
+
+	"projpush/internal/cq"
+)
+
+func TestWeightsOf(t *testing.T) {
+	w := Weights{ByVar: map[cq.Var]int{3: 7}, Default: 2}
+	if w.Of(3) != 7 || w.Of(5) != 2 {
+		t.Fatalf("Of: %d, %d", w.Of(3), w.Of(5))
+	}
+	zero := Weights{}
+	if zero.Of(1) != 1 {
+		t.Fatal("zero-value weights must default to 1")
+	}
+}
+
+func TestRowWeight(t *testing.T) {
+	w := Weights{ByVar: map[cq.Var]int{0: 10}, Default: 1}
+	if got := w.RowWeight([]cq.Var{0, 1, 2}); got != 12 {
+		t.Fatalf("RowWeight = %d, want 12", got)
+	}
+	if got := w.RowWeight(nil); got != 0 {
+		t.Fatalf("empty RowWeight = %d", got)
+	}
+}
+
+func TestWeightedWidthUniformEqualsWidth(t *testing.T) {
+	q := pathQuery()
+	p := straightforwardPlan(q)
+	if got, want := WeightedWidth(p, Weights{}), Analyze(p).Width; got != want {
+		t.Fatalf("uniform weighted width %d != width %d", got, want)
+	}
+}
+
+func TestWeightedWidthHeavyColumnDominates(t *testing.T) {
+	// π{0}(edge(0,1) ⋈ edge(1,2)): widest schema is {0,1,2}. With x1
+	// weighing 100 the weighted width is 102.
+	p := &Project{
+		Child: &Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0},
+	}
+	w := Weights{ByVar: map[cq.Var]int{1: 100}, Default: 1}
+	if got := WeightedWidth(p, w); got != 102 {
+		t.Fatalf("weighted width = %d, want 102", got)
+	}
+}

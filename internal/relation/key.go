@@ -1,0 +1,64 @@
+package relation
+
+// keyer extracts a uint64 hash-join key from the shared attributes of a
+// tuple. When there are at most eight shared attributes and every value in
+// those columns fits in a byte, the key is an exact packing — no collisions
+// between distinct value vectors, so the join can skip the verify step.
+// Otherwise the key is an FNV-1a hash and matches must be verified.
+//
+// Exactness is decided at construction by scanning the relation's shared
+// columns, so a single keyer never mixes packed and hashed keys (mixing
+// would let a packed key collide with a hash and corrupt an unverified
+// join).
+//
+// The packing fast path matters: the paper's domains have three (3-COLOR)
+// or two (SAT) values, so in the experiments every join key packs. The
+// ablation bench BenchmarkAblationHashKey quantifies the effect.
+type keyer struct {
+	pos   []int // column indexes of the shared attributes
+	exact bool
+}
+
+func newKeyer(r *Relation, shared []Attr) keyer {
+	pos := make([]int, len(shared))
+	for i, a := range shared {
+		pos[i] = r.pos[a]
+	}
+	exact := len(shared) <= 8
+	if exact {
+	scan:
+		for _, t := range r.rows {
+			for _, p := range pos {
+				if t[p] < 0 || t[p] > 255 {
+					exact = false
+					break scan
+				}
+			}
+		}
+	}
+	return keyer{pos: pos, exact: exact}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (k keyer) key(t Tuple) uint64 {
+	if k.exact {
+		var key uint64
+		for _, p := range k.pos {
+			key = key<<8 | uint64(byte(t[p]))
+		}
+		return key
+	}
+	var h uint64 = fnvOffset
+	for _, p := range k.pos {
+		v := uint32(t[p])
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= fnvPrime
+		}
+	}
+	return h
+}

@@ -1,0 +1,397 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Limit bounds the work an operation may perform. The zero value imposes no
+// limits. Limits exist because unoptimized plans in this paper's setting
+// legitimately produce intermediate results that are exponential in the
+// query size; the experiment harness must be able to abort such runs and
+// report a timeout, as the paper does for the straightforward method on
+// augmented circular ladders.
+type Limit struct {
+	// MaxRows caps the number of rows in any produced relation. 0 means
+	// unlimited.
+	MaxRows int
+	// Deadline aborts the operation when passed. The zero time means no
+	// deadline. The deadline is checked every few thousand rows.
+	Deadline time.Time
+	// Work, if non-nil, is incremented by the number of tuples touched.
+	Work *int64
+}
+
+// ErrRowLimit is returned when an operation would exceed Limit.MaxRows.
+var ErrRowLimit = errors.New("relation: intermediate result exceeds row limit")
+
+// ErrDeadline is returned when an operation runs past Limit.Deadline.
+var ErrDeadline = errors.New("relation: deadline exceeded")
+
+const deadlineCheckInterval = 4096
+
+func (l *Limit) charge(n int64) {
+	if l != nil && l.Work != nil {
+		*l.Work += n
+	}
+}
+
+func (l *Limit) expired() bool {
+	return l != nil && !l.Deadline.IsZero() && time.Now().After(l.Deadline)
+}
+
+func (l *Limit) overRows(n int) bool {
+	return l != nil && l.MaxRows > 0 && n > l.MaxRows
+}
+
+// SharedAttrs returns the attributes common to r and o, in r's column order.
+func SharedAttrs(r, o *Relation) []Attr {
+	var shared []Attr
+	for _, a := range r.attrs {
+		if o.HasAttr(a) {
+			shared = append(shared, a)
+		}
+	}
+	return shared
+}
+
+// Join computes the natural join of r and o. It is equivalent to
+// JoinLimited with no limits; it never fails.
+func Join(r, o *Relation) *Relation {
+	out, err := JoinLimited(r, o, nil)
+	if err != nil {
+		panic("relation.Join: unreachable error without limits: " + err.Error())
+	}
+	return out
+}
+
+// JoinLimited computes the natural join of r and o under lim. The output
+// schema is r's attributes followed by o's attributes not in r. When the
+// relations share no attributes the result is the cross product.
+//
+// The implementation is a classic hash join: build a table on the smaller
+// input keyed by the shared attributes, probe with the larger one. This
+// mirrors the paper's setup, which forced hash joins in PostgreSQL.
+func JoinLimited(r, o *Relation, lim *Limit) (*Relation, error) {
+	if lim.expired() {
+		return nil, ErrDeadline
+	}
+	shared := SharedAttrs(r, o)
+
+	// Build on the smaller side.
+	build, probe := r, o
+	if probe.Len() < build.Len() {
+		build, probe = probe, r
+	}
+
+	// Output schema: r's columns, then o-only columns.
+	outAttrs := append([]Attr(nil), r.attrs...)
+	for _, a := range o.attrs {
+		if !r.HasAttr(a) {
+			outAttrs = append(outAttrs, a)
+		}
+	}
+	out := New(outAttrs)
+
+	bKey := newKeyer(build, shared)
+	pKey := newKeyer(probe, shared)
+
+	table := make(map[uint64][]Tuple, build.Len())
+	for _, t := range build.rows {
+		k := bKey.key(t)
+		table[k] = append(table[k], t)
+	}
+	lim.charge(int64(build.Len()))
+
+	// Precompute how to assemble the output tuple from (probe, build)
+	// pairs. We assemble in terms of (r, o) so compute per-side sources.
+	type src struct {
+		fromR bool
+		idx   int
+	}
+	assemble := make([]src, len(outAttrs))
+	for i, a := range outAttrs {
+		if j := r.Pos(a); j >= 0 {
+			assemble[i] = src{fromR: true, idx: j}
+		} else {
+			assemble[i] = src{fromR: false, idx: o.pos[a]}
+		}
+	}
+	buildIsR := build == r
+
+	// When keys can collide across distinct shared-value vectors (the
+	// generic hasher), verify equality on shared columns explicitly.
+	bPos := make([]int, len(shared))
+	pPos := make([]int, len(shared))
+	for i, a := range shared {
+		bPos[i] = build.pos[a]
+		pPos[i] = probe.pos[a]
+	}
+	needVerify := !bKey.exact || !pKey.exact
+
+	// Output tuples are carved out of chunked backing arrays: one
+	// allocation per arenaChunk rows instead of one per row. Stored
+	// tuples are never mutated, so sharing a backing array is safe.
+	arity := len(outAttrs)
+	var arena []Value
+	count := 0
+	for _, pt := range probe.rows {
+		count++
+		if count%deadlineCheckInterval == 0 && lim.expired() {
+			return nil, ErrDeadline
+		}
+		matches := table[pKey.key(pt)]
+		lim.charge(int64(len(matches)) + 1)
+	match:
+		for _, bt := range matches {
+			if needVerify {
+				for i := range shared {
+					if bt[bPos[i]] != pt[pPos[i]] {
+						continue match
+					}
+				}
+			}
+			rt, ot := pt, bt
+			if buildIsR {
+				rt, ot = bt, pt
+			}
+			if len(arena) < arity {
+				arena = make([]Value, arenaChunk*arity)
+			}
+			row := Tuple(arena[:arity:arity])
+			for i, s := range assemble {
+				if s.fromR {
+					row[i] = rt[s.idx]
+				} else {
+					row[i] = ot[s.idx]
+				}
+			}
+			if out.addOwned(row) {
+				arena = arena[arity:]
+			}
+			if lim.overRows(out.Len()) {
+				return nil, ErrRowLimit
+			}
+		}
+	}
+	return out, nil
+}
+
+// arenaChunk is the number of output rows allocated per backing array in
+// the join and projection kernels.
+const arenaChunk = 256
+
+// Project returns the projection of r onto attrs (which must all be in r's
+// schema), with duplicates removed — SELECT DISTINCT semantics.
+func Project(r *Relation, attrs []Attr) *Relation {
+	out, err := ProjectLimited(r, attrs, nil)
+	if err != nil {
+		panic("relation.Project: unreachable error without limits: " + err.Error())
+	}
+	return out
+}
+
+// ProjectLimited is Project under lim.
+func ProjectLimited(r *Relation, attrs []Attr, lim *Limit) (*Relation, error) {
+	if lim.expired() {
+		return nil, ErrDeadline
+	}
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.Pos(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation.Project: attribute %d not in schema", a)
+		}
+		idx[i] = j
+	}
+	out := New(attrs)
+	lim.charge(int64(r.Len()))
+	arity := len(attrs)
+	var arena []Value
+	for n, t := range r.rows {
+		if n%deadlineCheckInterval == deadlineCheckInterval-1 && lim.expired() {
+			return nil, ErrDeadline
+		}
+		if len(arena) < arity {
+			arena = make([]Value, arenaChunk*arity)
+		}
+		row := Tuple(arena[:arity:arity])
+		for i, j := range idx {
+			row[i] = t[j]
+		}
+		if out.addOwned(row) {
+			arena = arena[arity:]
+		}
+		if lim.overRows(out.Len()) {
+			return nil, ErrRowLimit
+		}
+	}
+	return out, nil
+}
+
+// Select returns the tuples of r whose attribute a equals v.
+func Select(r *Relation, a Attr, v Value) *Relation {
+	j := r.Pos(a)
+	if j < 0 {
+		panic(fmt.Sprintf("relation.Select: attribute %d not in schema", a))
+	}
+	out := New(r.attrs)
+	for _, t := range r.rows {
+		if t[j] == v {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// SelectEq returns the tuples of r where attributes a and b are equal.
+func SelectEq(r *Relation, a, b Attr) *Relation {
+	i, j := r.Pos(a), r.Pos(b)
+	if i < 0 || j < 0 {
+		panic("relation.SelectEq: attribute not in schema")
+	}
+	out := New(r.attrs)
+	for _, t := range r.rows {
+		if t[i] == t[j] {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the tuples of r that join with at least one tuple of o
+// (r ⋉ o). With no shared attributes, the result is r itself when o is
+// nonempty and empty otherwise.
+func Semijoin(r, o *Relation) *Relation {
+	shared := SharedAttrs(r, o)
+	out := New(r.attrs)
+	if len(shared) == 0 {
+		if o.Empty() {
+			return out
+		}
+		return r.Clone()
+	}
+	oKey := newKeyer(o, shared)
+	rKey := newKeyer(r, shared)
+	oPos := make([]int, len(shared))
+	rPos := make([]int, len(shared))
+	for i, a := range shared {
+		oPos[i] = o.pos[a]
+		rPos[i] = r.pos[a]
+	}
+	needVerify := !oKey.exact || !rKey.exact
+	table := make(map[uint64][]Tuple, o.Len())
+	for _, t := range o.rows {
+		k := oKey.key(t)
+		table[k] = append(table[k], t)
+	}
+	for _, t := range r.rows {
+		matches := table[rKey.key(t)]
+		if !needVerify {
+			if len(matches) > 0 {
+				out.Add(t)
+			}
+			continue
+		}
+	match:
+		for _, ot := range matches {
+			for i := range shared {
+				if ot[oPos[i]] != t[rPos[i]] {
+					continue match
+				}
+			}
+			out.Add(t)
+			break
+		}
+	}
+	return out
+}
+
+// sameAttrSet reports whether r and o have identical attribute sets.
+func sameAttrSet(r, o *Relation) bool {
+	if len(r.attrs) != len(o.attrs) {
+		return false
+	}
+	for _, a := range r.attrs {
+		if !o.HasAttr(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// reorderTo converts a tuple of o into r's column order.
+func reorderTo(r, o *Relation, t Tuple, buf Tuple) Tuple {
+	for i, a := range r.attrs {
+		buf[i] = t[o.pos[a]]
+	}
+	return buf
+}
+
+// Union returns r ∪ o. The relations must have the same attribute set;
+// column order may differ. The result uses r's column order.
+func Union(r, o *Relation) *Relation {
+	if !sameAttrSet(r, o) {
+		panic("relation.Union: schema mismatch")
+	}
+	out := r.Clone()
+	buf := make(Tuple, len(r.attrs))
+	for _, t := range o.rows {
+		out.Add(reorderTo(r, o, t, buf))
+	}
+	return out
+}
+
+// Intersect returns r ∩ o over identical attribute sets.
+func Intersect(r, o *Relation) *Relation {
+	if !sameAttrSet(r, o) {
+		panic("relation.Intersect: schema mismatch")
+	}
+	out := New(r.attrs)
+	buf := make(Tuple, len(r.attrs))
+	for _, t := range o.rows {
+		if r.Contains(reorderTo(r, o, t, buf)) {
+			out.Add(buf)
+		}
+	}
+	return out
+}
+
+// Difference returns r − o over identical attribute sets.
+func Difference(r, o *Relation) *Relation {
+	if !sameAttrSet(r, o) {
+		panic("relation.Difference: schema mismatch")
+	}
+	neg := New(r.attrs)
+	buf := make(Tuple, len(r.attrs))
+	for _, t := range o.rows {
+		neg.Add(reorderTo(r, o, t, buf))
+	}
+	out := New(r.attrs)
+	for _, t := range r.rows {
+		if !neg.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Rename returns a copy of r with attributes substituted according to m.
+// Attributes not in m are kept. It panics if the renaming collapses two
+// attributes into one.
+func Rename(r *Relation, m map[Attr]Attr) *Relation {
+	attrs := make([]Attr, len(r.attrs))
+	for i, a := range r.attrs {
+		if b, ok := m[a]; ok {
+			attrs[i] = b
+		} else {
+			attrs[i] = a
+		}
+	}
+	out := New(attrs)
+	for _, t := range r.rows {
+		out.Add(t)
+	}
+	return out
+}

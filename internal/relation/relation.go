@@ -1,0 +1,323 @@
+// Package relation implements in-memory relations with set semantics and
+// the relational-algebra operations needed for project-join query
+// evaluation: natural join, projection, selection, semijoin, and the set
+// operations.
+//
+// A relation has an ordered schema of attributes and a deduplicated set of
+// tuples. Attributes are plain ints; in query processing they are the
+// variable identifiers of a conjunctive query. Values are small integers
+// (colors, truth values), but the implementation accepts the full int32
+// range.
+//
+// The paper's experimental setting ("Projection Pushing Revisited", EDBT
+// 2004) forces hash joins in PostgreSQL and works with main-memory
+// databases under SELECT DISTINCT semantics; this package is the
+// corresponding substrate: every operation deduplicates, and joins are
+// hash joins.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr identifies an attribute (column). In query processing attributes are
+// the variables of the conjunctive query.
+type Attr = int
+
+// Value is the domain element type. The paper's domains are tiny (three
+// colors, two truth values) but nothing here depends on that.
+type Value = int32
+
+// Tuple is one row of a relation, with values in schema order.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Relation is a set of tuples over an ordered attribute schema.
+// The zero value is not usable; use New.
+//
+// Deduplication uses a packed-uint64 set while every tuple has at most
+// eight columns with byte-range values — always true for the paper's
+// domains — and migrates transparently to string keys the first time a
+// tuple falls outside that range.
+type Relation struct {
+	attrs  []Attr
+	pos    map[Attr]int
+	rows   []Tuple
+	seen   map[string]struct{} // non-nil iff not in packed mode
+	packed map[uint64]struct{} // non-nil iff in packed mode
+}
+
+// New returns an empty relation over the given attributes, in the given
+// column order. It panics if an attribute repeats: project-join queries
+// rename columns apart before joining, and a repeated column is always a
+// construction bug in this codebase.
+func New(attrs []Attr) *Relation {
+	pos := make(map[Attr]int, len(attrs))
+	for i, a := range attrs {
+		if _, dup := pos[a]; dup {
+			panic(fmt.Sprintf("relation.New: duplicate attribute %d", a))
+		}
+		pos[a] = i
+	}
+	r := &Relation{
+		attrs: append([]Attr(nil), attrs...),
+		pos:   pos,
+	}
+	if len(attrs) <= 8 {
+		r.packed = make(map[uint64]struct{})
+	} else {
+		r.seen = make(map[string]struct{})
+	}
+	return r
+}
+
+// packKey packs a tuple into an injective uint64 key, or reports failure
+// when a value is out of byte range.
+func packKey(t Tuple) (uint64, bool) {
+	var key uint64
+	for _, v := range t {
+		if v < 0 || v > 255 {
+			return 0, false
+		}
+		key = key<<8 | uint64(byte(v))
+	}
+	return key, true
+}
+
+// unpack leaves packed mode, rebuilding the string-keyed set.
+func (r *Relation) unpack() {
+	r.seen = make(map[string]struct{}, len(r.rows))
+	for _, t := range r.rows {
+		r.seen[encode(t)] = struct{}{}
+	}
+	r.packed = nil
+}
+
+// FromTuples builds a relation over attrs containing the given tuples
+// (duplicates are collapsed). It panics if a tuple has the wrong arity.
+func FromTuples(attrs []Attr, tuples []Tuple) *Relation {
+	r := New(attrs)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+
+// Attrs returns the schema in column order. The caller must not modify it.
+func (r *Relation) Attrs() []Attr { return r.attrs }
+
+// HasAttr reports whether a is in the schema.
+func (r *Relation) HasAttr(a Attr) bool {
+	_, ok := r.pos[a]
+	return ok
+}
+
+// Pos returns the column index of attribute a, or -1 if absent.
+func (r *Relation) Pos(a Attr) int {
+	if i, ok := r.pos[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Add inserts the tuple if not already present and reports whether it was
+// inserted. The tuple is copied; the caller keeps ownership of t.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		panic(fmt.Sprintf("relation.Add: tuple arity %d != schema arity %d", len(t), len(r.attrs)))
+	}
+	if r.packed != nil {
+		if k, ok := packKey(t); ok {
+			if _, dup := r.packed[k]; dup {
+				return false
+			}
+			r.packed[k] = struct{}{}
+			r.rows = append(r.rows, t.Clone())
+			return true
+		}
+		r.unpack()
+	}
+	k := encode(t)
+	if _, ok := r.seen[k]; ok {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.rows = append(r.rows, t.Clone())
+	return true
+}
+
+// addOwned inserts a tuple the relation may keep without copying.
+func (r *Relation) addOwned(t Tuple) bool {
+	if r.packed != nil {
+		if k, ok := packKey(t); ok {
+			if _, dup := r.packed[k]; dup {
+				return false
+			}
+			r.packed[k] = struct{}{}
+			r.rows = append(r.rows, t)
+			return true
+		}
+		r.unpack()
+	}
+	k := encode(t)
+	if _, ok := r.seen[k]; ok {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.rows = append(r.rows, t)
+	return true
+}
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		return false
+	}
+	if r.packed != nil {
+		if k, ok := packKey(t); ok {
+			_, present := r.packed[k]
+			return present
+		}
+		// Out-of-range tuples cannot be in a packed relation.
+		return false
+	}
+	_, ok := r.seen[encode(t)]
+	return ok
+}
+
+// Tuples returns the rows in insertion order. The caller must not modify
+// the returned slices.
+func (r *Relation) Tuples() []Tuple { return r.rows }
+
+// Each calls f for every tuple until f returns false.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.rows {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Value returns the value of attribute a in tuple t (which must belong to
+// this relation's schema).
+func (r *Relation) Value(t Tuple, a Attr) Value {
+	return t[r.pos[a]]
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New(r.attrs)
+	for _, t := range r.rows {
+		c.Add(t)
+	}
+	return c
+}
+
+// Equal reports whether r and o contain the same set of tuples over the
+// same set of attributes, regardless of column order.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.attrs) != len(o.attrs) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	perm := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		j, ok := o.pos[a]
+		if !ok {
+			return false
+		}
+		perm[i] = j
+	}
+	buf := make(Tuple, len(r.attrs))
+	for _, t := range o.rows {
+		for i := range perm {
+			buf[i] = t[perm[i]]
+		}
+		if !r.Contains(buf) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the tuples sorted lexicographically. Useful for
+// deterministic output in tests and examples.
+func (r *Relation) SortedTuples() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the relation compactly: attrs then sorted tuples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, a := range r.attrs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "x%d", a)
+	}
+	b.WriteString("){")
+	for i, t := range r.SortedTuples() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString("(")
+		for j, v := range t {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// encode packs a tuple into a string key for dedup hashing. Values that fit
+// in a byte use one byte; others use a 5-byte escape.
+func encode(t Tuple) string {
+	var b []byte
+	if len(t) <= 16 {
+		var arr [16 * 5]byte
+		b = arr[:0]
+	} else {
+		b = make([]byte, 0, len(t)*5)
+	}
+	for _, v := range t {
+		if v >= 0 && v < 255 {
+			b = append(b, byte(v))
+		} else {
+			u := uint32(v)
+			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+	}
+	return string(b)
+}

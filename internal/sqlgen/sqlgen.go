@@ -1,0 +1,218 @@
+// Package sqlgen renders project-join plans in the SQL dialect the paper
+// ships to PostgreSQL (Appendix A): table aliases with column renaming
+// ("edge e1 (v1,v2)"), explicit JOIN ... ON chains whose parenthesization
+// forces the evaluation order, SELECT DISTINCT subqueries named AS tN for
+// every early projection, and the naive comma-FROM/WHERE form of
+// Section 3.
+//
+// Variables are rendered as columns v<id>; every plan.Project becomes a
+// subquery, every plan.Join a JOIN ... ON, and every plan.Scan a renamed
+// base-table reference. Package sqlparse parses this dialect back into
+// plans, which the tests use as a round-trip oracle.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+)
+
+// ColName renders a variable as a column name.
+func ColName(v cq.Var) string { return fmt.Sprintf("v%d", v) }
+
+// generator carries alias counters through a rendering.
+type generator struct {
+	scans int
+	subqs int
+}
+
+// rendered is a FROM item: its SQL text and where each variable can be
+// referenced.
+type rendered struct {
+	sql  string
+	cols map[cq.Var]string // variable -> qualified column reference
+}
+
+// FromPlan renders a plan as a SQL query in the paper's dialect. The plan
+// root must expose at least one column (SQL cannot express a zero-column
+// SELECT; the paper emulates Boolean queries with one projected variable).
+func FromPlan(p plan.Node) (string, error) {
+	if len(p.Attrs()) == 0 {
+		return "", fmt.Errorf("sqlgen: plan has no output columns; SQL needs at least one (the paper's Boolean emulation keeps one variable)")
+	}
+	g := &generator{}
+	body, err := g.selectBody(p)
+	if err != nil {
+		return "", err
+	}
+	return body + ";", nil
+}
+
+// selectBody renders a plan as "SELECT DISTINCT ... FROM ..." without a
+// trailing semicolon or wrapping parentheses.
+func (g *generator) selectBody(p plan.Node) (string, error) {
+	var cols []cq.Var
+	var child plan.Node
+	switch t := p.(type) {
+	case *plan.Project:
+		cols = t.Cols
+		child = t.Child
+	default:
+		cols = p.Attrs()
+		child = p
+	}
+	item, err := g.fromExpr(child)
+	if err != nil {
+		return "", err
+	}
+	var sel []string
+	for _, v := range cols {
+		ref, ok := item.cols[v]
+		if !ok {
+			return "", fmt.Errorf("sqlgen: projected variable %s not produced by FROM clause", ColName(v))
+		}
+		sel = append(sel, ref)
+	}
+	return "SELECT DISTINCT " + strings.Join(sel, ", ") + "\nFROM " + item.sql, nil
+}
+
+// fromExpr renders a Scan/Join/Project subtree as a FROM item.
+func (g *generator) fromExpr(p plan.Node) (rendered, error) {
+	switch t := p.(type) {
+	case *plan.Scan:
+		g.scans++
+		alias := fmt.Sprintf("e%d", g.scans)
+		var names []string
+		cols := make(map[cq.Var]string, len(t.Atom.Args))
+		for _, v := range t.Atom.Args {
+			names = append(names, ColName(v))
+			cols[v] = alias + "." + ColName(v)
+		}
+		return rendered{
+			sql:  fmt.Sprintf("%s %s (%s)", t.Atom.Rel, alias, strings.Join(names, ",")),
+			cols: cols,
+		}, nil
+
+	case *plan.Project:
+		body, err := g.selectBody(t)
+		if err != nil {
+			return rendered{}, err
+		}
+		g.subqs++
+		alias := fmt.Sprintf("t%d", g.subqs)
+		cols := make(map[cq.Var]string, len(t.Cols))
+		for _, v := range t.Cols {
+			cols[v] = alias + "." + ColName(v)
+		}
+		return rendered{
+			sql:  "(" + indent(body) + ") AS " + alias,
+			cols: cols,
+		}, nil
+
+	case *plan.Join:
+		left, err := g.fromExpr(t.Left)
+		if err != nil {
+			return rendered{}, err
+		}
+		right, err := g.fromExpr(t.Right)
+		if err != nil {
+			return rendered{}, err
+		}
+		// Join condition: one equality per shared variable, rendered
+		// right-side first as the appendix does. TRUE for cross
+		// products (appendix A.4).
+		var shared []cq.Var
+		for v := range left.cols {
+			if _, ok := right.cols[v]; ok {
+				shared = append(shared, v)
+			}
+		}
+		sort.Ints(shared)
+		cond := "TRUE"
+		if len(shared) > 0 {
+			var eqs []string
+			for _, v := range shared {
+				eqs = append(eqs, right.cols[v]+" = "+left.cols[v])
+			}
+			cond = strings.Join(eqs, " AND ")
+		}
+		// Parenthesize composite operands so the evaluation order is
+		// forced, exactly why the paper uses this form.
+		ls := left.sql
+		if _, ok := t.Left.(*plan.Join); ok {
+			ls = "(" + ls + ")"
+		}
+		rs := right.sql
+		if _, ok := t.Right.(*plan.Join); ok {
+			rs = "(" + rs + ")"
+		}
+		cols := make(map[cq.Var]string, len(left.cols)+len(right.cols))
+		for v, ref := range right.cols {
+			cols[v] = ref
+		}
+		for v, ref := range left.cols {
+			cols[v] = ref // prefer left references, as plan schemas do
+		}
+		return rendered{
+			sql:  rs + " JOIN " + ls + " ON (" + cond + ")",
+			cols: cols,
+		}, nil
+
+	default:
+		return rendered{}, fmt.Errorf("sqlgen: unknown plan node %T", p)
+	}
+}
+
+func indent(s string) string {
+	return "\n   " + strings.ReplaceAll(s, "\n", "\n   ") + "\n"
+}
+
+// Naive renders the naive translation of Section 3: all atoms enumerated
+// in the FROM clause and variable equalities in WHERE, pointing each
+// occurrence at the first occurrence of the same variable (the paper's
+// p(v) array). The query's free variables form the SELECT list; for the
+// Boolean case the paper lists a single variable.
+func Naive(q *cq.Query) (string, error) {
+	if len(q.Atoms) == 0 {
+		return "", fmt.Errorf("sqlgen: query has no atoms")
+	}
+	if len(q.Free) == 0 {
+		return "", fmt.Errorf("sqlgen: SQL needs at least one projected variable")
+	}
+	alias := func(i int) string { return fmt.Sprintf("e%d", i+1) }
+
+	firstAtom := q.FirstOccurrence()
+	var sel []string
+	for _, v := range q.Free {
+		sel = append(sel, alias(firstAtom[v])+"."+ColName(v))
+	}
+
+	var from []string
+	for i, a := range q.Atoms {
+		var names []string
+		for _, v := range a.Args {
+			names = append(names, ColName(v))
+		}
+		from = append(from, fmt.Sprintf("%s %s (%s)", a.Rel, alias(i), strings.Join(names, ",")))
+	}
+
+	var conds []string
+	for i, a := range q.Atoms {
+		for _, v := range a.Args {
+			if p := firstAtom[v]; p != i {
+				conds = append(conds, fmt.Sprintf("%s.%s = %s.%s",
+					alias(i), ColName(v), alias(p), ColName(v)))
+			}
+		}
+	}
+
+	sql := "SELECT DISTINCT " + strings.Join(sel, ", ") +
+		"\nFROM " + strings.Join(from, ", ")
+	if len(conds) > 0 {
+		sql += "\nWHERE " + strings.Join(conds, " AND ")
+	}
+	return sql + ";", nil
+}

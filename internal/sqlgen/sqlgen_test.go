@@ -1,0 +1,151 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+)
+
+func scan(rel string, vars ...cq.Var) *plan.Scan {
+	return &plan.Scan{Atom: cq.Atom{Rel: rel, Args: vars}}
+}
+
+func TestColName(t *testing.T) {
+	if ColName(7) != "v7" {
+		t.Fatalf("ColName = %q", ColName(7))
+	}
+}
+
+func TestFromPlanSingleScan(t *testing.T) {
+	p := &plan.Project{Child: scan("edge", 0, 1), Cols: []cq.Var{0}}
+	sql, err := FromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT DISTINCT e1.v0\nFROM edge e1 (v0,v1);"
+	if sql != want {
+		t.Fatalf("sql = %q, want %q", sql, want)
+	}
+}
+
+func TestFromPlanJoinCondition(t *testing.T) {
+	p := &plan.Project{
+		Child: &plan.Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0},
+	}
+	sql, err := FromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "ON (e2.v1 = e1.v1)") {
+		t.Fatalf("join condition missing:\n%s", sql)
+	}
+}
+
+func TestFromPlanCrossProductUsesTrue(t *testing.T) {
+	p := &plan.Project{
+		Child: &plan.Join{Left: scan("edge", 0, 1), Right: scan("edge", 2, 3)},
+		Cols:  []cq.Var{0},
+	}
+	sql, err := FromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "ON (TRUE)") {
+		t.Fatalf("cross product must use ON (TRUE):\n%s", sql)
+	}
+}
+
+func TestFromPlanSubqueryAlias(t *testing.T) {
+	inner := &plan.Project{
+		Child: &plan.Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Cols:  []cq.Var{0, 2},
+	}
+	p := &plan.Project{
+		Child: &plan.Join{Left: inner, Right: scan("edge", 2, 3)},
+		Cols:  []cq.Var{0},
+	}
+	sql, err := FromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, ") AS t1") {
+		t.Fatalf("subquery alias missing:\n%s", sql)
+	}
+	if !strings.Contains(sql, "t1.v2 = ") && !strings.Contains(sql, " = t1.v2") {
+		t.Fatalf("subquery column not referenced in join condition:\n%s", sql)
+	}
+}
+
+func TestFromPlanNestedJoinsParenthesized(t *testing.T) {
+	j := &plan.Join{
+		Left:  &plan.Join{Left: scan("edge", 0, 1), Right: scan("edge", 1, 2)},
+		Right: scan("edge", 2, 3),
+	}
+	p := &plan.Project{Child: j, Cols: []cq.Var{0}}
+	sql, err := FromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "(") {
+		t.Fatalf("nested join not parenthesized:\n%s", sql)
+	}
+}
+
+func TestFromPlanZeroColumns(t *testing.T) {
+	p := &plan.Project{Child: scan("edge", 0, 1), Cols: nil}
+	if _, err := FromPlan(p); err == nil {
+		t.Fatal("accepted zero-column root")
+	}
+}
+
+func TestFromPlanProjectionOfMissingVariable(t *testing.T) {
+	p := &plan.Project{Child: scan("edge", 0, 1), Cols: []cq.Var{9}}
+	if _, err := FromPlan(p); err == nil {
+		t.Fatal("accepted projection of variable not in FROM")
+	}
+}
+
+func TestNaivePentagonMatchesAppendixShape(t *testing.T) {
+	q := &cq.Query{
+		Atoms: []cq.Atom{
+			{Rel: "edge", Args: []cq.Var{1, 2}},
+			{Rel: "edge", Args: []cq.Var{1, 5}},
+			{Rel: "edge", Args: []cq.Var{4, 5}},
+			{Rel: "edge", Args: []cq.Var{3, 4}},
+			{Rel: "edge", Args: []cq.Var{2, 3}},
+		},
+		Free: []cq.Var{1},
+	}
+	sql, err := Naive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appendix A.1 structure: 5 FROM entries, 5 WHERE equalities (one
+	// per repeated occurrence).
+	if got := strings.Count(sql, "edge e"); got != 5 {
+		t.Fatalf("FROM entries = %d:\n%s", got, sql)
+	}
+	if got := strings.Count(sql, "="); got != 5 {
+		t.Fatalf("WHERE equalities = %d, want 5:\n%s", got, sql)
+	}
+	if !strings.HasPrefix(sql, "SELECT DISTINCT e1.v1") {
+		t.Fatalf("SELECT clause:\n%s", sql)
+	}
+}
+
+func TestNaiveNoRepeatedVariablesNoWhere(t *testing.T) {
+	q := &cq.Query{
+		Atoms: []cq.Atom{{Rel: "edge", Args: []cq.Var{0, 1}}},
+		Free:  []cq.Var{0},
+	}
+	sql, err := Naive(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "WHERE") {
+		t.Fatalf("single-atom query needs no WHERE:\n%s", sql)
+	}
+}

@@ -1,0 +1,67 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"projpush/internal/sqlgen"
+)
+
+// FuzzParse feeds arbitrary text to the parser. The invariants: the
+// parser never panics, and any plan it accepts can be rendered back to
+// SQL and re-parsed (generator and parser agree on the dialect).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT DISTINCT e1.v0\nFROM edge e1 (v0,v1);",
+		"SELECT DISTINCT e1.v1 FROM edge e1 (v1,v2) JOIN edge e2 (v2,v3) ON (e1.v2 = e2.v2);",
+		"SELECT DISTINCT t1.v0 FROM (SELECT DISTINCT e1.v0 FROM edge e1 (v0,v1)) AS t1;",
+		"SELECT DISTINCT e1.v0 FROM edge e1 (v0,v1) JOIN edge e2 (v2,v3) ON (TRUE);",
+		"SELECT DISTINCT",
+		"((((",
+		"p edge 3 3",
+		"SELECT DISTINCT e1.v0 FROM edge e1 (v0,v1) JOIN (edge e2 (v1,v2) JOIN edge e3 (v2,v3) ON (e2.v2 = e3.v2)) ON (e1.v1 = e2.v1);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		sql, err := sqlgen.FromPlan(p)
+		if err != nil {
+			// Parsed plans can have zero output columns only if the
+			// SELECT list was empty, which the grammar forbids.
+			t.Fatalf("accepted plan cannot be rendered: %v", err)
+		}
+		if _, err := Parse(sql); err != nil {
+			t.Fatalf("rendered SQL does not re-parse: %v\nrendered:\n%s", err, sql)
+		}
+	})
+}
+
+// FuzzParseNaive checks the naive-form parser never panics and accepted
+// queries re-render.
+func FuzzParseNaive(f *testing.F) {
+	seeds := []string{
+		"SELECT DISTINCT e1.v1 FROM edge e1 (v1,v2), edge e2 (v2,v3) WHERE e2.v2 = e1.v2;",
+		"SELECT DISTINCT e1.v0 FROM edge e1 (v0,v1);",
+		"SELECT DISTINCT x FROM y;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseNaive(input)
+		if err != nil {
+			return
+		}
+		sql, err := sqlgen.Naive(q)
+		if err != nil {
+			t.Fatalf("accepted naive query cannot be rendered: %v", err)
+		}
+		if _, err := ParseNaive(sql); err != nil {
+			t.Fatalf("rendered naive SQL does not re-parse: %v\nrendered:\n%s", err, sql)
+		}
+	})
+}

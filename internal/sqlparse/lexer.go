@@ -1,0 +1,78 @@
+// Package sqlparse parses the SQL dialect produced by package sqlgen —
+// the paper's Appendix A queries — back into executable plans. It exists
+// both as a round-trip oracle for the generator and as the reader half of
+// the PostgreSQL-substitute substrate: the experiments can ship SQL text
+// through generation and parsing, exactly as the paper's driver shipped
+// text to a backend.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased
+	pos  int
+}
+
+// keywords of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "JOIN": true,
+	"ON": true, "AS": true, "AND": true, "TRUE": true, "WHERE": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '=' || c == ';':
+			l.toks = append(l.toks, token{tokPunct, string(c), l.pos})
+			l.pos++
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{tokKeyword, up, start})
+			} else {
+				l.toks = append(l.toks, token{tokIdent, word, start})
+			}
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

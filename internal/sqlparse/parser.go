@@ -1,0 +1,346 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+)
+
+// Parse parses a JOIN-form query of the sqlgen dialect into a plan. The
+// root of the returned plan is always a Project carrying the SELECT list.
+func Parse(sql string) (plan.Node, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	node, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input")
+	}
+	return node, nil
+}
+
+// ParseNaive parses a naive-form query (comma FROM list, WHERE
+// equalities) into a conjunctive query, verifying the WHERE clause is
+// consistent with the variable naming.
+func ParseNaive(sql string) (*cq.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.naiveQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// varOfColumn decodes a v<digits> column name into a variable.
+func varOfColumn(name string) (cq.Var, error) {
+	if len(name) < 2 || name[0] != 'v' {
+		return 0, fmt.Errorf("sqlparse: column %q does not follow the v<id> convention", name)
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: column %q does not follow the v<id> convention", name)
+	}
+	return n, nil
+}
+
+// qualifiedColumn parses alias '.' column and returns (alias, var).
+func (p *parser) qualifiedColumn() (string, cq.Var, error) {
+	alias, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", 0, err
+	}
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return "", 0, err
+	}
+	col, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", 0, err
+	}
+	v, err := varOfColumn(col.text)
+	if err != nil {
+		return "", 0, err
+	}
+	return alias.text, v, nil
+}
+
+// query parses SELECT DISTINCT list FROM fromExpr.
+func (p *parser) query() (plan.Node, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "DISTINCT"); err != nil {
+		return nil, err
+	}
+	var cols []cq.Var
+	for {
+		_, v, err := p.qualifiedColumn()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, v)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	item, err := p.fromExpr()
+	if err != nil {
+		return nil, err
+	}
+	// The SELECT list must reference produced variables.
+	produced := make(map[cq.Var]bool)
+	for _, v := range item.Attrs() {
+		produced[v] = true
+	}
+	for _, v := range cols {
+		if !produced[v] {
+			return nil, fmt.Errorf("sqlparse: SELECT references v%d not produced by FROM", v)
+		}
+	}
+	return &plan.Project{Child: item, Cols: cols}, nil
+}
+
+// fromExpr parses item (JOIN item ON '(' cond ')')*.
+func (p *parser) fromExpr() (plan.Node, error) {
+	left, err := p.fromItem()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "JOIN") {
+		right, err := p.fromItem()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		join := &plan.Join{Left: left, Right: right}
+		if err := p.joinCondition(join); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		left = join
+	}
+	return left, nil
+}
+
+// joinCondition parses TRUE or eq (AND eq)* and checks each equality
+// relates two occurrences of the same variable available in the join.
+func (p *parser) joinCondition(j *plan.Join) error {
+	if p.accept(tokKeyword, "TRUE") {
+		return nil
+	}
+	avail := make(map[cq.Var]bool)
+	for _, v := range j.Attrs() {
+		avail[v] = true
+	}
+	for {
+		_, v1, err := p.qualifiedColumn()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return err
+		}
+		_, v2, err := p.qualifiedColumn()
+		if err != nil {
+			return err
+		}
+		if v1 != v2 {
+			return fmt.Errorf("sqlparse: join condition equates v%d with v%d; the dialect only equates occurrences of one variable", v1, v2)
+		}
+		if !avail[v1] {
+			return fmt.Errorf("sqlparse: join condition references v%d not available in the join", v1)
+		}
+		if !p.accept(tokKeyword, "AND") {
+			return nil
+		}
+	}
+}
+
+// fromItem parses a base-table reference, a parenthesized subquery with
+// alias, or a parenthesized join expression.
+func (p *parser) fromItem() (plan.Node, error) {
+	if p.accept(tokPunct, "(") {
+		if p.at(tokKeyword, "SELECT") {
+			sub, err := p.query()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "AS"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, ""); err != nil {
+				return nil, err
+			}
+			return sub, nil
+		}
+		inner, err := p.fromExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.scan()
+}
+
+// scan parses rel alias '(' col (',' col)* ')'.
+func (p *parser) scan() (plan.Node, error) {
+	rel, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, ""); err != nil { // alias
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []cq.Var
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := varOfColumn(col.text)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &plan.Scan{Atom: cq.Atom{Rel: rel.text, Args: args}}, nil
+}
+
+// naiveQuery parses SELECT DISTINCT list FROM scan (, scan)* [WHERE eqs].
+func (p *parser) naiveQuery() (*cq.Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "DISTINCT"); err != nil {
+		return nil, err
+	}
+	var free []cq.Var
+	for {
+		_, v, err := p.qualifiedColumn()
+		if err != nil {
+			return nil, err
+		}
+		free = append(free, v)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	q := &cq.Query{Free: free}
+	for {
+		s, err := p.scan()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, s.(*plan.Scan).Atom)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		occ := make(map[cq.Var]bool)
+		for _, a := range q.Atoms {
+			for _, v := range a.Args {
+				occ[v] = true
+			}
+		}
+		for {
+			_, v1, err := p.qualifiedColumn()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			_, v2, err := p.qualifiedColumn()
+			if err != nil {
+				return nil, err
+			}
+			if v1 != v2 {
+				return nil, fmt.Errorf("sqlparse: WHERE equates v%d with v%d", v1, v2)
+			}
+			if !occ[v1] {
+				return nil, fmt.Errorf("sqlparse: WHERE references unknown v%d", v1)
+			}
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+	return q, nil
+}

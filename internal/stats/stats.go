@@ -1,0 +1,99 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: medians and percentiles over durations (the paper
+// reports median running times) and a sample collector that keeps
+// timeouts separate from measurements.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Median returns the median of the values (the mean of the two middle
+// values for even counts). It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics. It returns 0 for an empty
+// slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MedianDuration is Median over durations.
+func MedianDuration(ds []time.Duration) time.Duration {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	return time.Duration(Median(xs))
+}
+
+// Sample collects measurements for one (x, method) cell of an experiment:
+// durations of completed runs and a count of runs that hit the timeout or
+// row cap.
+type Sample struct {
+	Durations []time.Duration
+	Timeouts  int
+}
+
+// Add records a completed run.
+func (s *Sample) Add(d time.Duration) { s.Durations = append(s.Durations, d) }
+
+// AddTimeout records an aborted run.
+func (s *Sample) AddTimeout() { s.Timeouts++ }
+
+// Runs returns the total number of runs recorded.
+func (s *Sample) Runs() int { return len(s.Durations) + s.Timeouts }
+
+// Median returns the median duration of completed runs, and false when a
+// majority of runs timed out (the paper plots such points as missing).
+func (s *Sample) Median() (time.Duration, bool) {
+	if s.Runs() == 0 || s.Timeouts*2 > s.Runs() {
+		return 0, false
+	}
+	return MedianDuration(s.Durations), true
+}
+
+// String renders the sample the way the experiment tables print cells.
+func (s *Sample) String() string {
+	if med, ok := s.Median(); ok {
+		if s.Timeouts > 0 {
+			return fmt.Sprintf("%v (%d timeouts)", med, s.Timeouts)
+		}
+		return med.String()
+	}
+	return "timeout"
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, -5); got != 10 {
+		t.Fatalf("P-5 = %v", got)
+	}
+	if got := Percentile(xs, 200); got != 40 {
+		t.Fatalf("P200 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	ds := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	if got := MedianDuration(ds); got != 2*time.Second {
+		t.Fatalf("MedianDuration = %v", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	if _, ok := s.Median(); ok {
+		t.Fatal("empty sample has a median")
+	}
+	s.Add(time.Second)
+	s.Add(3 * time.Second)
+	s.Add(2 * time.Second)
+	med, ok := s.Median()
+	if !ok || med != 2*time.Second {
+		t.Fatalf("median = %v, %v", med, ok)
+	}
+	s.AddTimeout()
+	if s.Runs() != 4 {
+		t.Fatalf("Runs = %d", s.Runs())
+	}
+	// 1 of 4 timeouts: still reportable.
+	if _, ok := s.Median(); !ok {
+		t.Fatal("minority timeouts should still report a median")
+	}
+	s.AddTimeout()
+	s.AddTimeout()
+	// 3 of 6: majority rule is strict (>50%), so still reportable.
+	if _, ok := s.Median(); !ok {
+		t.Fatal("exactly half timeouts should still report")
+	}
+	s.AddTimeout()
+	if _, ok := s.Median(); ok {
+		t.Fatal("majority timeouts must suppress the median")
+	}
+	if s.String() != "timeout" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		p := float64(pRaw) / 255 * 100
+		got := Percentile(xs, p)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return got >= s[0] && got <= s[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMedianBetweenMinMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return Median(xs) == 0
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		m := Median(xs)
+		return m >= s[0] && m <= s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package treedec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"projpush/internal/graph"
+)
+
+// MaxExactVertices bounds the exact treewidth solver: the dynamic program
+// tabulates all 2^n vertex subsets.
+const MaxExactVertices = 22
+
+// Exact computes the exact treewidth of g and an optimal elimination
+// order, using the classic O(2^n · poly) dynamic program over vertex
+// subsets (Bodlaender et al.): for a set S eliminated first,
+//
+//	TW(S) = min over v ∈ S of max(TW(S∖{v}), Q(S∖{v}, v))
+//
+// where Q(R, v) counts the vertices outside R ∪ {v} reachable from v via
+// paths whose internal vertices lie in R — exactly v's live degree when
+// eliminated after R. Treewidth is TW(V).
+//
+// Finding treewidth is NP-hard (the paper's reason for falling back to
+// MCS); this solver exists to verify Theorems 1 and 2 on small graphs and
+// to measure heuristic quality. It returns an error for graphs larger
+// than MaxExactVertices.
+func Exact(g *graph.Graph) (int, []int, error) {
+	n := g.N
+	if n > MaxExactVertices {
+		return 0, nil, fmt.Errorf("treedec.Exact: %d vertices exceeds limit %d", n, MaxExactVertices)
+	}
+	if n == 0 {
+		return -1, nil, nil
+	}
+	adjMask := make([]uint32, n)
+	for _, e := range g.Edges {
+		adjMask[e[0]] |= 1 << uint(e[1])
+		adjMask[e[1]] |= 1 << uint(e[0])
+	}
+
+	// q computes Q(R, v) as a bitmask BFS: grow the set of vertices
+	// reachable from v through R; count reachable outside R∪{v}.
+	q := func(rMask uint32, v int) int {
+		frontier := adjMask[v]
+		visited := frontier
+		for {
+			// Expand through vertices inside R.
+			expand := frontier & rMask
+			next := uint32(0)
+			for m := expand; m != 0; {
+				w := bits.TrailingZeros32(m)
+				m &^= 1 << uint(w)
+				next |= adjMask[w]
+			}
+			next &^= visited
+			if next == 0 {
+				break
+			}
+			visited |= next
+			frontier = next
+		}
+		outside := visited &^ (rMask | 1<<uint(v))
+		return bits.OnesCount32(outside)
+	}
+
+	full := uint32(1)<<uint(n) - 1
+	tw := make([]int8, full+1)
+	choice := make([]int8, full+1)
+	tw[0] = -1 // width of eliminating nothing
+	for s := uint32(1); s <= full; s++ {
+		best := int8(127)
+		bestV := int8(-1)
+		for m := s; m != 0; {
+			v := bits.TrailingZeros32(m)
+			m &^= 1 << uint(v)
+			r := s &^ (1 << uint(v))
+			qv := int8(q(r, v))
+			w := tw[r]
+			if qv > w {
+				w = qv
+			}
+			if w < best {
+				best = w
+				bestV = int8(v)
+			}
+		}
+		tw[s] = best
+		choice[s] = bestV
+	}
+
+	// Reconstruct: choice[S] is the vertex eliminated *last* within the
+	// prefix S, so walking down from the full set yields the elimination
+	// order back-to-front.
+	order := make([]int, n)
+	s := full
+	for i := n - 1; i >= 0; i-- {
+		v := int(choice[s])
+		order[i] = v
+		s &^= 1 << uint(v)
+	}
+	return int(tw[full]), order, nil
+}

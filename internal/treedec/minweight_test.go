@@ -1,0 +1,96 @@
+package treedec
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/graph"
+)
+
+func TestMinWeightIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g, err := graph.Random(12, 24, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]int, 12)
+	for i := range weights {
+		weights[i] = 1 + rng.Intn(10)
+	}
+	order := MinWeight(g, weights)
+	if len(order) != 12 {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("duplicate in MinWeight order")
+		}
+		seen[v] = true
+	}
+	// The order must still be usable for decomposition construction.
+	d := FromOrder(g, order)
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinWeightUniformBehavesLikeMinDegree(t *testing.T) {
+	// With uniform weights, the bag weight is degree+1, so the order is
+	// width-equivalent to min-degree on a path.
+	g := graph.Path(8)
+	uniform := make([]int, 8)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	if w := InducedWidth(g, MinWeight(g, uniform)); w != 1 {
+		t.Fatalf("uniform MinWeight width on path = %d, want 1", w)
+	}
+}
+
+func TestMinWeightAvoidsHeavyBags(t *testing.T) {
+	// Star with a heavy center: the leaves (cheap bags) must be
+	// eliminated before the center.
+	g := graph.New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i)
+	}
+	weights := []int{100, 1, 1, 1, 1}
+	order := MinWeight(g, weights)
+	if order[0] == 0 {
+		t.Fatalf("heavy center eliminated first: %v", order)
+	}
+	// Eliminating the center first would join all four leaves through a
+	// 104-weight bag; the min-weight order must stay at 101 (one leaf
+	// plus the center).
+	if w := maxWeightedBag(g, order, weights); w != 101 {
+		t.Fatalf("max weighted bag = %d, want 101 (order %v)", w, order)
+	}
+}
+
+// maxWeightedBag simulates the elimination and returns the heaviest bag
+// (vertex plus live neighbors, weighted).
+func maxWeightedBag(g *graph.Graph, elim []int, weights []int) int {
+	adj := liveSets(g)
+	max := 0
+	for _, v := range elim {
+		w := weights[v]
+		for _, u := range eliminate(adj, v) {
+			w += weights[u]
+		}
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+func TestMinWeightDefaultsMissingWeights(t *testing.T) {
+	g := graph.Path(4)
+	// Short weight slice: missing entries default to 1 and nothing
+	// panics.
+	order := MinWeight(g, []int{5})
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,282 @@
+package treedec
+
+import (
+	"math/rand"
+
+	"projpush/internal/graph"
+)
+
+// MCS computes a maximum-cardinality-search numbering of g (Tarjan &
+// Yannakakis): it returns the vertices in numbering order x1..xn, starting
+// from the given initial vertices (the paper seeds it with the target
+// schema) and then repeatedly picking the vertex with the most already-
+// numbered neighbors. Ties are broken randomly when rng is non-nil, by
+// lowest vertex id otherwise (for reproducibility).
+//
+// For bucket elimination the buckets are processed from xn down to x1, so
+// the elimination order is the reverse of this numbering; see
+// EliminationOrder.
+func MCS(g *graph.Graph, initial []int, rng *rand.Rand) []int {
+	adj := g.Adjacency()
+	numbered := make([]bool, g.N)
+	weight := make([]int, g.N)
+	order := make([]int, 0, g.N)
+
+	pick := func(v int) {
+		numbered[v] = true
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if !numbered[w] {
+				weight[w]++
+			}
+		}
+	}
+	for _, v := range initial {
+		if v >= 0 && v < g.N && !numbered[v] {
+			pick(v)
+		}
+	}
+	for len(order) < g.N {
+		best := -1
+		var ties []int
+		for v := 0; v < g.N; v++ {
+			if numbered[v] {
+				continue
+			}
+			switch {
+			case best < 0 || weight[v] > weight[best]:
+				best = v
+				ties = ties[:0]
+				ties = append(ties, v)
+			case weight[v] == weight[best]:
+				ties = append(ties, v)
+			}
+		}
+		if rng != nil && len(ties) > 1 {
+			best = ties[rng.Intn(len(ties))]
+		}
+		pick(best)
+	}
+	return order
+}
+
+// EliminationOrder reverses an MCS numbering into the elimination order
+// bucket elimination follows (xn is eliminated first).
+func EliminationOrder(mcsOrder []int) []int {
+	out := make([]int, len(mcsOrder))
+	for i, v := range mcsOrder {
+		out[len(mcsOrder)-1-i] = v
+	}
+	return out
+}
+
+// liveSets builds mutable adjacency sets for elimination simulation.
+func liveSets(g *graph.Graph) []map[int]bool {
+	adj := make([]map[int]bool, g.N)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for _, e := range g.Edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	return adj
+}
+
+// eliminate removes v from the live sets, connecting its live neighbors
+// into a clique (the fill step). It returns v's live neighbors at the time
+// of elimination.
+func eliminate(adj []map[int]bool, v int) []int {
+	nbrs := make([]int, 0, len(adj[v]))
+	for w := range adj[v] {
+		nbrs = append(nbrs, w)
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			adj[nbrs[i]][nbrs[j]] = true
+			adj[nbrs[j]][nbrs[i]] = true
+		}
+	}
+	for _, w := range nbrs {
+		delete(adj[w], v)
+	}
+	adj[v] = nil
+	return nbrs
+}
+
+// MinFill returns the min-fill elimination order: repeatedly eliminate the
+// vertex whose elimination adds the fewest fill edges. A standard
+// treewidth heuristic, used here as an ablation against the paper's MCS
+// choice.
+func MinFill(g *graph.Graph) []int {
+	adj := liveSets(g)
+	order := make([]int, 0, g.N)
+	remaining := g.N
+	removed := make([]bool, g.N)
+	for remaining > 0 {
+		best, bestFill := -1, int(^uint(0)>>1)
+		for v := 0; v < g.N; v++ {
+			if removed[v] {
+				continue
+			}
+			fill := 0
+			nbrs := make([]int, 0, len(adj[v]))
+			for w := range adj[v] {
+				nbrs = append(nbrs, w)
+			}
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill {
+				best, bestFill = v, fill
+			}
+		}
+		eliminate(adj, best)
+		removed[best] = true
+		order = append(order, best)
+		remaining--
+	}
+	return order
+}
+
+// MinDegree returns the min-degree elimination order: repeatedly eliminate
+// a vertex of minimum live degree.
+func MinDegree(g *graph.Graph) []int {
+	adj := liveSets(g)
+	order := make([]int, 0, g.N)
+	removed := make([]bool, g.N)
+	for len(order) < g.N {
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for v := 0; v < g.N; v++ {
+			if !removed[v] {
+				if d := len(adj[v]); d < bestDeg {
+					best, bestDeg = v, d
+				}
+			}
+		}
+		eliminate(adj, best)
+		removed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// InducedWidth returns the induced width of the elimination order on g:
+// the maximum number of live neighbors any vertex has at the moment it is
+// eliminated. By Theorem 2, the minimum over all orders equals the
+// treewidth. elim must be a permutation of g's vertices.
+func InducedWidth(g *graph.Graph, elim []int) int {
+	adj := liveSets(g)
+	w := 0
+	for _, v := range elim {
+		if n := len(eliminate(adj, v)); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// FromOrder builds the tree decomposition induced by an elimination
+// order: each eliminated vertex v yields the bag {v} ∪ liveNeighbors(v),
+// and v's node is attached to the node of its earliest-eliminated live
+// neighbor. The decomposition's width equals InducedWidth(g, elim).
+// Disconnected pieces are chained so the result is a single tree.
+func FromOrder(g *graph.Graph, elim []int) *Decomposition {
+	if g.N == 0 {
+		return &Decomposition{}
+	}
+	adj := liveSets(g)
+	position := make([]int, g.N) // elimination position of each vertex
+	for i, v := range elim {
+		position[v] = i
+	}
+	bags := make([][]int, g.N) // bag of node i = bag of elim[i]
+	attach := make([]int, g.N) // node index each node attaches to, -1 = root
+	nodeOf := make([]int, g.N) // vertex -> node index
+	for i, v := range elim {
+		nodeOf[v] = i
+		nbrs := eliminate(adj, v)
+		bag := append([]int{v}, nbrs...)
+		bags[i] = sortedSet(bag)
+		attach[i] = -1
+		// Attach to the earliest-eliminated live neighbor (all live
+		// neighbors are eliminated after v, so their nodes come later;
+		// we record the dependency and wire edges after the loop).
+		bestPos := int(^uint(0) >> 1)
+		for _, w := range nbrs {
+			if position[w] < bestPos {
+				bestPos = position[w]
+				attach[i] = bestPos
+			}
+		}
+	}
+	d := &Decomposition{Bags: bags, Adj: make([][]int, g.N)}
+	var roots []int
+	for i := range bags {
+		if attach[i] >= 0 {
+			d.Adj[i] = append(d.Adj[i], attach[i])
+			d.Adj[attach[i]] = append(d.Adj[attach[i]], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	// Chain any extra roots (disconnected graphs) so the skeleton is a
+	// single tree. Empty intersections are fine for validity.
+	for k := 1; k < len(roots); k++ {
+		a, b := roots[k-1], roots[k]
+		d.Adj[a] = append(d.Adj[a], b)
+		d.Adj[b] = append(d.Adj[b], a)
+	}
+	return d
+}
+
+// MinWeight returns an elimination order for vertex-weighted graphs:
+// repeatedly eliminate the vertex whose bag — the vertex plus its live
+// neighbors — has the smallest total weight, breaking ties toward fewer
+// fill edges. With uniform weights it behaves like min-degree. This is
+// the order heuristic behind the weighted-attribute extension the paper
+// sketches in Section 7.
+func MinWeight(g *graph.Graph, weight []int) []int {
+	wt := func(v int) int {
+		if v < len(weight) && weight[v] > 0 {
+			return weight[v]
+		}
+		return 1
+	}
+	adj := liveSets(g)
+	order := make([]int, 0, g.N)
+	removed := make([]bool, g.N)
+	for len(order) < g.N {
+		best, bestW, bestFill := -1, int(^uint(0)>>1), int(^uint(0)>>1)
+		for v := 0; v < g.N; v++ {
+			if removed[v] {
+				continue
+			}
+			w := wt(v)
+			nbrs := make([]int, 0, len(adj[v]))
+			for u := range adj[v] {
+				w += wt(u)
+				nbrs = append(nbrs, u)
+			}
+			fill := 0
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if w < bestW || (w == bestW && fill < bestFill) {
+				best, bestW, bestFill = v, w, fill
+			}
+		}
+		eliminate(adj, best)
+		removed[best] = true
+		order = append(order, best)
+	}
+	return order
+}

@@ -1,0 +1,203 @@
+package treedec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Simplified is the output of MarkAndSweep: a pruned decomposition plus,
+// for every input relation, the node whose bag covers it.
+type Simplified struct {
+	Dec *Decomposition
+	// RelNode[j] is the node of Dec assigned to relation j.
+	RelNode []int
+}
+
+// MarkAndSweep implements Algorithm 2 of the paper: given a tree
+// decomposition (of a query's join graph) and the query's relations — each
+// given as the set of join-graph vertices of its attributes, with the
+// target schema passed as one more "relation" R_T — it simplifies the
+// decomposition to contain only what the join-expression tree needs,
+// without increasing width.
+//
+// Each relation is assigned a host node whose bag contains it (one exists
+// in any valid decomposition because a relation's attributes form a clique
+// of the join graph). A vertex then survives in exactly the minimal
+// subtree spanning the host nodes where it was marked — the union of the
+// pairwise path markings in the paper's formulation — and empty nodes are
+// deleted, bypassing interior ones. The result satisfies Lemma 2: same
+// width or less, every leaf hosts a relation, and all decomposition
+// properties are preserved.
+func MarkAndSweep(d *Decomposition, rels [][]int) (*Simplified, error) {
+	n := d.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("treedec: empty decomposition")
+	}
+
+	// Step 1: host node per relation; record marks per vertex.
+	host := make([]int, len(rels))
+	markNodes := make(map[int][]int) // vertex -> nodes where it is marked
+	for j, rel := range rels {
+		found := -1
+		for i, bag := range d.Bags {
+			if containsAll(bag, rel) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("treedec: no bag covers relation %d (%v)", j, rel)
+		}
+		host[j] = found
+		for _, v := range rel {
+			markNodes[v] = append(markNodes[v], found)
+		}
+	}
+
+	// Step 2: for every marked vertex, keep it on the minimal subtree
+	// spanning its marked nodes (root the walk at one marked node; a node
+	// survives iff its subtree contains a marked node).
+	keep := make([]map[int]bool, n)
+	for i := range keep {
+		keep[i] = make(map[int]bool)
+	}
+	parent := make([]int, n)
+	order := make([]int, 0, n)
+	for v, nodes := range markNodes {
+		root := nodes[0]
+		inS := make(map[int]int, len(nodes))
+		for _, x := range nodes {
+			inS[x]++
+		}
+		// Iterative DFS computing subtree counts of marked nodes.
+		for i := range parent {
+			parent[i] = -2
+		}
+		order = order[:0]
+		parent[root] = -1
+		stack := []int{root}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, u)
+			for _, w := range d.Adj[u] {
+				if parent[w] == -2 {
+					parent[w] = u
+					stack = append(stack, w)
+				}
+			}
+		}
+		count := make([]int, n)
+		for i := len(order) - 1; i >= 0; i-- {
+			u := order[i]
+			count[u] += inS[u]
+			if p := parent[u]; p >= 0 {
+				count[p] += count[u]
+			}
+		}
+		for _, u := range order {
+			if count[u] >= 1 {
+				keep[u][v] = true
+			}
+		}
+	}
+
+	// Build the swept bags.
+	bags := make([][]int, n)
+	for i := range bags {
+		for v := range keep[i] {
+			bags[i] = append(bags[i], v)
+		}
+		sort.Ints(bags[i])
+	}
+
+	// Step 3: delete empty nodes. Leaves are removed; interior empty
+	// nodes are bypassed by chaining their neighbors (safe: a vertex
+	// crossing an empty node would violate the running-intersection
+	// property, so none does).
+	adj := make([]map[int]bool, n)
+	for i, nb := range d.Adj {
+		adj[i] = make(map[int]bool, len(nb))
+		for _, j := range nb {
+			adj[i][j] = true
+		}
+	}
+	alive := make([]bool, n)
+	aliveCount := 0
+	for i := range alive {
+		alive[i] = true
+		aliveCount++
+	}
+	// Never delete the last node even if empty (a degenerate query could
+	// have an all-empty decomposition; keep one node to stay a tree).
+	for i := 0; i < n && aliveCount > 1; i++ {
+		if !alive[i] || len(bags[i]) > 0 {
+			continue
+		}
+		var nbrs []int
+		for j := range adj[i] {
+			nbrs = append(nbrs, j)
+		}
+		sort.Ints(nbrs)
+		for _, j := range nbrs {
+			delete(adj[j], i)
+		}
+		adj[i] = nil
+		for k := 1; k < len(nbrs); k++ {
+			adj[nbrs[k-1]][nbrs[k]] = true
+			adj[nbrs[k]][nbrs[k-1]] = true
+		}
+		alive[i] = false
+		aliveCount--
+	}
+
+	// Compact indices.
+	remap := make([]int, n)
+	var newBags [][]int
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			remap[i] = len(newBags)
+			newBags = append(newBags, bags[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	newAdj := make([][]int, len(newBags))
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		var nb []int
+		for j := range adj[i] {
+			nb = append(nb, remap[j])
+		}
+		sort.Ints(nb)
+		newAdj[remap[i]] = nb
+	}
+
+	out := &Simplified{
+		Dec:     &Decomposition{Bags: newBags, Adj: newAdj},
+		RelNode: make([]int, len(rels)),
+	}
+	for j, h := range host {
+		if remap[h] < 0 {
+			// The host bag was swept empty — possible only when the
+			// relation itself is empty (no attributes); reassign to
+			// node 0.
+			out.RelNode[j] = 0
+			continue
+		}
+		out.RelNode[j] = remap[h]
+	}
+	return out, nil
+}
+
+// containsAll reports whether the sorted bag contains every vertex of rel.
+func containsAll(bag, rel []int) bool {
+	for _, v := range rel {
+		if !bagHas(bag, v) {
+			return false
+		}
+	}
+	return true
+}

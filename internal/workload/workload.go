@@ -1,0 +1,223 @@
+// Package workload defines serializable instance specifications, so the
+// exact workloads behind an experiment — family, size, seed, free
+// fraction — can be stored, shared, and replayed. A Spec deterministically
+// expands into a conjunctive query plus its database; a Suite is a named
+// list of Specs, stored as JSON.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"projpush/internal/cq"
+	"projpush/internal/experiments"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+// Kind selects the instance encoder.
+type Kind string
+
+// The supported instance kinds.
+const (
+	KindColor Kind = "color" // k-COLOR over a graph
+	KindSAT   Kind = "sat"   // random k-SAT
+)
+
+// Spec is one reproducible instance description.
+type Spec struct {
+	// Name labels the instance in reports.
+	Name string `json:"name"`
+	// Kind selects the encoder (color or sat).
+	Kind Kind `json:"kind"`
+
+	// Family selects the graph family for color instances: "random" or
+	// one of the experiments.Family values.
+	Family string `json:"family,omitempty"`
+	// Order is the graph order (color) or variable count (sat).
+	Order int `json:"order"`
+	// Density is edges-per-vertex (color/random) or
+	// clauses-per-variable (sat).
+	Density float64 `json:"density,omitempty"`
+	// Colors is the palette size for color instances (default 3).
+	Colors int `json:"colors,omitempty"`
+	// K is the clause width for sat instances (default 3).
+	K int `json:"k,omitempty"`
+	// Seed makes the instance deterministic.
+	Seed int64 `json:"seed"`
+	// FreeFraction keeps this fraction of variables free; 0 is the
+	// Boolean emulation (one projected variable).
+	FreeFraction float64 `json:"free_fraction,omitempty"`
+}
+
+// Build expands the spec into a query and database.
+func (s Spec) Build() (*cq.Query, cq.Database, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Kind {
+	case KindColor:
+		g, err := s.buildGraph(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		var free []cq.Var
+		if s.FreeFraction > 0 {
+			free = instance.ChooseFree(instance.EdgeVertices(g), s.FreeFraction, rng)
+		} else {
+			free = instance.BooleanFree(g)
+		}
+		q, err := instance.ColorQuery(g, free)
+		if err != nil {
+			return nil, nil, err
+		}
+		colors := s.Colors
+		if colors == 0 {
+			colors = 3
+		}
+		return q, instance.ColorDatabase(colors), nil
+
+	case KindSAT:
+		k := s.K
+		if k == 0 {
+			k = 3
+		}
+		m := int(s.Density*float64(s.Order) + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		sat, err := instance.RandomSAT(k, s.Order, m, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		vars := instance.SATVariablesInClauses(sat)
+		if len(vars) == 0 {
+			return nil, nil, fmt.Errorf("workload: SAT instance has no clauses")
+		}
+		var free []cq.Var
+		if s.FreeFraction > 0 {
+			free = instance.ChooseFree(vars, s.FreeFraction, rng)
+		} else {
+			free = vars[:1]
+		}
+		return instance.SATQuery(sat, free)
+
+	default:
+		return nil, nil, fmt.Errorf("workload: unknown kind %q", s.Kind)
+	}
+}
+
+func (s Spec) buildGraph(rng *rand.Rand) (*graph.Graph, error) {
+	switch s.Family {
+	case "", "random":
+		// Clamp the edge count to the simple-graph maximum so scaled
+		// suites with high densities degrade to complete graphs rather
+		// than failing.
+		m := int(s.Density*float64(s.Order) + 0.5)
+		if max := s.Order * (s.Order - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.Random(s.Order, m, rng)
+		if err != nil {
+			return nil, err
+		}
+		if g.M() == 0 {
+			return nil, fmt.Errorf("workload: spec %q yields an edgeless graph", s.Name)
+		}
+		return g, nil
+	default:
+		return experiments.BuildFamily(experiments.Family(s.Family), s.Order)
+	}
+}
+
+// Validate checks the spec is expandable without building it fully.
+func (s Spec) Validate() error {
+	if s.Order < 1 {
+		return fmt.Errorf("workload: spec %q: order must be positive", s.Name)
+	}
+	switch s.Kind {
+	case KindColor, KindSAT:
+	default:
+		return fmt.Errorf("workload: spec %q: unknown kind %q", s.Name, s.Kind)
+	}
+	if s.FreeFraction < 0 || s.FreeFraction > 1 {
+		return fmt.Errorf("workload: spec %q: free fraction %f out of [0,1]", s.Name, s.FreeFraction)
+	}
+	return nil
+}
+
+// Suite is a named list of instance specs.
+type Suite struct {
+	Name  string `json:"name"`
+	Specs []Spec `json:"specs"`
+}
+
+// ReadSuite decodes a JSON suite and validates every spec.
+func ReadSuite(r io.Reader) (*Suite, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if len(s.Specs) == 0 {
+		return nil, fmt.Errorf("workload: suite %q has no specs", s.Name)
+	}
+	for _, sp := range s.Specs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &s, nil
+}
+
+// WriteSuite encodes a suite as indented JSON.
+func WriteSuite(w io.Writer, s *Suite) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// PaperSuite returns the workload behind the paper's evaluation section,
+// scaled by the given factor: random density/order sweeps and the four
+// structured families.
+func PaperSuite(scale float64) *Suite {
+	s := &Suite{Name: "projection-pushing-revisited"}
+	sc := func(x int, min int) int {
+		v := int(float64(x)*scale + 0.5)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	for _, d := range []float64{1, 2, 3, 4, 6, 8} {
+		s.Specs = append(s.Specs, Spec{
+			Name: fmt.Sprintf("random-d%.0f", d), Kind: KindColor,
+			Family: "random", Order: sc(20, 6), Density: d, Seed: int64(d * 100),
+		})
+	}
+	for _, n := range []int{10, 15, 20, 25, 30, 35} {
+		s.Specs = append(s.Specs, Spec{
+			Name: fmt.Sprintf("random-n%d", n), Kind: KindColor,
+			Family: "random", Order: sc(n, 6), Density: 3.0, Seed: int64(n),
+		})
+	}
+	for _, f := range []experiments.Family{
+		experiments.FamilyAugmentedPath, experiments.FamilyLadder,
+		experiments.FamilyAugmentedLadder, experiments.FamilyAugmentedCircularLadder,
+	} {
+		for _, n := range []int{5, 10, 20} {
+			s.Specs = append(s.Specs, Spec{
+				Name: fmt.Sprintf("%s-n%d", f, n), Kind: KindColor,
+				Family: string(f), Order: sc(n, 3), Seed: int64(n),
+			})
+		}
+	}
+	for _, d := range []float64{2, 4.26, 6} {
+		s.Specs = append(s.Specs, Spec{
+			Name: fmt.Sprintf("3sat-d%.2f", d), Kind: KindSAT,
+			Order: sc(12, 6), Density: d, Seed: int64(d * 10),
+		})
+	}
+	return s
+}

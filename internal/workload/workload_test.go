@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"projpush/internal/core"
+	"projpush/internal/engine"
+	"projpush/internal/plan"
+)
+
+func TestSpecBuildColorDeterministic(t *testing.T) {
+	s := Spec{Name: "x", Kind: KindColor, Family: "random", Order: 10, Density: 2, Seed: 7}
+	q1, db1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.String() != q2.String() {
+		t.Fatal("same spec built different queries")
+	}
+	if err := q1.Validate(db1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecBuildFamilies(t *testing.T) {
+	for _, fam := range []string{"augmented-path", "ladder", "augmented-ladder", "augmented-circular-ladder"} {
+		s := Spec{Name: fam, Kind: KindColor, Family: fam, Order: 4, Seed: 1}
+		q, db, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if err := q.Validate(db); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+	}
+}
+
+func TestSpecBuildSAT(t *testing.T) {
+	s := Spec{Name: "sat", Kind: KindSAT, Order: 8, Density: 3, Seed: 3, FreeFraction: 0.25}
+	q, db, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(db); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Free) != 2 {
+		t.Fatalf("free = %v, want 2 vars (25%% of 8)", q.Free)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []Spec{
+		{Name: "bad kind", Kind: "nope", Order: 5},
+		{Name: "bad order", Kind: KindColor, Order: 0},
+		{Name: "bad frac", Kind: KindColor, Order: 5, FreeFraction: 2},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.Name)
+		}
+	}
+	good := Spec{Name: "ok", Kind: KindSAT, Order: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	if _, _, err := (Spec{Kind: "nope", Order: 3}).Build(); err == nil {
+		t.Fatal("accepted unknown kind")
+	}
+	if _, _, err := (Spec{Kind: KindColor, Family: "nope", Order: 3}).Build(); err == nil {
+		t.Fatal("accepted unknown family")
+	}
+	if _, _, err := (Spec{Kind: KindColor, Family: "random", Order: 5, Density: 0}).Build(); err == nil {
+		t.Fatal("accepted edgeless random spec")
+	}
+}
+
+func TestSuiteRoundTrip(t *testing.T) {
+	suite := PaperSuite(0.5)
+	var b strings.Builder
+	if err := WriteSuite(&b, suite); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSuite(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != suite.Name || len(back.Specs) != len(suite.Specs) {
+		t.Fatalf("round trip changed suite shape: %d vs %d specs",
+			len(back.Specs), len(suite.Specs))
+	}
+	for i := range suite.Specs {
+		if back.Specs[i] != suite.Specs[i] {
+			t.Fatalf("spec %d changed: %+v vs %+v", i, back.Specs[i], suite.Specs[i])
+		}
+	}
+}
+
+func TestReadSuiteErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"garbage", "not json"},
+		{"empty specs", `{"name":"x","specs":[]}`},
+		{"unknown field", `{"name":"x","specs":[{"name":"a","kind":"color","order":5,"bogus":1}]}`},
+		{"invalid spec", `{"name":"x","specs":[{"name":"a","kind":"nope","order":5}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadSuite(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPaperSuiteExecutable(t *testing.T) {
+	// Every spec in the scaled-down paper suite builds and runs under
+	// bucket elimination.
+	suite := PaperSuite(0.3)
+	for _, sp := range suite.Specs {
+		q, db, err := sp.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		p, err := core.BucketElimination(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if err := plan.Validate(p, q); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if _, err := engine.Exec(p, db, engine.Options{MaxRows: 2_000_000}); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package projpush is a structural query optimizer for project-join
+// (conjunctive) queries, reproducing "Projection Pushing Revisited"
+// (McMahan, Pan, Porter, Vardi; EDBT 2004).
+//
+// The library evaluates queries of the form π_{x1..xn}(R1 ⋈ ... ⋈ Rm)
+// over in-memory databases, choosing the join/projection order with the
+// paper's methods:
+//
+//   - Straightforward: left-deep joins in query order, one final
+//     projection (the baseline a cost-based planner effectively produces).
+//   - EarlyProjection: project each variable out right after its last
+//     occurrence joins.
+//   - Reordering: a greedy atom permutation that lets variables die as
+//     early as possible, then early projection.
+//   - BucketElimination: the constraint-satisfaction method under a
+//     maximum-cardinality-search variable order; with an optimal order
+//     its intermediate arity is treewidth(join graph)+1, the theoretical
+//     optimum (Theorems 1 and 2 of the paper).
+//
+// The root package is a facade over the implementation packages in
+// internal/: query construction, plan building, execution, SQL
+// generation/parsing in the paper's dialect, and problem encoders
+// (k-COLOR, k-SAT) for the paper's workloads.
+//
+// Quick start:
+//
+//	g := projpush.AugmentedPath(12)
+//	res, err := projpush.Solve3Coloring(g, projpush.BucketElimination, nil)
+//	// res.Nonempty() reports 3-colorability; res.Stats has arity/size
+//	// instrumentation.
+package projpush
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"projpush/internal/acyclic"
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/hypertree"
+	"projpush/internal/instance"
+	"projpush/internal/minibucket"
+	"projpush/internal/minimize"
+	"projpush/internal/pgplanner"
+	"projpush/internal/plan"
+	"projpush/internal/relation"
+	"projpush/internal/sqlgen"
+	"projpush/internal/sqlparse"
+)
+
+// Re-exported core types. These aliases are the public names of the
+// library's data model; the internal packages carry the implementations.
+type (
+	// Query is a project-join query: atoms plus a target schema.
+	Query = cq.Query
+	// Atom binds a database relation's columns to query variables.
+	Atom = cq.Atom
+	// Var identifies a query variable / attribute.
+	Var = cq.Var
+	// Database maps relation names to relations.
+	Database = cq.Database
+	// Relation is an in-memory set-semantics relation.
+	Relation = relation.Relation
+	// Tuple is one row of a relation.
+	Tuple = relation.Tuple
+	// Value is a domain element.
+	Value = relation.Value
+	// Graph is a simple undirected graph (query workloads).
+	Graph = graph.Graph
+	// Plan is an executable project-join plan.
+	Plan = plan.Node
+	// Method names one of the paper's optimization methods.
+	Method = core.Method
+	// Result is an execution outcome with instrumentation.
+	Result = engine.Result
+	// ExecStats instruments one execution.
+	ExecStats = engine.Stats
+)
+
+// The optimization methods, in the paper's presentation order.
+const (
+	Straightforward   = core.MethodStraightforward
+	EarlyProjection   = core.MethodEarlyProjection
+	Reordering        = core.MethodReordering
+	BucketElimination = core.MethodBucketElimination
+)
+
+// Methods lists all optimization methods.
+var Methods = core.Methods
+
+// NewRelation returns an empty relation over the attributes.
+func NewRelation(attrs []Var) *Relation { return relation.New(attrs) }
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// RandomGraph generates a uniform random graph with n vertices and m
+// distinct edges.
+func RandomGraph(n, m int, rng *rand.Rand) (*Graph, error) { return graph.Random(n, m, rng) }
+
+// AugmentedPath builds Figure 1a: a path of order n with one dangling
+// edge per path vertex.
+func AugmentedPath(n int) *Graph { return graph.AugmentedPath(n) }
+
+// Ladder builds Figure 1b: a ladder with n rungs.
+func Ladder(n int) *Graph { return graph.Ladder(n) }
+
+// AugmentedLadder builds Figure 1c: a ladder with a dangling edge on
+// every vertex.
+func AugmentedLadder(n int) *Graph { return graph.AugmentedLadder(n) }
+
+// AugmentedCircularLadder builds Figure 1d: an augmented ladder whose
+// rails are closed into cycles.
+func AugmentedCircularLadder(n int) *Graph { return graph.AugmentedCircularLadder(n) }
+
+// ColorDatabase returns the k-COLOR database: one binary "edge" relation
+// with all pairs of distinct colors.
+func ColorDatabase(k int) Database { return instance.ColorDatabase(k) }
+
+// ColorQuery translates a graph into the k-COLOR query with the given
+// free variables (nil free plus BooleanFree for the paper's Boolean
+// emulation).
+func ColorQuery(g *Graph, free []Var) (*Query, error) { return instance.ColorQuery(g, free) }
+
+// HomomorphismDatabase returns the database for graph-homomorphism
+// queries into the target graph h; with h = K_k this is k-COLOR (the
+// Kolaitis–Vardi CSP connection the paper builds on).
+func HomomorphismDatabase(h *Graph) Database { return instance.HomomorphismDatabase(h) }
+
+// HomomorphismQuery translates a source graph into the query deciding
+// whether it maps homomorphically into the database's target graph.
+func HomomorphismQuery(g *Graph, free []Var) (*Query, error) {
+	return instance.HomomorphismQuery(g, free)
+}
+
+// BooleanFree returns the paper's Boolean emulation target schema: the
+// first vertex occurring in an edge.
+func BooleanFree(g *Graph) []Var { return instance.BooleanFree(g) }
+
+// ChooseFree samples the paper's non-Boolean target schema: a random
+// fraction of the candidate variables.
+func ChooseFree(candidates []Var, frac float64, rng *rand.Rand) []Var {
+	return instance.ChooseFree(candidates, frac, rng)
+}
+
+// SAT workload types, re-exported for the k-SAT encodings of Section 7.
+type (
+	// SAT is a CNF formula.
+	SAT = instance.SAT
+	// Clause is a disjunction of literals.
+	Clause = instance.Clause
+	// Lit is a signed variable.
+	Lit = instance.Lit
+)
+
+// RandomSAT generates a random k-SAT formula with n variables and m
+// clauses.
+func RandomSAT(k, n, m int, rng *rand.Rand) (*SAT, error) { return instance.RandomSAT(k, n, m, rng) }
+
+// SATQuery translates a CNF formula into a conjunctive query over the
+// clause-pattern database; the query is nonempty iff the formula is
+// satisfiable.
+func SATQuery(s *SAT, free []Var) (*Query, Database, error) { return instance.SATQuery(s, free) }
+
+// SATVariables returns the variables occurring in the formula's clauses.
+func SATVariables(s *SAT) []Var { return instance.SATVariablesInClauses(s) }
+
+// BuildPlan constructs a plan for the query under the method. rng drives
+// the documented random tie-breaking; nil is deterministic.
+func BuildPlan(m Method, q *Query, rng *rand.Rand) (Plan, error) {
+	return core.BuildPlan(m, q, rng)
+}
+
+// ValidatePlan checks that a plan faithfully evaluates the query: scans
+// match atoms, projections never drop live variables, and the root schema
+// is the target schema.
+func ValidatePlan(p Plan, q *Query) error { return plan.Validate(p, q) }
+
+// PlanWidth returns the plan's width: the maximum intermediate arity, the
+// paper's central cost measure.
+func PlanWidth(p Plan) int { return plan.Analyze(p).Width }
+
+// ExecOptions bounds an execution.
+type ExecOptions = engine.Options
+
+// Execute runs a plan over a database.
+func Execute(p Plan, db Database, opt ExecOptions) (*Result, error) {
+	return engine.Exec(p, db, opt)
+}
+
+// Run is the one-call path: build the method's plan and execute it.
+func Run(m Method, q *Query, db Database, opt ExecOptions, rng *rand.Rand) (*Result, error) {
+	p, err := BuildPlan(m, q, rng)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(p, db, opt)
+}
+
+// SQL renders a plan in the paper's SQL dialect (JOIN ... ON with
+// SELECT DISTINCT subqueries).
+func SQL(p Plan) (string, error) { return sqlgen.FromPlan(p) }
+
+// NaiveSQL renders the query in the paper's naive dialect (comma FROM
+// list with WHERE equalities).
+func NaiveSQL(q *Query) (string, error) { return sqlgen.Naive(q) }
+
+// ParseSQL parses the JOIN-form dialect back into a plan.
+func ParseSQL(sql string) (Plan, error) { return sqlparse.Parse(sql) }
+
+// OrderHeuristic names an elimination-order heuristic for
+// tree-decomposition-based planning.
+type OrderHeuristic = core.OrderHeuristic
+
+// The elimination-order heuristics for TreeDecompositionPlan.
+const (
+	OrderMCS       = core.OrderMCS
+	OrderMinFill   = core.OrderMinFill
+	OrderMinDegree = core.OrderMinDegree
+)
+
+// TreeDecompositionPlan builds a plan through Theorem 1's constructive
+// machinery: elimination order → tree decomposition → join-expression
+// tree (Algorithms 2 and 3) → plan. An alternative realization of the
+// same width guarantees as bucket elimination.
+func TreeDecompositionPlan(q *Query, h OrderHeuristic, rng *rand.Rand) (Plan, error) {
+	return core.TreeDecompositionPlan(q, h, rng)
+}
+
+// Weights assigns byte widths to attributes (Section 7's weighted-
+// attribute extension).
+type Weights = plan.Weights
+
+// WeightedWidth is the maximum weighted intermediate arity of a plan.
+func WeightedWidth(p Plan, w Weights) int { return plan.WeightedWidth(p, w) }
+
+// BucketEliminationWeighted plans with a variable order that minimizes
+// weighted intermediate arity instead of column count.
+func BucketEliminationWeighted(q *Query, w Weights) (Plan, error) {
+	return core.BucketEliminationWeighted(q, w)
+}
+
+// IsAcyclic reports whether the query's hypergraph is acyclic (GYO ear
+// removal).
+func IsAcyclic(q *Query) bool { return acyclic.IsAcyclic(q) }
+
+// Yannakakis evaluates an acyclic query with full semijoin reduction and
+// linear-size intermediate results; it fails on cyclic queries.
+func Yannakakis(q *Query, db Database) (*Relation, error) { return acyclic.Evaluate(q, db) }
+
+// MiniBucketResult is the outcome of an approximate mini-bucket run.
+type MiniBucketResult = minibucket.Result
+
+// MiniBucket runs mini-bucket elimination with the given arity bound
+// under the MCS order: the result over-approximates the exact answer, and
+// an empty result proves the exact answer empty.
+func MiniBucket(q *Query, db Database, bound int, rng *rand.Rand) (*MiniBucketResult, error) {
+	return minibucket.Evaluate(q, db, core.MCSVarOrder(q, rng), bound)
+}
+
+// HybridChoice is the hybrid optimizer's outcome: the chosen plan, the
+// structural candidate that produced it, and the winning cost estimate.
+type HybridChoice = core.HybridChoice
+
+// Hybrid combines structural and cost-based optimization (the paper's
+// Section 7 item): structural rewrites generate a portfolio of
+// projection-pushed plans; a System-R cost model built from db's
+// statistics picks the cheapest.
+func Hybrid(q *Query, db Database, rng *rand.Rand) (*HybridChoice, error) {
+	return core.Hybrid(q, pgplanner.NewCostModel(db), rng)
+}
+
+// StructuralReport collects the query's structural measures: treewidth
+// bounds, heuristic induced widths, hypertree-width estimate, and
+// per-method plan widths.
+type StructuralReport = core.StructuralReport
+
+// AnalyzeStructure computes the structural report for a query — the
+// "EXPLAIN" of structural optimization, computed from schemas alone.
+func AnalyzeStructure(q *Query) (*StructuralReport, error) {
+	return core.AnalyzeStructure(q)
+}
+
+// HypertreeWidth estimates the query's generalized hypertree width
+// (greedy atom covers over an MCS tree decomposition).
+func HypertreeWidth(q *Query) (int, error) {
+	w, _, err := hypertree.Estimate(q)
+	return w, err
+}
+
+// Explain renders a plan as an indented operator tree; with analyze true
+// it executes the plan and annotates actual cardinalities.
+func Explain(p Plan, db Database, opt ExecOptions, analyze bool) (string, error) {
+	return engine.Explain(p, db, opt, analyze)
+}
+
+// ExecuteIterator runs a plan on the Volcano-style iterator engine
+// (PostgreSQL's execution model); results are identical to Execute.
+func ExecuteIterator(p Plan, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecIterator(p, db, opt)
+}
+
+// CQFile is a parsed query+database text file (Datalog-flavoured; see
+// internal/cqparse for the format).
+type CQFile = cqparse.File
+
+// ParseCQ reads a query and its database from the text format.
+func ParseCQ(r io.Reader) (*CQFile, error) { return cqparse.Parse(r) }
+
+// ReadDIMACSGraph parses a DIMACS .col graph.
+func ReadDIMACSGraph(r io.Reader) (*Graph, error) { return instance.ReadDIMACSGraph(r) }
+
+// ReadDIMACSCNF parses a DIMACS CNF formula.
+func ReadDIMACSCNF(r io.Reader) (*SAT, error) { return instance.ReadDIMACSCNF(r) }
+
+// ContainedIn decides conjunctive-query containment q1 ⊆ q2 via the
+// Chandra–Merlin canonical database, evaluated with bucket elimination.
+func ContainedIn(q1, q2 *Query) (bool, error) {
+	return minimize.ContainedIn(q1, q2, engine.Options{})
+}
+
+// EquivalentQueries decides mutual containment.
+func EquivalentQueries(q1, q2 *Query) (bool, error) {
+	return minimize.Equivalent(q1, q2, engine.Options{})
+}
+
+// MinimizeQuery returns an equivalent subquery with a minimal number of
+// atoms (the Chandra–Merlin core).
+func MinimizeQuery(q *Query) (*Query, error) {
+	return minimize.Minimize(q, engine.Options{})
+}
+
+// Solve3Coloring decides 3-colorability of g with the given method: it
+// builds the Boolean 3-COLOR query, plans it, and executes it with a
+// 30-second safety timeout.
+func Solve3Coloring(g *Graph, m Method, rng *rand.Rand) (*Result, error) {
+	q, err := ColorQuery(g, BooleanFree(g))
+	if err != nil {
+		return nil, err
+	}
+	return Run(m, q, ColorDatabase(3), ExecOptions{Timeout: 30 * time.Second}, rng)
+}
