@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench fuzz experiments clean
+.PHONY: all build vet test bench bench-json fuzz experiments clean
 
 all: build vet test
 
@@ -13,10 +13,18 @@ vet:
 
 test:
 	go test ./...
+	go test -race ./internal/engine ./internal/relation
 
 # One iteration per benchmark: regenerates every figure series quickly.
 bench:
 	go test -bench=. -benchmem -benchtime 1x .
+
+# Kernel microbenchmarks (open-addressing join/dedup vs map baselines,
+# partitioned join by worker count) recorded as JSON for trend tracking.
+bench-json:
+	go test ./internal/relation -run '^$$' -bench '^BenchmarkKernel' -benchmem \
+		| go run ./cmd/benchjson > BENCH_relation.json
+	@cat BENCH_relation.json
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

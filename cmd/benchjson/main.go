@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array on stdout, one object per benchmark result with the
+// name, iteration count, ns/op, B/op, and allocs/op. It is the back end
+// of `make bench-json`, which records the kernel microbenchmarks in
+// BENCH_relation.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	results := []result{} // never nil: no matches must encode as [], not null
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-8  1234  5678 ns/op  90 B/op  12 allocs/op
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		r := result{Name: strings.TrimSuffix(f[0], cpuSuffix(f[0]))}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			continue
+		}
+		if r.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS suffix of a benchmark
+// name, or "" if absent, so names stay stable across machines.
+func cpuSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

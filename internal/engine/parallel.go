@@ -11,16 +11,26 @@ import (
 	"projpush/internal/relation"
 )
 
-// ExecParallel evaluates the plan like Exec but computes the two sides
-// of a join concurrently when both are non-trivial subtrees. Bucket
-// elimination and tree-decomposition plans are bushy — sibling buckets
-// share no state — so independent subtrees parallelize cleanly. workers
-// bounds the number of concurrently evaluating subtrees (values < 2
-// degenerate to sequential execution).
+// ExecParallel evaluates the plan like Exec but exploits parallelism on
+// two axes:
 //
-// Results are identical to Exec. Statistics are aggregated across
-// goroutines; per-operator counters are exact, Work and MaxRows are
-// merged from each goroutine's private counters.
+//   - across the plan: the two sides of a join are computed concurrently
+//     when both are non-trivial subtrees. Bucket elimination and
+//     tree-decomposition plans are bushy — sibling buckets share no state
+//     — so independent subtrees parallelize cleanly.
+//
+//   - inside a join: large joins are radix-partitioned on the join key
+//     and the partitions are joined by a worker pool
+//     (relation.ParallelJoinLimited). This is what lets chain-shaped
+//     (left-deep) plans — the straightforward method on paths, ladders,
+//     and augmented circular ladders — benefit from workers > 1, where
+//     subtree parallelism alone degenerates to sequential execution.
+//
+// workers bounds the number of concurrently evaluating subtrees and the
+// fan-out of each partitioned join (values < 2 degenerate to sequential
+// execution). Results are identical to Exec. Statistics are aggregated
+// across goroutines; per-operator counters are exact, Work and MaxRows
+// are merged from each goroutine's private counters.
 func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Result, error) {
 	if workers < 2 {
 		return Exec(n, db, opt)
@@ -33,8 +43,11 @@ func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Resul
 		db:       db,
 		deadline: deadline,
 		maxRows:  opt.MaxRows,
+		workers:  workers,
 		sem:      make(chan struct{}, workers),
+		sizes:    make(map[plan.Node]int),
 	}
+	measureSubtrees(n, pe.sizes)
 	start := time.Now()
 	rel, err := pe.eval(n)
 	pe.stats.Elapsed = time.Since(start)
@@ -54,7 +67,9 @@ type parallelExec struct {
 	db       cq.Database
 	deadline time.Time
 	maxRows  int
+	workers  int
 	sem      chan struct{}
+	sizes    map[plan.Node]int
 
 	mu    sync.Mutex
 	stats Stats
@@ -85,12 +100,15 @@ func (pe *parallelExec) lim(work *int64) *relation.Limit {
 	return &relation.Limit{MaxRows: pe.maxRows, Deadline: pe.deadline, Work: work}
 }
 
-// subtreeSize counts plan nodes, to decide whether forking pays off.
-func subtreeSize(n plan.Node) int {
+// measureSubtrees records the node count of every subtree in one walk, so
+// evalPair's fork-or-not decision is O(1) per join instead of re-walking
+// the subtree at every pair (O(n²) on deep chain plans).
+func measureSubtrees(n plan.Node, sizes map[plan.Node]int) int {
 	size := 1
 	for _, c := range n.Children() {
-		size += subtreeSize(c)
+		size += measureSubtrees(c, sizes)
 	}
+	sizes[n] = size
 	return size
 }
 
@@ -118,7 +136,7 @@ func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
 			return nil, err
 		}
 		var work int64
-		out, err := relation.JoinLimited(l, r, pe.lim(&work))
+		out, err := relation.ParallelJoinLimited(l, r, pe.lim(&work), pe.workers)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +164,7 @@ func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
 // evalPair evaluates two subtrees, concurrently when both are non-trivial
 // and a worker slot is free.
 func (pe *parallelExec) evalPair(a, b plan.Node) (*relation.Relation, *relation.Relation, error) {
-	if subtreeSize(a) < 3 || subtreeSize(b) < 3 {
+	if pe.sizes[a] < 3 || pe.sizes[b] < 3 {
 		ra, err := pe.eval(a)
 		if err != nil {
 			return nil, nil, err

@@ -1,0 +1,257 @@
+package relation
+
+// Open-addressing hash structures for the execution hot path. Two
+// structures live here:
+//
+//   - the per-relation dedup table (fields keys/refs on Relation): an
+//     open-addressing set over uint64 keys with linear probing and
+//     power-of-two capacity, replacing the former map[uint64]struct{} /
+//     map[string]struct{} pair. In packed ("exact") mode the key is an
+//     injective byte-packing of the tuple; otherwise it is an FNV-1a hash
+//     and equality is verified against the stored row in the arena.
+//
+//   - joinTable: the hash-join build table, replacing map[uint64][]Tuple.
+//     Rows with equal keys are chained through flat []int32 arrays, so
+//     building allocates O(1) slices total instead of one slice header per
+//     distinct key.
+//
+// Both use the same finalizing mixer so that packed keys (whose entropy
+// sits in the low bytes) spread over the whole table.
+
+// mix64 is the splitmix64 finalizer: a bijective mixer that spreads any
+// key over all 64 bits. Slot indexes are taken from its low bits, radix
+// partition numbers from its high bits, so the two never correlate.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// nextPow2 returns the smallest power of two >= n (and at least 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// hashRow computes the FNV-1a fallback dedup key of a tuple, used when
+// the relation has left packed mode. Collisions are resolved by comparing
+// rows in the arena, so the hash only needs to be deterministic.
+func hashRow(t Tuple) uint64 {
+	var h uint64 = fnvOffset
+	for _, v := range t {
+		u := uint32(v)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(u >> s))
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// rowEqual reports whether stored row i equals t.
+func (r *Relation) rowEqual(i int, t Tuple) bool {
+	row := r.data[i*r.arity : (i+1)*r.arity]
+	for j, v := range row {
+		if v != t[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupInsert inserts (key, row r.n) unless an equal tuple is already
+// present, and reports whether it inserted. In exact mode the key is
+// injective so key equality decides; otherwise the candidate is compared
+// against the stored row.
+func (r *Relation) dedupInsert(key uint64, t Tuple) bool {
+	if len(r.keys) == 0 {
+		r.keys = make([]uint64, 16)
+		r.refs = make([]int32, 16)
+	} else if r.used*4 >= len(r.keys)*3 {
+		r.growDedup()
+	}
+	mask := uint64(len(r.keys) - 1)
+	i := mix64(key) & mask
+	for {
+		ref := r.refs[i]
+		if ref == 0 {
+			r.keys[i] = key
+			r.refs[i] = int32(r.n) + 1
+			r.used++
+			return true
+		}
+		if r.keys[i] == key && (r.exact || r.rowEqual(int(ref-1), t)) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// dedupContains reports whether a tuple with the given key is present.
+func (r *Relation) dedupContains(key uint64, t Tuple) bool {
+	if len(r.keys) == 0 {
+		return false
+	}
+	mask := uint64(len(r.keys) - 1)
+	i := mix64(key) & mask
+	for {
+		ref := r.refs[i]
+		if ref == 0 {
+			return false
+		}
+		if r.keys[i] == key && (r.exact || r.rowEqual(int(ref-1), t)) {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// growDedup doubles the table and rehashes the stored (key, ref) pairs.
+// Rows are not touched: keys are stored alongside the refs.
+func (r *Relation) growDedup() {
+	oldKeys, oldRefs := r.keys, r.refs
+	size := len(oldKeys) * 2
+	r.keys = make([]uint64, size)
+	r.refs = make([]int32, size)
+	mask := uint64(size - 1)
+	for j, ref := range oldRefs {
+		if ref == 0 {
+			continue
+		}
+		k := oldKeys[j]
+		i := mix64(k) & mask
+		for r.refs[i] != 0 {
+			i = (i + 1) & mask
+		}
+		r.keys[i] = k
+		r.refs[i] = ref
+	}
+}
+
+// rebuildDedup rebuilds the table from the arena under the current mode.
+// The stored rows are distinct, so each insert lands in the first free
+// slot of its probe sequence.
+func (r *Relation) rebuildDedup() {
+	size := nextPow2(r.n*4/3 + 1)
+	if size < 16 {
+		size = 16
+	}
+	r.keys = make([]uint64, size)
+	r.refs = make([]int32, size)
+	r.used = r.n
+	mask := uint64(size - 1)
+	for i := 0; i < r.n; i++ {
+		t := r.row(i)
+		var k uint64
+		if r.exact {
+			k, _ = packKey(t)
+		} else {
+			k = hashRow(t)
+		}
+		j := mix64(k) & mask
+		for r.refs[j] != 0 {
+			j = (j + 1) & mask
+		}
+		r.keys[j] = k
+		r.refs[j] = int32(i) + 1
+	}
+}
+
+// ensureDedup builds the dedup table of a relation whose rows were
+// assembled without one (the merge step of the partition-parallel join
+// leaves the table stale because partition outputs are provably disjoint).
+func (r *Relation) ensureDedup() {
+	if !r.stale {
+		return
+	}
+	r.stale = false
+	r.exact = r.arity <= 8 && r.rangesPackable()
+	r.rebuildDedup()
+}
+
+// migrateHashed leaves packed mode: all dedup keys become FNV hashes with
+// row verification on collision.
+func (r *Relation) migrateHashed() {
+	r.exact = false
+	r.rebuildDedup()
+}
+
+// joinTable is the hash-join build table: an open-addressing map from a
+// join key to the chain of build-side row indexes carrying that key.
+// Capacity is fixed at construction (the build side is fully known), so
+// there is no growth path; chains live in two flat arrays.
+type joinTable struct {
+	mask     uint64
+	slotKey  []uint64
+	slotHead []int32 // 1-based index into rowOf/next; 0 = empty slot
+	rowOf    []int32 // entry -> build row index
+	next     []int32 // entry -> next entry with the same key (1-based, 0 = end)
+}
+
+// newJoinTable builds the table over keys[i] for rows 0..len(keys)-1.
+func newJoinTable(keys []uint64) joinTable {
+	jt := makeJoinTable(len(keys))
+	for i, k := range keys {
+		jt.insert(k, int32(i))
+	}
+	return jt
+}
+
+// makeJoinTable allocates an empty table sized for n rows at <=75% load.
+func makeJoinTable(n int) joinTable {
+	size := nextPow2(n*4/3 + 1)
+	if size < 8 {
+		size = 8
+	}
+	return joinTable{
+		mask:     uint64(size - 1),
+		slotKey:  make([]uint64, size),
+		slotHead: make([]int32, size),
+		rowOf:    make([]int32, 0, n),
+		next:     make([]int32, 0, n),
+	}
+}
+
+// insert prepends row to the chain of key.
+func (jt *joinTable) insert(key uint64, row int32) {
+	i := mix64(key) & jt.mask
+	for {
+		head := jt.slotHead[i]
+		if head == 0 {
+			jt.slotKey[i] = key
+			jt.rowOf = append(jt.rowOf, row)
+			jt.next = append(jt.next, 0)
+			jt.slotHead[i] = int32(len(jt.rowOf))
+			return
+		}
+		if jt.slotKey[i] == key {
+			jt.rowOf = append(jt.rowOf, row)
+			jt.next = append(jt.next, head)
+			jt.slotHead[i] = int32(len(jt.rowOf))
+			return
+		}
+		i = (i + 1) & jt.mask
+	}
+}
+
+// first returns the head of key's chain (1-based entry index), or 0.
+// Iterate with: for e := jt.first(k); e != 0; e = jt.next[e-1].
+func (jt *joinTable) first(key uint64) int32 {
+	i := mix64(key) & jt.mask
+	for {
+		head := jt.slotHead[i]
+		if head == 0 {
+			return 0
+		}
+		if jt.slotKey[i] == key {
+			return head
+		}
+		i = (i + 1) & jt.mask
+	}
+}

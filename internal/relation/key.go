@@ -6,10 +6,11 @@ package relation
 // between distinct value vectors, so the join can skip the verify step.
 // Otherwise the key is an FNV-1a hash and matches must be verified.
 //
-// Exactness is decided at construction by scanning the relation's shared
-// columns, so a single keyer never mixes packed and hashed keys (mixing
-// would let a packed key collide with a hash and corrupt an unverified
-// join).
+// Exactness is decided at construction from the relation's per-column
+// min/max metadata (maintained on insert), so the decision costs
+// O(|shared|) instead of a scan over all rows, and a single keyer never
+// mixes packed and hashed keys (mixing would let a packed key collide
+// with a hash and corrupt an unverified join).
 //
 // The packing fast path matters: the paper's domains have three (3-COLOR)
 // or two (SAT) values, so in the experiments every join key packs. The
@@ -25,14 +26,11 @@ func newKeyer(r *Relation, shared []Attr) keyer {
 		pos[i] = r.pos[a]
 	}
 	exact := len(shared) <= 8
-	if exact {
-	scan:
-		for _, t := range r.rows {
-			for _, p := range pos {
-				if t[p] < 0 || t[p] > 255 {
-					exact = false
-					break scan
-				}
+	if exact && r.n > 0 {
+		for _, p := range pos {
+			if r.colMin[p] < 0 || r.colMax[p] > 255 {
+				exact = false
+				break
 			}
 		}
 	}

@@ -56,6 +56,103 @@ func SharedAttrs(r, o *Relation) []Attr {
 	return shared
 }
 
+// joinSpec precomputes everything a hash join between r and o needs:
+// build/probe role assignment, keyers, verification column positions, and
+// the output assembly map. It is shared by the sequential kernel
+// (JoinLimited) and the partition-parallel one (ParallelJoinLimited).
+type joinSpec struct {
+	shared       []Attr
+	build, probe *Relation
+	outAttrs     []Attr
+	bKey, pKey   keyer
+	needVerify   bool
+	bPos, pPos   []int // shared-attr column positions for verification
+	probeSrc     []int // output column -> probe column, or -1
+	buildSrc     []int // output column -> build column (when probeSrc is -1)
+}
+
+// makeJoinSpec prepares the join of r and o. The output schema is r's
+// attributes followed by o's attributes not in r; the smaller input
+// becomes the build side, as in the original kernel.
+func makeJoinSpec(r, o *Relation) joinSpec {
+	s := joinSpec{shared: SharedAttrs(r, o)}
+
+	// Build on the smaller side.
+	s.build, s.probe = r, o
+	if s.probe.n < s.build.n {
+		s.build, s.probe = o, r
+	}
+
+	// Output schema: r's columns, then o-only columns.
+	s.outAttrs = append([]Attr(nil), r.attrs...)
+	for _, a := range o.attrs {
+		if !r.HasAttr(a) {
+			s.outAttrs = append(s.outAttrs, a)
+		}
+	}
+
+	s.bKey = newKeyer(s.build, s.shared)
+	s.pKey = newKeyer(s.probe, s.shared)
+	// When keys can collide across distinct shared-value vectors (the
+	// generic hasher), verify equality on shared columns explicitly.
+	s.needVerify = !s.bKey.exact || !s.pKey.exact
+	s.bPos = make([]int, len(s.shared))
+	s.pPos = make([]int, len(s.shared))
+	for i, a := range s.shared {
+		s.bPos[i] = s.build.pos[a]
+		s.pPos[i] = s.probe.pos[a]
+	}
+
+	// Output assembly: shared attributes are read from the probe side
+	// (the join condition makes the two sides agree on them).
+	s.probeSrc = make([]int, len(s.outAttrs))
+	s.buildSrc = make([]int, len(s.outAttrs))
+	for i, a := range s.outAttrs {
+		if j := s.probe.Pos(a); j >= 0 {
+			s.probeSrc[i] = j
+			s.buildSrc[i] = -1
+		} else {
+			s.probeSrc[i] = -1
+			s.buildSrc[i] = s.build.pos[a]
+		}
+	}
+	return s
+}
+
+// buildKeys computes the join key of every build-side row.
+func (s *joinSpec) buildKeys() []uint64 {
+	keys := make([]uint64, s.build.n)
+	for i := range keys {
+		keys[i] = s.bKey.key(s.build.row(i))
+	}
+	return keys
+}
+
+// emit assembles the (probe row, build row) output tuple into out and
+// inserts it, reporting whether it was new.
+func (s *joinSpec) emit(out *Relation, pt, bt Tuple) bool {
+	row := out.stage()
+	for i, ps := range s.probeSrc {
+		if ps >= 0 {
+			row[i] = pt[ps]
+		} else {
+			row[i] = bt[s.buildSrc[i]]
+		}
+	}
+	return out.commitStaged(row)
+}
+
+// verifyMatch reports whether the shared columns of a probe and build row
+// really agree (needed when keys are hashes).
+func (s *joinSpec) verifyMatch(pt, bt Tuple) bool {
+	for i := range s.pPos {
+		if bt[s.bPos[i]] != pt[s.pPos[i]] {
+			return false
+		}
+	}
+	return true
+}
+
 // Join computes the natural join of r and o. It is equivalent to
 // JoinLimited with no limits; it never fails.
 func Join(r, o *Relation) *Relation {
@@ -70,117 +167,48 @@ func Join(r, o *Relation) *Relation {
 // schema is r's attributes followed by o's attributes not in r. When the
 // relations share no attributes the result is the cross product.
 //
-// The implementation is a classic hash join: build a table on the smaller
-// input keyed by the shared attributes, probe with the larger one. This
-// mirrors the paper's setup, which forced hash joins in PostgreSQL.
+// The implementation is a classic hash join: build an open-addressing
+// table on the smaller input keyed by the shared attributes, probe with
+// the larger one. This mirrors the paper's setup, which forced hash joins
+// in PostgreSQL.
 func JoinLimited(r, o *Relation, lim *Limit) (*Relation, error) {
 	if lim.expired() {
 		return nil, ErrDeadline
 	}
-	shared := SharedAttrs(r, o)
-
-	// Build on the smaller side.
-	build, probe := r, o
-	if probe.Len() < build.Len() {
-		build, probe = probe, r
+	spec := makeJoinSpec(r, o)
+	out := New(spec.outAttrs)
+	if spec.build.n == 0 {
+		return out, nil
 	}
 
-	// Output schema: r's columns, then o-only columns.
-	outAttrs := append([]Attr(nil), r.attrs...)
-	for _, a := range o.attrs {
-		if !r.HasAttr(a) {
-			outAttrs = append(outAttrs, a)
-		}
-	}
-	out := New(outAttrs)
+	jt := newJoinTable(spec.buildKeys())
+	lim.charge(int64(spec.build.n))
 
-	bKey := newKeyer(build, shared)
-	pKey := newKeyer(probe, shared)
-
-	table := make(map[uint64][]Tuple, build.Len())
-	for _, t := range build.rows {
-		k := bKey.key(t)
-		table[k] = append(table[k], t)
-	}
-	lim.charge(int64(build.Len()))
-
-	// Precompute how to assemble the output tuple from (probe, build)
-	// pairs. We assemble in terms of (r, o) so compute per-side sources.
-	type src struct {
-		fromR bool
-		idx   int
-	}
-	assemble := make([]src, len(outAttrs))
-	for i, a := range outAttrs {
-		if j := r.Pos(a); j >= 0 {
-			assemble[i] = src{fromR: true, idx: j}
-		} else {
-			assemble[i] = src{fromR: false, idx: o.pos[a]}
-		}
-	}
-	buildIsR := build == r
-
-	// When keys can collide across distinct shared-value vectors (the
-	// generic hasher), verify equality on shared columns explicitly.
-	bPos := make([]int, len(shared))
-	pPos := make([]int, len(shared))
-	for i, a := range shared {
-		bPos[i] = build.pos[a]
-		pPos[i] = probe.pos[a]
-	}
-	needVerify := !bKey.exact || !pKey.exact
-
-	// Output tuples are carved out of chunked backing arrays: one
-	// allocation per arenaChunk rows instead of one per row. Stored
-	// tuples are never mutated, so sharing a backing array is safe.
-	arity := len(outAttrs)
-	var arena []Value
-	count := 0
-	for _, pt := range probe.rows {
-		count++
-		if count%deadlineCheckInterval == 0 && lim.expired() {
+	probe := spec.probe
+	var touched int64
+	for pi := 0; pi < probe.n; pi++ {
+		if (pi+1)%deadlineCheckInterval == 0 && lim.expired() {
+			lim.charge(touched)
 			return nil, ErrDeadline
 		}
-		matches := table[pKey.key(pt)]
-		lim.charge(int64(len(matches)) + 1)
-	match:
-		for _, bt := range matches {
-			if needVerify {
-				for i := range shared {
-					if bt[bPos[i]] != pt[pPos[i]] {
-						continue match
-					}
-				}
+		pt := probe.row(pi)
+		touched++
+		for e := jt.first(spec.pKey.key(pt)); e != 0; e = jt.next[e-1] {
+			bt := spec.build.row(int(jt.rowOf[e-1]))
+			touched++
+			if spec.needVerify && !spec.verifyMatch(pt, bt) {
+				continue
 			}
-			rt, ot := pt, bt
-			if buildIsR {
-				rt, ot = bt, pt
-			}
-			if len(arena) < arity {
-				arena = make([]Value, arenaChunk*arity)
-			}
-			row := Tuple(arena[:arity:arity])
-			for i, s := range assemble {
-				if s.fromR {
-					row[i] = rt[s.idx]
-				} else {
-					row[i] = ot[s.idx]
-				}
-			}
-			if out.addOwned(row) {
-				arena = arena[arity:]
-			}
-			if lim.overRows(out.Len()) {
+			spec.emit(out, pt, bt)
+			if lim.overRows(out.n) {
+				lim.charge(touched)
 				return nil, ErrRowLimit
 			}
 		}
 	}
+	lim.charge(touched)
 	return out, nil
 }
-
-// arenaChunk is the number of output rows allocated per backing array in
-// the join and projection kernels.
-const arenaChunk = 256
 
 // Project returns the projection of r onto attrs (which must all be in r's
 // schema), with duplicates removed — SELECT DISTINCT semantics.
@@ -206,24 +234,18 @@ func ProjectLimited(r *Relation, attrs []Attr, lim *Limit) (*Relation, error) {
 		idx[i] = j
 	}
 	out := New(attrs)
-	lim.charge(int64(r.Len()))
-	arity := len(attrs)
-	var arena []Value
-	for n, t := range r.rows {
+	lim.charge(int64(r.n))
+	for n := 0; n < r.n; n++ {
 		if n%deadlineCheckInterval == deadlineCheckInterval-1 && lim.expired() {
 			return nil, ErrDeadline
 		}
-		if len(arena) < arity {
-			arena = make([]Value, arenaChunk*arity)
-		}
-		row := Tuple(arena[:arity:arity])
+		t := r.row(n)
+		row := out.stage()
 		for i, j := range idx {
 			row[i] = t[j]
 		}
-		if out.addOwned(row) {
-			arena = arena[arity:]
-		}
-		if lim.overRows(out.Len()) {
+		out.commitStaged(row)
+		if lim.overRows(out.n) {
 			return nil, ErrRowLimit
 		}
 	}
@@ -237,7 +259,8 @@ func Select(r *Relation, a Attr, v Value) *Relation {
 		panic(fmt.Sprintf("relation.Select: attribute %d not in schema", a))
 	}
 	out := New(r.attrs)
-	for _, t := range r.rows {
+	for i := 0; i < r.n; i++ {
+		t := r.row(i)
 		if t[j] == v {
 			out.Add(t)
 		}
@@ -252,7 +275,8 @@ func SelectEq(r *Relation, a, b Attr) *Relation {
 		panic("relation.SelectEq: attribute not in schema")
 	}
 	out := New(r.attrs)
-	for _, t := range r.rows {
+	for n := 0; n < r.n; n++ {
+		t := r.row(n)
 		if t[i] == t[j] {
 			out.Add(t)
 		}
@@ -281,24 +305,25 @@ func Semijoin(r, o *Relation) *Relation {
 		rPos[i] = r.pos[a]
 	}
 	needVerify := !oKey.exact || !rKey.exact
-	table := make(map[uint64][]Tuple, o.Len())
-	for _, t := range o.rows {
-		k := oKey.key(t)
-		table[k] = append(table[k], t)
+	oKeys := make([]uint64, o.n)
+	for i := range oKeys {
+		oKeys[i] = oKey.key(o.row(i))
 	}
-	for _, t := range r.rows {
-		matches := table[rKey.key(t)]
-		if !needVerify {
-			if len(matches) > 0 {
-				out.Add(t)
-			}
-			continue
-		}
-	match:
-		for _, ot := range matches {
-			for i := range shared {
-				if ot[oPos[i]] != t[rPos[i]] {
-					continue match
+	table := newJoinTable(oKeys)
+	for i := 0; i < r.n; i++ {
+		t := r.row(i)
+		for e := table.first(rKey.key(t)); e != 0; e = table.next[e-1] {
+			if needVerify {
+				ot := o.row(int(table.rowOf[e-1]))
+				match := true
+				for j := range shared {
+					if ot[oPos[j]] != t[rPos[j]] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
 				}
 			}
 			out.Add(t)
@@ -337,8 +362,8 @@ func Union(r, o *Relation) *Relation {
 	}
 	out := r.Clone()
 	buf := make(Tuple, len(r.attrs))
-	for _, t := range o.rows {
-		out.Add(reorderTo(r, o, t, buf))
+	for i := 0; i < o.n; i++ {
+		out.Add(reorderTo(r, o, o.row(i), buf))
 	}
 	return out
 }
@@ -350,8 +375,8 @@ func Intersect(r, o *Relation) *Relation {
 	}
 	out := New(r.attrs)
 	buf := make(Tuple, len(r.attrs))
-	for _, t := range o.rows {
-		if r.Contains(reorderTo(r, o, t, buf)) {
+	for i := 0; i < o.n; i++ {
+		if r.Contains(reorderTo(r, o, o.row(i), buf)) {
 			out.Add(buf)
 		}
 	}
@@ -365,11 +390,12 @@ func Difference(r, o *Relation) *Relation {
 	}
 	neg := New(r.attrs)
 	buf := make(Tuple, len(r.attrs))
-	for _, t := range o.rows {
-		neg.Add(reorderTo(r, o, t, buf))
+	for i := 0; i < o.n; i++ {
+		neg.Add(reorderTo(r, o, o.row(i), buf))
 	}
 	out := New(r.attrs)
-	for _, t := range r.rows {
+	for i := 0; i < r.n; i++ {
+		t := r.row(i)
 		if !neg.Contains(t) {
 			out.Add(t)
 		}
@@ -377,9 +403,16 @@ func Difference(r, o *Relation) *Relation {
 	return out
 }
 
-// Rename returns a copy of r with attributes substituted according to m.
+// Rename returns a view of r with attributes substituted according to m.
 // Attributes not in m are kept. It panics if the renaming collapses two
 // attributes into one.
+//
+// A pure attribute substitution cannot introduce duplicates, so the view
+// is zero-copy: it shares the source's row arena, dedup table, and range
+// metadata. Both relations turn copy-on-write — the first mutation of
+// either side unshares its storage — so neither can observe the other's
+// later inserts. Every Scan in both executors goes through here, which
+// turns scans from an O(n) re-hash into O(1).
 func Rename(r *Relation, m map[Attr]Attr) *Relation {
 	attrs := make([]Attr, len(r.attrs))
 	for i, a := range r.attrs {
@@ -389,9 +422,28 @@ func Rename(r *Relation, m map[Attr]Attr) *Relation {
 			attrs[i] = a
 		}
 	}
-	out := New(attrs)
-	for _, t := range r.rows {
-		out.Add(t)
+	pos := make(map[Attr]int, len(attrs))
+	for i, a := range attrs {
+		if _, dup := pos[a]; dup {
+			panic(fmt.Sprintf("relation.Rename: duplicate attribute %d", a))
+		}
+		pos[a] = i
 	}
+	out := &Relation{
+		attrs:  attrs,
+		pos:    pos,
+		arity:  r.arity,
+		data:   r.data,
+		n:      r.n,
+		exact:  r.exact,
+		keys:   r.keys,
+		refs:   r.refs,
+		used:   r.used,
+		colMin: r.colMin,
+		colMax: r.colMax,
+		shared: 1,
+		stale:  r.stale,
+	}
+	r.markShared()
 	return out
 }

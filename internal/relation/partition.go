@@ -1,0 +1,334 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Partition-parallel hash join, two strategies:
+//
+// Radix partitioning (large build sides): both sides are partitioned on
+// the high bits of the mixed join key, partitions are joined independently
+// by a worker pool, and the outputs are concatenated. Dedup across
+// partitions needs no extra pass: equal output tuples have equal
+// shared-attribute values, hence equal join keys, hence the same partition
+// — so per-partition dedup is already a parallel dedup of the whole
+// output, and the merged arena is duplicate-free by construction.
+//
+// Probe chunking (small build sides): the paper's domains have two or
+// three values, so join keys often take only a handful of distinct values
+// and radix partitioning degenerates — at most one partition per distinct
+// key ever has work. When the build side is small its distinct-key count
+// is too, so instead one shared read-only build table is probed by
+// contiguous probe-row chunks. Cross-chunk dedup is again free: a natural
+// join's output schema contains every probe column, so output tuples from
+// distinct probe rows are distinct, and duplicates can only come from two
+// matches of one probe row — which live in the same chunk.
+//
+// Either way the merged relation's dedup table is left stale and rebuilt
+// lazily on first use (joins and projections over it never need one).
+
+// parallelJoinMinRows is the input size (build + probe rows) below which
+// ParallelJoinLimited stays sequential: partitioning and goroutine
+// handoff cost more than they save on small inputs.
+const parallelJoinMinRows = 2048
+
+// maxPartitions caps the radix fan-out; beyond this, per-partition table
+// setup dominates.
+const maxPartitions = 64
+
+// chunkBuildMax is the build-side size at or below which ParallelJoinLimited
+// chunks the probe over a shared table instead of radix-partitioning: a
+// build this small has few distinct keys, which starves radix partitions.
+const chunkBuildMax = 1024
+
+// ParallelJoinLimited computes the same natural join as JoinLimited, with
+// the work of a single join spread over up to workers goroutines via
+// radix partitioning. Results are identical (as sets) to JoinLimited.
+// Limits keep firing across partitions: the row cap is enforced by a
+// shared atomic counter, every worker checks the deadline, and Work
+// aggregates each worker's touched-tuple count.
+func ParallelJoinLimited(r, o *Relation, lim *Limit, workers int) (*Relation, error) {
+	if workers < 2 || r.n+o.n < parallelJoinMinRows {
+		return JoinLimited(r, o, lim)
+	}
+	if lim.expired() {
+		return nil, ErrDeadline
+	}
+	spec := makeJoinSpec(r, o)
+	if len(spec.shared) == 0 || spec.build.n == 0 {
+		// A cross product has a single join key — nothing to partition.
+		return JoinLimited(r, o, lim)
+	}
+
+	bKeys := spec.buildKeys()
+	lim.charge(int64(spec.build.n))
+	if spec.build.n <= chunkBuildMax {
+		return chunkedJoin(&spec, bKeys, lim, workers)
+	}
+
+	nparts := nextPow2(2 * workers)
+	if nparts > maxPartitions {
+		nparts = maxPartitions
+	}
+	shift := uint(64)
+	for p := nparts; p > 1; p >>= 1 {
+		shift--
+	}
+
+	pKeys := make([]uint64, spec.probe.n)
+	for i := range pKeys {
+		pKeys[i] = spec.pKey.key(spec.probe.row(i))
+	}
+
+	bStarts, bIdx := partitionRows(bKeys, nparts, shift)
+	pStarts, pIdx := partitionRows(pKeys, nparts, shift)
+
+	outs := make([]*Relation, nparts)
+	errs := make([]error, nparts)
+	var (
+		nextPart  atomic.Int64
+		totalRows atomic.Int64
+		work      atomic.Int64
+		aborted   atomic.Bool
+		wg        sync.WaitGroup
+	)
+	nworkers := workers
+	if nworkers > nparts {
+		nworkers = nparts
+	}
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(nextPart.Add(1)) - 1
+				if p >= nparts || aborted.Load() {
+					return
+				}
+				brows := bIdx[bStarts[p]:bStarts[p+1]]
+				prows := pIdx[pStarts[p]:pStarts[p+1]]
+				if len(brows) == 0 || len(prows) == 0 {
+					continue
+				}
+				out, err := joinPartition(&spec, bKeys, pKeys, brows, prows,
+					lim, &totalRows, &work, &aborted)
+				outs[p], errs[p] = out, err
+				if err != nil {
+					aborted.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	lim.charge(work.Load())
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergePartitions(spec.outAttrs, outs), nil
+}
+
+// chunkedJoin joins by splitting the probe side into contiguous row
+// chunks over one shared read-only build table. Each worker computes its
+// own probe keys, so key extraction parallelizes along with probing. See
+// the package comment for why per-chunk dedup is globally correct.
+func chunkedJoin(spec *joinSpec, bKeys []uint64, lim *Limit, workers int) (*Relation, error) {
+	jt := newJoinTable(bKeys)
+
+	nchunks := 4 * workers
+	if nchunks > maxPartitions {
+		nchunks = maxPartitions
+	}
+	per := (spec.probe.n + nchunks - 1) / nchunks
+
+	outs := make([]*Relation, nchunks)
+	errs := make([]error, nchunks)
+	var (
+		nextChunk atomic.Int64
+		totalRows atomic.Int64
+		work      atomic.Int64
+		aborted   atomic.Bool
+		wg        sync.WaitGroup
+	)
+	nworkers := workers
+	if nworkers > nchunks {
+		nworkers = nchunks
+	}
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(nextChunk.Add(1)) - 1
+				if c >= nchunks || aborted.Load() {
+					return
+				}
+				lo := c * per
+				hi := lo + per
+				if hi > spec.probe.n {
+					hi = spec.probe.n
+				}
+				if lo >= hi {
+					continue
+				}
+				out, err := joinChunk(spec, &jt, lo, hi, lim, &totalRows, &work, &aborted)
+				outs[c], errs[c] = out, err
+				if err != nil {
+					aborted.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	lim.charge(work.Load())
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergePartitions(spec.outAttrs, outs), nil
+}
+
+// joinChunk probes rows [lo, hi) of the probe side against the shared
+// build table into a private output relation, charging limits through the
+// shared counters.
+func joinChunk(spec *joinSpec, jt *joinTable, lo, hi int,
+	lim *Limit, totalRows, work *atomic.Int64, aborted *atomic.Bool) (*Relation, error) {
+
+	out := New(spec.outAttrs)
+	var touched int64
+	defer func() { work.Add(touched) }()
+	for i := lo; i < hi; i++ {
+		if (i-lo+1)%deadlineCheckInterval == 0 {
+			if aborted.Load() {
+				return out, nil
+			}
+			if lim.expired() {
+				return nil, ErrDeadline
+			}
+		}
+		pt := spec.probe.row(i)
+		touched++
+		for e := jt.first(spec.pKey.key(pt)); e != 0; e = jt.next[e-1] {
+			bt := spec.build.row(int(jt.rowOf[e-1]))
+			touched++
+			if spec.needVerify && !spec.verifyMatch(pt, bt) {
+				continue
+			}
+			if spec.emit(out, pt, bt) {
+				if lim != nil && lim.MaxRows > 0 && totalRows.Add(1) > int64(lim.MaxRows) {
+					return nil, ErrRowLimit
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// partitionRows groups row indexes by the top bits of their mixed key
+// with a two-pass counting sort. Partition p's rows are
+// idx[starts[p]:starts[p+1]].
+func partitionRows(keys []uint64, nparts int, shift uint) (starts []int32, idx []int32) {
+	counts := make([]int32, nparts+1)
+	for _, k := range keys {
+		counts[(mix64(k)>>shift)+1]++
+	}
+	for p := 0; p < nparts; p++ {
+		counts[p+1] += counts[p]
+	}
+	starts = counts
+	idx = make([]int32, len(keys))
+	fill := append([]int32(nil), starts[:nparts]...)
+	for i, k := range keys {
+		p := mix64(k) >> shift
+		idx[fill[p]] = int32(i)
+		fill[p]++
+	}
+	return starts, idx
+}
+
+// joinPartition joins one (build partition, probe partition) pair into a
+// private output relation, charging limits through the shared counters.
+func joinPartition(spec *joinSpec, bKeys, pKeys []uint64, brows, prows []int32,
+	lim *Limit, totalRows, work *atomic.Int64, aborted *atomic.Bool) (*Relation, error) {
+
+	jt := makeJoinTable(len(brows))
+	for _, bi := range brows {
+		jt.insert(bKeys[bi], bi)
+	}
+
+	out := New(spec.outAttrs)
+	var touched int64
+	defer func() { work.Add(touched) }()
+	for n, pi := range prows {
+		if (n+1)%deadlineCheckInterval == 0 {
+			if aborted.Load() {
+				return out, nil
+			}
+			if lim.expired() {
+				return nil, ErrDeadline
+			}
+		}
+		pt := spec.probe.row(int(pi))
+		touched++
+		for e := jt.first(pKeys[pi]); e != 0; e = jt.next[e-1] {
+			bt := spec.build.row(int(jt.rowOf[e-1]))
+			touched++
+			if spec.needVerify && !spec.verifyMatch(pt, bt) {
+				continue
+			}
+			if spec.emit(out, pt, bt) {
+				if lim != nil && lim.MaxRows > 0 && totalRows.Add(1) > int64(lim.MaxRows) {
+					return nil, ErrRowLimit
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergePartitions concatenates the partition outputs into one relation.
+// The outputs are disjoint (see the package comment above), so the merge
+// is a flat copy of the arenas; the dedup table is marked stale and
+// rebuilt lazily if the merged relation is ever mutated or probed.
+func mergePartitions(outAttrs []Attr, parts []*Relation) *Relation {
+	out := New(outAttrs)
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += p.n
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	out.data = make([]Value, 0, total*out.arity)
+	first := true
+	for _, p := range parts {
+		if p == nil || p.n == 0 {
+			continue
+		}
+		out.data = append(out.data, p.data...)
+		if first {
+			copy(out.colMin, p.colMin)
+			copy(out.colMax, p.colMax)
+			first = false
+		} else {
+			for j := 0; j < out.arity; j++ {
+				if p.colMin[j] < out.colMin[j] {
+					out.colMin[j] = p.colMin[j]
+				}
+				if p.colMax[j] > out.colMax[j] {
+					out.colMax[j] = p.colMax[j]
+				}
+			}
+		}
+	}
+	out.n = total
+	out.stale = true
+	return out
+}

@@ -1,0 +1,229 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// bigPair builds two relations large enough to cross the
+// parallelJoinMinRows threshold, sharing attribute 1. scale shifts values
+// out of byte range when nonzero, forcing the FNV verify path.
+func bigPair(seed int64, rows, domain int, scale Value) (*Relation, *Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	a := New([]Attr{0, 1})
+	b := New([]Attr{1, 2})
+	for i := 0; i < rows; i++ {
+		a.Add(Tuple{Value(rng.Intn(domain)) * (1 + scale), Value(rng.Intn(domain)) * (1 + scale)})
+		b.Add(Tuple{Value(rng.Intn(domain)) * (1 + scale), Value(rng.Intn(domain)) * (1 + scale)})
+	}
+	return a, b
+}
+
+func TestParallelJoinMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		scale Value
+	}{
+		{"packed-keys", 0},
+		{"hashed-keys", 5000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := bigPair(7, 2500, 50, tc.scale)
+			want := Join(a, b)
+			for _, workers := range []int{2, 4, 7} {
+				got, err := ParallelJoinLimited(a, b, nil, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("workers=%d: parallel join differs (%d vs %d rows)",
+						workers, got.Len(), want.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestParallelJoinChunkedMatchesSequential drives the probe-chunking
+// strategy (build side at most chunkBuildMax rows, far fewer distinct
+// keys than workers — the shape of every chain-plan join over the paper's
+// tiny domains) and checks set equality with the sequential join.
+func TestParallelJoinChunkedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	small := New([]Attr{1, 2})
+	for i := 0; i < 30; i++ {
+		small.Add(Tuple{Value(rng.Intn(3)), Value(rng.Intn(10))})
+	}
+	big := New([]Attr{0, 1})
+	for i := 0; i < 6000; i++ {
+		big.Add(Tuple{Value(rng.Intn(100)), Value(rng.Intn(3))})
+	}
+	want := Join(big, small)
+	for _, workers := range []int{2, 4, 7} {
+		got, err := ParallelJoinLimited(big, small, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d: chunked join differs (%d vs %d rows)",
+				workers, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestParallelJoinChunkedRowCap(t *testing.T) {
+	small := New([]Attr{1, 2})
+	for i := Value(0); i < 3; i++ {
+		for j := Value(0); j < 3; j++ {
+			small.Add(Tuple{i, j})
+		}
+	}
+	big := New([]Attr{0, 1})
+	for i := Value(0); i < 3000; i++ {
+		big.Add(Tuple{i, i % 3})
+	}
+	_, err := ParallelJoinLimited(big, small, &Limit{MaxRows: 50}, 4)
+	if err != ErrRowLimit {
+		t.Fatalf("err = %v, want ErrRowLimit", err)
+	}
+}
+
+func TestParallelJoinSmallInputFallsBack(t *testing.T) {
+	a, b := bigPair(3, 40, 5, 0)
+	got, err := ParallelJoinLimited(a, b, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(Join(a, b)) {
+		t.Fatal("small-input fallback differs from sequential join")
+	}
+}
+
+func TestParallelJoinCrossProductFallsBack(t *testing.T) {
+	a := New([]Attr{0})
+	b := New([]Attr{1})
+	for i := Value(0); i < 60; i++ {
+		a.Add(Tuple{i})
+		b.Add(Tuple{i})
+	}
+	got, err := ParallelJoinLimited(a, b, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 60*60 {
+		t.Fatalf("cross product len = %d, want 3600", got.Len())
+	}
+}
+
+func TestParallelJoinRowCap(t *testing.T) {
+	a, b := bigPair(11, 3000, 20, 0)
+	_, err := ParallelJoinLimited(a, b, &Limit{MaxRows: 100}, 4)
+	if err != ErrRowLimit {
+		t.Fatalf("err = %v, want ErrRowLimit", err)
+	}
+}
+
+func TestParallelJoinDeadline(t *testing.T) {
+	a, b := bigPair(13, 3000, 20, 0)
+	_, err := ParallelJoinLimited(a, b, &Limit{Deadline: time.Now().Add(-time.Second)}, 4)
+	if err != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestParallelJoinWorkCharged(t *testing.T) {
+	var work int64
+	a, b := bigPair(17, 2500, 40, 0)
+	if _, err := ParallelJoinLimited(a, b, &Limit{Work: &work}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if work == 0 {
+		t.Fatal("work counter not charged across partitions")
+	}
+}
+
+// TestParallelJoinOutputUsable checks that the merged output — whose
+// dedup table is built lazily — behaves like any other relation under
+// every dedup-dependent operation.
+func TestParallelJoinOutputUsable(t *testing.T) {
+	a, b := bigPair(19, 2500, 40, 0)
+	got, err := ParallelJoinLimited(a, b, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Join(a, b)
+
+	// Contains over the lazily-built table.
+	want.Each(func(tu Tuple) bool {
+		if !got.Contains(tu) {
+			t.Fatalf("merged output missing %v", tu)
+		}
+		return true
+	})
+	// Further joins and projections over the merged output.
+	c := New([]Attr{2, 3})
+	for i := Value(0); i < 50; i++ {
+		c.Add(Tuple{i, i})
+	}
+	if !Join(got, c).Equal(Join(want, c)) {
+		t.Fatal("join over merged output differs")
+	}
+	if !Project(got, []Attr{0, 2}).Equal(Project(want, []Attr{0, 2})) {
+		t.Fatal("projection over merged output differs")
+	}
+	// Mutating the merged output must dedup correctly.
+	probe := want.Tuples()[0]
+	if got.Add(probe) {
+		t.Fatal("merged output accepted a duplicate")
+	}
+}
+
+func TestRenameZeroCopyIndependence(t *testing.T) {
+	src := New([]Attr{0, 1})
+	src.Add(Tuple{1, 2})
+	src.Add(Tuple{3, 4})
+	view := Rename(src, map[Attr]Attr{0: 10})
+
+	// Mutating the view must not affect the source.
+	if !view.Add(Tuple{5, 6}) {
+		t.Fatal("view rejected fresh tuple")
+	}
+	if src.Len() != 2 || src.Contains(Tuple{5, 6}) {
+		t.Fatalf("view mutation leaked into source: %v", src)
+	}
+	// Mutating the source must not affect the view (or earlier views).
+	if !src.Add(Tuple{7, 8}) {
+		t.Fatal("source rejected fresh tuple")
+	}
+	if view.Len() != 3 || view.Contains(Tuple{7, 8}) {
+		t.Fatalf("source mutation leaked into view: %v", view)
+	}
+	// Dedup state still correct on both sides.
+	if src.Add(Tuple{1, 2}) || view.Add(Tuple{1, 2}) {
+		t.Fatal("duplicate accepted after unsharing")
+	}
+}
+
+func TestRenameOfRename(t *testing.T) {
+	src := New([]Attr{0, 1})
+	src.Add(Tuple{1, 2})
+	v1 := Rename(src, map[Attr]Attr{0: 10})
+	v2 := Rename(v1, map[Attr]Attr{10: 20})
+	if !v2.HasAttr(20) || !v2.HasAttr(1) || v2.Len() != 1 {
+		t.Fatalf("chained rename wrong: %v", v2)
+	}
+	v2.Add(Tuple{9, 9})
+	if src.Len() != 1 || v1.Len() != 1 {
+		t.Fatal("chained rename shares mutable state")
+	}
+}
+
+func TestRenameCollapsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when rename collapses attributes")
+		}
+	}()
+	Rename(New([]Attr{0, 1}), map[Attr]Attr{0: 1})
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Attr identifies an attribute (column). In query processing attributes are
@@ -43,16 +44,41 @@ func (t Tuple) Clone() Tuple {
 // Relation is a set of tuples over an ordered attribute schema.
 // The zero value is not usable; use New.
 //
-// Deduplication uses a packed-uint64 set while every tuple has at most
-// eight columns with byte-range values — always true for the paper's
-// domains — and migrates transparently to string keys the first time a
-// tuple falls outside that range.
+// Storage layout: all rows live in one flat []Value arena with stride
+// equal to the arity — row i is data[i*arity:(i+1)*arity] — so scans walk
+// contiguous memory and appending a row never allocates a per-row header.
+// Deduplication uses an open-addressing uint64 table (hashtable.go): keys
+// are injective byte-packings while every tuple has at most eight columns
+// with byte-range values — always true for the paper's domains — and
+// migrate transparently to FNV hashes with row verification the first
+// time a tuple falls outside that range.
+//
+// Relations track per-column min/max values on insert, which lets the
+// join keyer decide packed-vs-hashed exactness without rescanning rows,
+// and lets Rename share storage with its source (copy-on-write).
 type Relation struct {
-	attrs  []Attr
-	pos    map[Attr]int
-	rows   []Tuple
-	seen   map[string]struct{} // non-nil iff not in packed mode
-	packed map[uint64]struct{} // non-nil iff in packed mode
+	attrs []Attr
+	pos   map[Attr]int
+	arity int
+
+	data []Value // flat arena; row i = data[i*arity:(i+1)*arity]
+	n    int     // number of rows
+
+	exact bool     // dedup keys are injective byte-packings
+	keys  []uint64 // open-addressing dedup table: key per slot
+	refs  []int32  // row index + 1 per slot; 0 = empty
+	used  int      // occupied slots
+
+	colMin []Value // per-column minimum over all rows (valid when n > 0)
+	colMax []Value // per-column maximum
+
+	// shared is 1 when storage is shared with another relation (zero-copy
+	// Rename). Accessed atomically: concurrent scans of one base relation
+	// all mark it shared, and parallel executors do exactly that.
+	shared uint32
+	stale  bool // dedup table not built (merged partition output)
+
+	hdrs []Tuple // lazy Tuples() headers into data
 }
 
 // New returns an empty relation over the given attributes, in the given
@@ -67,16 +93,14 @@ func New(attrs []Attr) *Relation {
 		}
 		pos[a] = i
 	}
-	r := &Relation{
-		attrs: append([]Attr(nil), attrs...),
-		pos:   pos,
+	return &Relation{
+		attrs:  append([]Attr(nil), attrs...),
+		pos:    pos,
+		arity:  len(attrs),
+		exact:  len(attrs) <= 8,
+		colMin: make([]Value, len(attrs)),
+		colMax: make([]Value, len(attrs)),
 	}
-	if len(attrs) <= 8 {
-		r.packed = make(map[uint64]struct{})
-	} else {
-		r.seen = make(map[string]struct{})
-	}
-	return r
 }
 
 // packKey packs a tuple into an injective uint64 key, or reports failure
@@ -92,13 +116,17 @@ func packKey(t Tuple) (uint64, bool) {
 	return key, true
 }
 
-// unpack leaves packed mode, rebuilding the string-keyed set.
-func (r *Relation) unpack() {
-	r.seen = make(map[string]struct{}, len(r.rows))
-	for _, t := range r.rows {
-		r.seen[encode(t)] = struct{}{}
+// rangesPackable reports whether every stored value fits in a byte.
+func (r *Relation) rangesPackable() bool {
+	if r.n == 0 {
+		return true
 	}
-	r.packed = nil
+	for j := 0; j < r.arity; j++ {
+		if r.colMin[j] < 0 || r.colMax[j] > 255 {
+			return false
+		}
+	}
+	return true
 }
 
 // FromTuples builds a relation over attrs containing the given tuples
@@ -112,13 +140,13 @@ func FromTuples(attrs []Attr, tuples []Tuple) *Relation {
 }
 
 // Arity returns the number of attributes.
-func (r *Relation) Arity() int { return len(r.attrs) }
+func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of (distinct) tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.rows) == 0 }
+func (r *Relation) Empty() bool { return r.n == 0 }
 
 // Attrs returns the schema in column order. The caller must not modify it.
 func (r *Relation) Attrs() []Attr { return r.attrs }
@@ -137,79 +165,140 @@ func (r *Relation) Pos(a Attr) int {
 	return -1
 }
 
-// Add inserts the tuple if not already present and reports whether it was
-// inserted. The tuple is copied; the caller keeps ownership of t.
-func (r *Relation) Add(t Tuple) bool {
-	if len(t) != len(r.attrs) {
-		panic(fmt.Sprintf("relation.Add: tuple arity %d != schema arity %d", len(t), len(r.attrs)))
+// row returns stored row i as a slice into the arena. The caller must not
+// modify it.
+func (r *Relation) row(i int) Tuple {
+	return r.data[i*r.arity : (i+1)*r.arity]
+}
+
+// isShared reports whether storage is shared with another relation.
+func (r *Relation) isShared() bool { return atomic.LoadUint32(&r.shared) != 0 }
+
+// markShared flags the relation's storage as shared.
+func (r *Relation) markShared() { atomic.StoreUint32(&r.shared, 1) }
+
+// privatize unshares storage after a zero-copy Rename so a mutation on
+// this relation cannot corrupt its sibling: the dedup table and range
+// metadata are copied, and the arena is capacity-capped so the next
+// append reallocates instead of writing into the shared backing array.
+func (r *Relation) privatize() {
+	r.data = r.data[: r.n*r.arity : r.n*r.arity]
+	r.keys = append([]uint64(nil), r.keys...)
+	r.refs = append([]int32(nil), r.refs...)
+	r.colMin = append([]Value(nil), r.colMin...)
+	r.colMax = append([]Value(nil), r.colMax...)
+	atomic.StoreUint32(&r.shared, 0)
+}
+
+// stage returns a writable scratch row at the end of the arena, growing
+// it if needed. The caller fills the row and calls commitStaged; staged
+// data is simply abandoned (overwritten by the next stage) if the row
+// turns out to be a duplicate.
+func (r *Relation) stage() Tuple {
+	if r.isShared() {
+		r.privatize()
 	}
-	if r.packed != nil {
-		if k, ok := packKey(t); ok {
-			if _, dup := r.packed[k]; dup {
-				return false
-			}
-			r.packed[k] = struct{}{}
-			r.rows = append(r.rows, t.Clone())
-			return true
+	need := (r.n + 1) * r.arity
+	if need > cap(r.data) {
+		newCap := 2 * cap(r.data)
+		if minCap := 64 * r.arity; newCap < minCap {
+			newCap = minCap
 		}
-		r.unpack()
+		if newCap < need {
+			newCap = need
+		}
+		nd := make([]Value, r.n*r.arity, newCap)
+		copy(nd, r.data)
+		r.data = nd
 	}
-	k := encode(t)
-	if _, ok := r.seen[k]; ok {
+	return r.data[r.n*r.arity : need]
+}
+
+// commitStaged deduplicates the staged row t (which must be the slice
+// returned by the last stage call) and keeps it when new, reporting
+// whether it was inserted.
+func (r *Relation) commitStaged(t Tuple) bool {
+	if r.stale {
+		r.ensureDedup()
+	}
+	var key uint64
+	if r.exact {
+		k, ok := packKey(t)
+		if !ok {
+			r.migrateHashed()
+			key = hashRow(t)
+		} else {
+			key = k
+		}
+	} else {
+		key = hashRow(t)
+	}
+	if !r.dedupInsert(key, t) {
 		return false
 	}
-	r.seen[k] = struct{}{}
-	r.rows = append(r.rows, t.Clone())
+	r.data = r.data[:(r.n+1)*r.arity]
+	if r.n == 0 {
+		copy(r.colMin, t)
+		copy(r.colMax, t)
+	} else {
+		for j, v := range t {
+			if v < r.colMin[j] {
+				r.colMin[j] = v
+			}
+			if v > r.colMax[j] {
+				r.colMax[j] = v
+			}
+		}
+	}
+	r.n++
 	return true
 }
 
-// addOwned inserts a tuple the relation may keep without copying.
-func (r *Relation) addOwned(t Tuple) bool {
-	if r.packed != nil {
-		if k, ok := packKey(t); ok {
-			if _, dup := r.packed[k]; dup {
-				return false
-			}
-			r.packed[k] = struct{}{}
-			r.rows = append(r.rows, t)
-			return true
-		}
-		r.unpack()
+// Add inserts the tuple if not already present and reports whether it was
+// inserted. The tuple is copied; the caller keeps ownership of t.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation.Add: tuple arity %d != schema arity %d", len(t), r.arity))
 	}
-	k := encode(t)
-	if _, ok := r.seen[k]; ok {
-		return false
-	}
-	r.seen[k] = struct{}{}
-	r.rows = append(r.rows, t)
-	return true
+	row := r.stage()
+	copy(row, t)
+	return r.commitStaged(row)
 }
 
 // Contains reports whether the tuple is present.
 func (r *Relation) Contains(t Tuple) bool {
-	if len(t) != len(r.attrs) {
+	if len(t) != r.arity || r.n == 0 {
 		return false
 	}
-	if r.packed != nil {
-		if k, ok := packKey(t); ok {
-			_, present := r.packed[k]
-			return present
+	r.ensureDedup()
+	if r.exact {
+		k, ok := packKey(t)
+		if !ok {
+			// Out-of-range tuples cannot be in a packed relation.
+			return false
 		}
-		// Out-of-range tuples cannot be in a packed relation.
-		return false
+		return r.dedupContains(k, t)
 	}
-	_, ok := r.seen[encode(t)]
-	return ok
+	return r.dedupContains(hashRow(t), t)
 }
 
 // Tuples returns the rows in insertion order. The caller must not modify
 // the returned slices.
-func (r *Relation) Tuples() []Tuple { return r.rows }
+func (r *Relation) Tuples() []Tuple {
+	if len(r.hdrs) != r.n {
+		hdrs := make([]Tuple, r.n)
+		for i := range hdrs {
+			hdrs[i] = r.row(i)
+		}
+		r.hdrs = hdrs
+	}
+	return r.hdrs
+}
 
 // Each calls f for every tuple until f returns false.
 func (r *Relation) Each(f func(Tuple) bool) {
-	for _, t := range r.rows {
-		if !f(t) {
+	for i := 0; i < r.n; i++ {
+		if !f(r.row(i)) {
 			return
 		}
 	}
@@ -223,20 +312,29 @@ func (r *Relation) Value(t Tuple, a Attr) Value {
 
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
-	c := New(r.attrs)
-	for _, t := range r.rows {
-		c.Add(t)
+	return &Relation{
+		attrs:  r.attrs,
+		pos:    r.pos,
+		arity:  r.arity,
+		data:   append([]Value(nil), r.data...),
+		n:      r.n,
+		exact:  r.exact,
+		keys:   append([]uint64(nil), r.keys...),
+		refs:   append([]int32(nil), r.refs...),
+		used:   r.used,
+		colMin: append([]Value(nil), r.colMin...),
+		colMax: append([]Value(nil), r.colMax...),
+		stale:  r.stale,
 	}
-	return c
 }
 
 // Equal reports whether r and o contain the same set of tuples over the
 // same set of attributes, regardless of column order.
 func (r *Relation) Equal(o *Relation) bool {
-	if len(r.attrs) != len(o.attrs) || len(r.rows) != len(o.rows) {
+	if r.arity != o.arity || r.n != o.n {
 		return false
 	}
-	perm := make([]int, len(r.attrs))
+	perm := make([]int, r.arity)
 	for i, a := range r.attrs {
 		j, ok := o.pos[a]
 		if !ok {
@@ -244,10 +342,11 @@ func (r *Relation) Equal(o *Relation) bool {
 		}
 		perm[i] = j
 	}
-	buf := make(Tuple, len(r.attrs))
-	for _, t := range o.rows {
-		for i := range perm {
-			buf[i] = t[perm[i]]
+	buf := make(Tuple, r.arity)
+	for i := 0; i < o.n; i++ {
+		t := o.row(i)
+		for j := range perm {
+			buf[j] = t[perm[j]]
 		}
 		if !r.Contains(buf) {
 			return false
@@ -259,8 +358,8 @@ func (r *Relation) Equal(o *Relation) bool {
 // SortedTuples returns the tuples sorted lexicographically. Useful for
 // deterministic output in tests and examples.
 func (r *Relation) SortedTuples() []Tuple {
-	out := make([]Tuple, len(r.rows))
-	copy(out, r.rows)
+	out := make([]Tuple, r.n)
+	copy(out, r.Tuples())
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -299,25 +398,4 @@ func (r *Relation) String() string {
 	}
 	b.WriteString("}")
 	return b.String()
-}
-
-// encode packs a tuple into a string key for dedup hashing. Values that fit
-// in a byte use one byte; others use a 5-byte escape.
-func encode(t Tuple) string {
-	var b []byte
-	if len(t) <= 16 {
-		var arr [16 * 5]byte
-		b = arr[:0]
-	} else {
-		b = make([]byte, 0, len(t)*5)
-	}
-	for _, v := range t {
-		if v >= 0 && v < 255 {
-			b = append(b, byte(v))
-		} else {
-			u := uint32(v)
-			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-		}
-	}
-	return string(b)
 }

@@ -582,6 +582,21 @@ func TestWideSchemaSkipsPackedMode(t *testing.T) {
 	}
 }
 
+// encode packs a tuple into a string key — the dedup encoding of the old
+// map-based storage, kept as a reference oracle for dedup semantics.
+func encode(t Tuple) string {
+	b := make([]byte, 0, len(t)*5)
+	for _, v := range t {
+		if v >= 0 && v < 255 {
+			b = append(b, byte(v))
+		} else {
+			u := uint32(v)
+			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+	}
+	return string(b)
+}
+
 func TestQuickPackedDedupMatchesStringDedup(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
