@@ -13,18 +13,25 @@ vet:
 
 test:
 	go test ./...
-	go test -race ./internal/engine ./internal/relation
+	go test -race ./internal/engine ./internal/relation ./internal/experiments
 
 # One iteration per benchmark: regenerates every figure series quickly.
 bench:
 	go test -bench=. -benchmem -benchtime 1x .
 
 # Kernel microbenchmarks (open-addressing join/dedup vs map baselines,
-# partitioned join by worker count) recorded as JSON for trend tracking.
+# partitioned join by worker count) recorded as JSON for trend tracking,
+# plus the engine/harness suite: subplan cache cached-vs-uncached
+# repeated workloads, iterator-join kernel port, and harness scaling by
+# worker count.
 bench-json:
 	go test ./internal/relation -run '^$$' -bench '^BenchmarkKernel' -benchmem \
 		| go run ./cmd/benchjson > BENCH_relation.json
 	@cat BENCH_relation.json
+	go test ./internal/engine ./internal/experiments -run '^$$' \
+		-bench '^BenchmarkEngine|^BenchmarkHarness' -benchmem \
+		| go run ./cmd/benchjson > BENCH_engine.json
+	@cat BENCH_engine.json
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"projpush/internal/engine"
 	"projpush/internal/experiments"
 )
 
@@ -31,6 +32,9 @@ func main() {
 		free    = flag.Float64("free", -1, "free-variable fraction; -1 runs both Boolean and 20% variants")
 		chart   = flag.Bool("chart", false, "render ASCII logscale charts (the paper's figure style) instead of tables")
 		csv     = flag.Bool("csv", false, "emit CSV (median seconds per method) instead of tables")
+		workers = flag.Int("workers", 1, "harness goroutines fanning reps × methods per data point (output is identical for any value)")
+		cache   = flag.Bool("cache", false, "share a subplan result cache across all measured executions")
+		cachemb = flag.Int("cachemb", 0, "subplan cache budget in MiB (0 = engine default); implies -cache")
 	)
 	flag.Parse()
 
@@ -45,7 +49,10 @@ func main() {
 		}
 	}
 
-	base := experiments.Config{Seed: *seed, Reps: *reps, Timeout: *timeout}
+	base := experiments.Config{Seed: *seed, Reps: *reps, Timeout: *timeout, Workers: *workers}
+	if *cache || *cachemb > 0 {
+		base.Cache = engine.NewCache(int64(*cachemb) << 20)
+	}
 	variants := []float64{0, 0.2}
 	if *free >= 0 {
 		variants = []float64{*free}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"projpush/internal/core"
+	"projpush/internal/instance"
+)
+
+// TestDifferentialCacheOnOff runs every Figure-6–9 workload and every
+// optimization method three ways — uncached, cache-enabled cold, and
+// cache-enabled warm (second execution over a populated cache) — through
+// both the sequential and the parallel executor, and checks that the
+// result relation and the width instrumentation are identical in all of
+// them. This is the contract that makes the cache safe to leave on in
+// the experiment harness: figures and CSVs depend only on results and
+// stats, so a cached sweep must be indistinguishable from an uncached
+// one except in elapsed time.
+func TestDifferentialCacheOnOff(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	for _, w := range figureWorkloads(t) {
+		q, err := instance.ColorQuery(w.g, instance.BooleanFree(w.g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range core.Methods {
+			t.Run(fmt.Sprintf("%s/%s", w.name, m), func(t *testing.T) {
+				p, err := core.BuildPlan(m, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := Exec(p, db, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				check := func(label string, res *Result, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if !ref.Rel.Equal(res.Rel) {
+						t.Fatalf("%s: relation differs (%d vs %d rows)",
+							label, res.Rel.Len(), ref.Rel.Len())
+					}
+					r, s := ref.Stats, res.Stats
+					if r.MaxArity != s.MaxArity || r.MaxRows != s.MaxRows ||
+						r.Tuples != s.Tuples || r.Work != s.Work ||
+						r.Joins != s.Joins || r.Projections != s.Projections {
+						t.Fatalf("%s: instrumentation differs:\nref  %+v\ngot  %+v",
+							label, r, s)
+					}
+				}
+
+				c := NewCache(0)
+				cold, err := Exec(p, db, Options{Cache: c})
+				check("sequential cold", cold, err)
+				if cold.Stats.CacheMisses == 0 {
+					t.Fatal("sequential cold run recorded no misses")
+				}
+				warm, err := Exec(p, db, Options{Cache: c})
+				check("sequential warm", warm, err)
+				if warm.Stats.CacheHits == 0 {
+					t.Fatal("sequential warm run recorded no hits")
+				}
+
+				// A fresh cache for the parallel executor, then a warm
+				// cross-executor pass: parallel running over entries the
+				// sequential executor stored, and vice versa.
+				pc := NewCache(0)
+				pcold, err := ExecParallel(p, db, Options{Cache: pc}, 4)
+				check("parallel cold", pcold, err)
+				pwarm, err := ExecParallel(p, db, Options{Cache: pc}, 4)
+				check("parallel warm", pwarm, err)
+				if pwarm.Stats.CacheHits == 0 {
+					t.Fatal("parallel warm run recorded no hits")
+				}
+				crossSeq, err := Exec(p, db, Options{Cache: pc})
+				check("sequential over parallel-built cache", crossSeq, err)
+				crossPar, err := ExecParallel(p, db, Options{Cache: c}, 4)
+				check("parallel over sequential-built cache", crossPar, err)
+			})
+		}
+	}
+}
+
+// TestDifferentialIteratorUnchanged pins that the iterator executor —
+// which ignores the cache — still matches the materializing executor on
+// the figure workloads after its port onto the packed-key kernels.
+func TestDifferentialIteratorUnchanged(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	for _, w := range figureWorkloads(t) {
+		q, err := instance.ColorQuery(w.g, instance.BooleanFree(w.g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range core.Methods {
+			t.Run(fmt.Sprintf("%s/%s", w.name, m), func(t *testing.T) {
+				p, err := core.BuildPlan(m, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := Exec(p, db, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ExecIterator(p, db, Options{Cache: NewCache(0)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ref.Rel.Equal(got.Rel) {
+					t.Fatalf("iterator relation differs (%d vs %d rows)",
+						got.Rel.Len(), ref.Rel.Len())
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,14 @@
 // bounded by a deadline and a row cap so that deliberately bad plans (the
 // straightforward method on augmented circular ladders) terminate the way
 // the paper reports them: as timeouts.
+//
+// Executions can share a subplan result Cache (Options.Cache): Join and
+// Project subtrees are memoized under a renaming-invariant fingerprint
+// plus a database fingerprint, so repeated executions of identical
+// subtrees — across methods, repetitions, and the sequential and parallel
+// executors — return the memoized relation instead of re-joining. Hits
+// replay the subtree's recorded instrumentation, keeping cache-on and
+// cache-off stats identical (except elapsed time, which is the point).
 package engine
 
 import (
@@ -27,6 +35,10 @@ type Options struct {
 	// MaxRows caps the cardinality of any intermediate relation.
 	// Zero means no cap.
 	MaxRows int
+	// Cache, when non-nil, memoizes Join and Project subtree results
+	// across executions (see Cache). The iterator executor ignores it:
+	// that engine materializes no subtree results to share.
+	Cache *Cache
 }
 
 // ErrTimeout is returned when a run exceeds Options.Timeout.
@@ -52,8 +64,30 @@ type Stats struct {
 	Work int64
 	// Joins and Projections count operators executed.
 	Joins, Projections int
+	// CacheHits and CacheMisses count subplan cache lookups by this
+	// execution (zero when Options.Cache is nil). A hit replays the
+	// memoized subtree's stats into the counters above, so the totals
+	// match a cache-off run.
+	CacheHits, CacheMisses int64
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
+}
+
+// merge folds a subtree's stats into s: maxima for the size watermarks,
+// sums for the additive counters.
+func (s *Stats) merge(o *Stats) {
+	if o.MaxRows > s.MaxRows {
+		s.MaxRows = o.MaxRows
+	}
+	if o.MaxArity > s.MaxArity {
+		s.MaxArity = o.MaxArity
+	}
+	s.Tuples += o.Tuples
+	s.Work += o.Work
+	s.Joins += o.Joins
+	s.Projections += o.Projections
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // Result is the outcome of executing a plan.
@@ -69,9 +103,33 @@ type Result struct {
 func (r *Result) Nonempty() bool { return !r.Rel.Empty() }
 
 type executor struct {
-	db    cq.Database
-	lim   relation.Limit
-	stats Stats
+	db       cq.Database
+	deadline time.Time
+	maxRows  int
+	cache    *Cache
+	dbFP     string
+	stats    Stats
+
+	// rows/cached record per-node output cardinalities for EXPLAIN
+	// ANALYZE; nil outside Explain.
+	rows   map[plan.Node]int
+	cached map[plan.Node]bool
+}
+
+func newExecutor(db cq.Database, opt Options) *executor {
+	ex := &executor{db: db, maxRows: opt.MaxRows, cache: opt.Cache}
+	if opt.Timeout > 0 {
+		ex.deadline = time.Now().Add(opt.Timeout)
+	}
+	if ex.cache != nil {
+		ex.dbFP = DatabaseFingerprint(db)
+	}
+	return ex
+}
+
+// lim builds the limit charging work into the given stats frame.
+func (ex *executor) lim(st *Stats) *relation.Limit {
+	return &relation.Limit{MaxRows: ex.maxRows, Deadline: ex.deadline, Work: &st.Work}
 }
 
 // Exec evaluates the plan over db under opt.
@@ -79,39 +137,94 @@ type executor struct {
 // (wrapped); the partial stats collected so far are returned alongside so
 // harnesses can report how far a run got.
 func Exec(n plan.Node, db cq.Database, opt Options) (*Result, error) {
-	ex := &executor{db: db}
-	ex.lim.MaxRows = opt.MaxRows
-	ex.lim.Work = &ex.stats.Work
-	if opt.Timeout > 0 {
-		ex.lim.Deadline = time.Now().Add(opt.Timeout)
-	}
+	ex := newExecutor(db, opt)
 	start := time.Now()
-	rel, err := ex.eval(n)
+	rel, err := ex.eval(n, &ex.stats)
 	ex.stats.Elapsed = time.Since(start)
 	if err != nil {
-		switch {
-		case errors.Is(err, relation.ErrDeadline):
-			err = fmt.Errorf("%w after %v: %v", ErrTimeout, ex.stats.Elapsed, err)
-		case errors.Is(err, relation.ErrRowLimit):
-			err = fmt.Errorf("%w: %v", ErrRowLimit, err)
-		}
-		return &Result{Rel: nil, Stats: ex.stats}, err
+		return &Result{Rel: nil, Stats: ex.stats}, wrapLimitErr(err, ex.stats.Elapsed)
 	}
 	return &Result{Rel: rel, Stats: ex.stats}, nil
 }
 
-func (ex *executor) observe(r *relation.Relation) error {
-	if r.Len() > ex.stats.MaxRows {
-		ex.stats.MaxRows = r.Len()
+// wrapLimitErr converts relation limit errors into the engine's sentinel
+// errors.
+func wrapLimitErr(err error, elapsed time.Duration) error {
+	switch {
+	case errors.Is(err, relation.ErrDeadline):
+		return fmt.Errorf("%w after %v: %v", ErrTimeout, elapsed, err)
+	case errors.Is(err, relation.ErrRowLimit):
+		return fmt.Errorf("%w: %v", ErrRowLimit, err)
 	}
-	if r.Arity() > ex.stats.MaxArity {
-		ex.stats.MaxArity = r.Arity()
-	}
-	ex.stats.Tuples += int64(r.Len())
-	return nil
+	return err
 }
 
-func (ex *executor) eval(n plan.Node) (*relation.Relation, error) {
+// observe folds one operator's output into the stats frame.
+func observe(st *Stats, r *relation.Relation) {
+	if r.Len() > st.MaxRows {
+		st.MaxRows = r.Len()
+	}
+	if r.Arity() > st.MaxArity {
+		st.MaxArity = r.Arity()
+	}
+	st.Tuples += int64(r.Len())
+}
+
+// record notes a node's output cardinality for EXPLAIN ANALYZE.
+func (ex *executor) record(n plan.Node, r *relation.Relation, fromCache bool) {
+	if ex.rows == nil {
+		return
+	}
+	ex.rows[n] = r.Len()
+	if fromCache {
+		ex.cached[n] = true
+	}
+}
+
+// eval evaluates n, charging instrumentation into the stats frame st.
+// With a cache configured, Join and Project subtrees are memoized: a miss
+// evaluates the subtree into a private frame whose totals are stored with
+// the result and then merged into st, so a later hit can replay exactly
+// the instrumentation the evaluation would have produced.
+func (ex *executor) eval(n plan.Node, st *Stats) (*relation.Relation, error) {
+	if _, isScan := n.(*plan.Scan); !isScan && ex.cache != nil {
+		return ex.evalCached(n, st)
+	}
+	return ex.evalOp(n, st)
+}
+
+// evalCached wraps evalOp in a cache lookup/store for a Join or Project
+// subtree.
+func (ex *executor) evalCached(n plan.Node, st *Stats) (*relation.Relation, error) {
+	key, vars := cacheKey(ex.dbFP, n)
+	if rel, sub, ok := ex.cache.get(key); ok && (ex.maxRows == 0 || sub.MaxRows <= ex.maxRows) {
+		// A hit whose recorded intermediates exceed this run's row cap
+		// falls through to honest re-execution (which will report the
+		// cap violation, as the uncached run would).
+		st.CacheHits++
+		st.merge(&sub)
+		out := fromCanonical(rel, vars)
+		ex.record(n, out, true)
+		return out, nil
+	}
+	st.CacheMisses++
+	var sub Stats
+	rel, err := ex.evalOp(n, &sub)
+	// Cache counters of nested lookups live in the live run, not in the
+	// stored entry: a future hit replays the subtree's execution stats,
+	// not its cache traffic.
+	entryStats := sub
+	entryStats.CacheHits, entryStats.CacheMisses = 0, 0
+	st.merge(&sub)
+	if err != nil {
+		return nil, err
+	}
+	ex.cache.put(key, toCanonical(rel, vars), entryStats)
+	return rel, nil
+}
+
+// evalOp evaluates one operator node, recursing through eval for children.
+func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		rel, ok := ex.db[t.Atom.Rel]
@@ -128,43 +241,40 @@ func (ex *executor) eval(n plan.Node) (*relation.Relation, error) {
 			m[a] = t.Atom.Args[i]
 		}
 		bound := relation.Rename(rel, m)
-		if err := ex.observe(bound); err != nil {
-			return nil, err
-		}
+		observe(st, bound)
+		ex.record(n, bound, false)
 		return bound, nil
 
 	case *plan.Join:
-		l, err := ex.eval(t.Left)
+		l, err := ex.eval(t.Left, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ex.eval(t.Right)
+		r, err := ex.eval(t.Right, st)
 		if err != nil {
 			return nil, err
 		}
-		out, err := relation.JoinLimited(l, r, &ex.lim)
+		out, err := relation.JoinLimited(l, r, ex.lim(st))
 		if err != nil {
 			return nil, err
 		}
-		ex.stats.Joins++
-		if err := ex.observe(out); err != nil {
-			return nil, err
-		}
+		st.Joins++
+		observe(st, out)
+		ex.record(n, out, false)
 		return out, nil
 
 	case *plan.Project:
-		c, err := ex.eval(t.Child)
+		c, err := ex.eval(t.Child, st)
 		if err != nil {
 			return nil, err
 		}
-		out, err := relation.ProjectLimited(c, t.Cols, &ex.lim)
+		out, err := relation.ProjectLimited(c, t.Cols, ex.lim(st))
 		if err != nil {
 			return nil, err
 		}
-		ex.stats.Projections++
-		if err := ex.observe(out); err != nil {
-			return nil, err
-		}
+		st.Projections++
+		observe(st, out)
+		ex.record(n, out, false)
 		return out, nil
 
 	default:

@@ -3,30 +3,28 @@ package engine
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"projpush/internal/cq"
 	"projpush/internal/plan"
-	"projpush/internal/relation"
 )
 
 // Explain renders a plan as an indented operator tree, one line per node
 // with its output schema and arity — the structural facts the paper's
 // analysis runs on. When analyze is true the plan is executed under opt
 // and each line is annotated with the actual output cardinality, in the
-// spirit of EXPLAIN ANALYZE on the paper's backend.
+// spirit of EXPLAIN ANALYZE on the paper's backend. With a subplan cache
+// configured (opt.Cache), subtrees served from the cache are marked
+// "(cached)" — their descendants carry no row counts, since they were
+// never evaluated — and a final line reports the run's hit/miss counts
+// plus the cache's entry/byte/eviction totals.
 func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, error) {
-	var rows map[plan.Node]int
+	var ex *executor
 	if analyze {
-		rows = make(map[plan.Node]int)
-		ex := &executor{db: db}
-		ex.lim.MaxRows = opt.MaxRows
-		ex.lim.Work = &ex.stats.Work
-		if opt.Timeout > 0 {
-			ex.lim.Deadline = time.Now().Add(opt.Timeout)
-		}
-		if _, err := ex.evalRecording(p, rows); err != nil {
-			return "", err
+		ex = newExecutor(db, opt)
+		ex.rows = make(map[plan.Node]int)
+		ex.cached = make(map[plan.Node]bool)
+		if _, err := ex.eval(p, &ex.stats); err != nil {
+			return "", wrapLimitErr(err, 0)
 		}
 	}
 	var b strings.Builder
@@ -44,7 +42,12 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 		}
 		fmt.Fprintf(&b, "%s%s  arity=%d", indent, label, len(n.Attrs()))
 		if analyze {
-			fmt.Fprintf(&b, " rows=%d", rows[n])
+			if rows, ok := ex.rows[n]; ok {
+				fmt.Fprintf(&b, " rows=%d", rows)
+			}
+			if ex.cached[n] {
+				b.WriteString(" (cached)")
+			}
 		}
 		b.WriteString("\n")
 		for _, c := range n.Children() {
@@ -52,6 +55,10 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 		}
 	}
 	walk(p, 0)
+	if analyze && opt.Cache != nil {
+		fmt.Fprintf(&b, "cache: run hits=%d misses=%d; %s\n",
+			ex.stats.CacheHits, ex.stats.CacheMisses, opt.Cache.Counters())
+	}
 	return b.String(), nil
 }
 
@@ -61,45 +68,4 @@ func varList(vs []cq.Var) string {
 		parts[i] = fmt.Sprintf("x%d", v)
 	}
 	return "{" + strings.Join(parts, ",") + "}"
-}
-
-// evalRecording mirrors executor.eval but records each node's output
-// cardinality.
-func (ex *executor) evalRecording(n plan.Node, rows map[plan.Node]int) (*relation.Relation, error) {
-	var out *relation.Relation
-	var err error
-	switch t := n.(type) {
-	case *plan.Scan:
-		out, err = ex.eval(t)
-	case *plan.Join:
-		var l, r *relation.Relation
-		if l, err = ex.evalRecording(t.Left, rows); err != nil {
-			return nil, err
-		}
-		if r, err = ex.evalRecording(t.Right, rows); err != nil {
-			return nil, err
-		}
-		out, err = relation.JoinLimited(l, r, &ex.lim)
-		if err == nil {
-			ex.stats.Joins++
-			err = ex.observe(out)
-		}
-	case *plan.Project:
-		var c *relation.Relation
-		if c, err = ex.evalRecording(t.Child, rows); err != nil {
-			return nil, err
-		}
-		out, err = relation.ProjectLimited(c, t.Cols, &ex.lim)
-		if err == nil {
-			ex.stats.Projections++
-			err = ex.observe(out)
-		}
-	default:
-		return nil, fmt.Errorf("engine: unknown plan node %T", n)
-	}
-	if err != nil {
-		return nil, err
-	}
-	rows[n] = out.Len()
-	return out, nil
 }

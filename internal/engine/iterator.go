@@ -18,6 +18,13 @@ import (
 // than hash-table builds and DISTINCT never materialize full
 // intermediates.
 //
+// The hot paths run on the same kernels as the materializing executors:
+// hash-join build tables are relation.StreamTable (flat tuple arena,
+// packed-uint64/FNV join keys, open-addressing with flat duplicate
+// chains) and DISTINCT state is a relation.Relation used as a dedup set —
+// no string keys, no Go maps. BenchmarkEngineIterJoin measures the swap
+// against the former map[string][]Tuple implementation.
+//
 // The materializing executor (Exec) and this one compute identical
 // results; BenchmarkAblationExecutor compares them. For the paper's
 // workloads the two behave alike because SELECT DISTINCT subqueries force
@@ -79,11 +86,10 @@ type hashJoinIter struct {
 	leftCols    []int // schema assembly: left column index or -1
 	rightCols   []int // schema assembly: right column index or -1
 
-	table   map[string][]relation.Tuple
+	table   *relation.StreamTable
 	built   bool
-	cur     relation.Tuple // current left tuple
-	matches []relation.Tuple
-	midx    int
+	cur     relation.Tuple // current left tuple (buffer, reused)
+	matches relation.StreamMatches
 	out     relation.Tuple
 }
 
@@ -115,27 +121,13 @@ func newHashJoinIter(ctx *execContext, left, right iterator) *hashJoinIter {
 		}
 	}
 	j.out = make(relation.Tuple, len(j.schema))
+	j.table = relation.NewStreamTable(len(rs), j.sharedRight)
 	return j
 }
 
 func (j *hashJoinIter) Schema() []cq.Var { return j.schema }
 
-func (j *hashJoinIter) key(t relation.Tuple, cols []int) string {
-	b := make([]byte, 0, len(cols)*5)
-	for _, c := range cols {
-		v := t[c]
-		if v >= 0 && v < 255 {
-			b = append(b, byte(v))
-		} else {
-			u := uint32(v)
-			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-		}
-	}
-	return string(b)
-}
-
 func (j *hashJoinIter) build() error {
-	j.table = make(map[string][]relation.Tuple)
 	n := 0
 	for {
 		t, err := j.right.Next()
@@ -152,8 +144,7 @@ func (j *hashJoinIter) build() error {
 		if j.ctx.maxRows > 0 && n > j.ctx.maxRows {
 			return relation.ErrRowLimit
 		}
-		k := j.key(t, j.sharedRight)
-		j.table[k] = append(j.table[k], t.Clone())
+		j.table.Insert(t)
 	}
 	j.built = true
 	return nil
@@ -166,17 +157,17 @@ func (j *hashJoinIter) Next() (relation.Tuple, error) {
 		}
 	}
 	for {
-		if j.cur != nil && j.midx < len(j.matches) {
-			rt := j.matches[j.midx]
-			j.midx++
-			for i := range j.schema {
-				if lc := j.leftCols[i]; lc >= 0 {
-					j.out[i] = j.cur[lc]
-				} else {
-					j.out[i] = rt[j.rightCols[i]]
+		if j.cur != nil {
+			if rt := j.matches.Next(); rt != nil {
+				for i := range j.schema {
+					if lc := j.leftCols[i]; lc >= 0 {
+						j.out[i] = j.cur[lc]
+					} else {
+						j.out[i] = rt[j.rightCols[i]]
+					}
 				}
+				return j.out, nil
 			}
-			return j.out, nil
 		}
 		t, err := j.left.Next()
 		if err != nil {
@@ -188,20 +179,21 @@ func (j *hashJoinIter) Next() (relation.Tuple, error) {
 		if err := j.ctx.tick(); err != nil {
 			return nil, err
 		}
-		j.cur = t.Clone()
-		j.matches = j.table[j.key(t, j.sharedLeft)]
-		j.midx = 0
+		j.cur = append(j.cur[:0], t...)
+		j.matches = j.table.Probe(j.cur, j.sharedLeft)
 	}
 }
 
 // distinctProjectIter projects its input onto cols and deduplicates —
-// the SELECT DISTINCT subquery boundary.
+// the SELECT DISTINCT subquery boundary. The seen-set is a
+// relation.Relation, so dedup runs on the arena + open-addressing kernel
+// instead of a string-keyed map.
 type distinctProjectIter struct {
 	ctx    *execContext
 	in     iterator
 	schema []cq.Var
 	idx    []int
-	seen   map[string]struct{}
+	seen   *relation.Relation
 	out    relation.Tuple
 }
 
@@ -216,6 +208,11 @@ func newDistinctProjectIter(ctx *execContext, in iterator, cols []cq.Var) (*dist
 		if !ok {
 			return nil, fmt.Errorf("engine: projection column x%d not in input schema", c)
 		}
+		for _, prev := range cols[:i] {
+			if prev == c {
+				return nil, fmt.Errorf("engine: projection repeats column x%d", c)
+			}
+		}
 		idx[i] = j
 	}
 	return &distinctProjectIter{
@@ -223,7 +220,7 @@ func newDistinctProjectIter(ctx *execContext, in iterator, cols []cq.Var) (*dist
 		in:     in,
 		schema: append([]cq.Var(nil), cols...),
 		idx:    idx,
-		seen:   make(map[string]struct{}),
+		seen:   relation.New(cols),
 		out:    make(relation.Tuple, len(cols)),
 	}, nil
 }
@@ -245,35 +242,20 @@ func (d *distinctProjectIter) Next() (relation.Tuple, error) {
 		for i, j := range d.idx {
 			d.out[i] = t[j]
 		}
-		k := d.key(d.out)
-		if _, dup := d.seen[k]; dup {
+		if !d.seen.Add(d.out) {
 			continue
 		}
-		d.seen[k] = struct{}{}
-		if d.ctx.maxRows > 0 && len(d.seen) > d.ctx.maxRows {
+		if d.ctx.maxRows > 0 && d.seen.Len() > d.ctx.maxRows {
 			return nil, relation.ErrRowLimit
 		}
 		if d.ctx.stats != nil {
-			if len(d.seen) > d.ctx.stats.MaxRows {
-				d.ctx.stats.MaxRows = len(d.seen)
+			if d.seen.Len() > d.ctx.stats.MaxRows {
+				d.ctx.stats.MaxRows = d.seen.Len()
 			}
 			d.ctx.stats.Tuples++
 		}
 		return d.out, nil
 	}
-}
-
-func (d *distinctProjectIter) key(t relation.Tuple) string {
-	b := make([]byte, 0, len(t)*5)
-	for _, v := range t {
-		if v >= 0 && v < 255 {
-			b = append(b, byte(v))
-		} else {
-			u := uint32(v)
-			b = append(b, 255, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-		}
-	}
-	return string(b)
 }
 
 // buildIterator lowers a plan to an iterator pipeline.
@@ -318,7 +300,8 @@ func buildIterator(ctx *execContext, n plan.Node, db cq.Database) (iterator, err
 // ExecIterator evaluates the plan with the Volcano-style pull engine and
 // materializes only the final result. Results are identical to Exec; the
 // Stats collected are coarser (no per-operator intermediate sizes other
-// than DISTINCT states).
+// than DISTINCT states). The subplan cache (opt.Cache) is ignored: this
+// engine materializes no subtree results to share.
 func ExecIterator(n plan.Node, db cq.Database, opt Options) (*Result, error) {
 	var stats Stats
 	ctx := &execContext{maxRows: opt.MaxRows, stats: &stats}

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -31,6 +30,13 @@ import (
 // execution). Results are identical to Exec. Statistics are aggregated
 // across goroutines; per-operator counters are exact, Work and MaxRows
 // are merged from each goroutine's private counters.
+//
+// A subplan cache (opt.Cache) is shared with the sequential executors:
+// lookups and stores go through the cache's own shard locks, and the
+// per-subtree stats stored with each entry are aggregated in a private
+// mutex-guarded frame before being folded into the run's totals, so hits
+// replay identical instrumentation regardless of which executor populated
+// the entry.
 func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Result, error) {
 	if workers < 2 {
 		return Exec(n, db, opt)
@@ -43,56 +49,70 @@ func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Resul
 		db:       db,
 		deadline: deadline,
 		maxRows:  opt.MaxRows,
+		cache:    opt.Cache,
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
 		sizes:    make(map[plan.Node]int),
 	}
-	measureSubtrees(n, pe.sizes)
-	start := time.Now()
-	rel, err := pe.eval(n)
-	pe.stats.Elapsed = time.Since(start)
-	if err != nil {
-		switch {
-		case errors.Is(err, relation.ErrDeadline):
-			err = fmt.Errorf("%w after %v: %v", ErrTimeout, pe.stats.Elapsed, err)
-		case errors.Is(err, relation.ErrRowLimit):
-			err = fmt.Errorf("%w: %v", ErrRowLimit, err)
-		}
-		return &Result{Stats: pe.stats}, err
+	if pe.cache != nil {
+		pe.dbFP = DatabaseFingerprint(db)
 	}
-	return &Result{Rel: rel, Stats: pe.stats}, nil
+	measureSubtrees(n, pe.sizes)
+	root := &pframe{}
+	start := time.Now()
+	rel, err := pe.eval(n, root)
+	root.stats.Elapsed = time.Since(start)
+	if err != nil {
+		return &Result{Stats: root.stats}, wrapLimitErr(err, root.stats.Elapsed)
+	}
+	return &Result{Rel: rel, Stats: root.stats}, nil
 }
 
 type parallelExec struct {
 	db       cq.Database
 	deadline time.Time
 	maxRows  int
+	cache    *Cache
+	dbFP     string
 	workers  int
 	sem      chan struct{}
 	sizes    map[plan.Node]int
+}
 
+// pframe is a mutex-guarded stats frame: the aggregation target for the
+// goroutines evaluating one subtree. The root frame collects the whole
+// run; each cache-candidate subtree gets a private frame so the stats
+// stored with its cache entry cover exactly that subtree.
+type pframe struct {
 	mu    sync.Mutex
 	stats Stats
 }
 
-// observe merges one operator's output into the shared stats.
-func (pe *parallelExec) observe(r *relation.Relation, kind byte, work int64) {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	if r.Len() > pe.stats.MaxRows {
-		pe.stats.MaxRows = r.Len()
+// observe merges one operator's output into the frame.
+func (fr *pframe) observe(r *relation.Relation, kind byte, work int64) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if r.Len() > fr.stats.MaxRows {
+		fr.stats.MaxRows = r.Len()
 	}
-	if r.Arity() > pe.stats.MaxArity {
-		pe.stats.MaxArity = r.Arity()
+	if r.Arity() > fr.stats.MaxArity {
+		fr.stats.MaxArity = r.Arity()
 	}
-	pe.stats.Tuples += int64(r.Len())
-	pe.stats.Work += work
+	fr.stats.Tuples += int64(r.Len())
+	fr.stats.Work += work
 	switch kind {
 	case 'j':
-		pe.stats.Joins++
+		fr.stats.Joins++
 	case 'p':
-		pe.stats.Projections++
+		fr.stats.Projections++
 	}
+}
+
+// merge folds another frame (or a cached entry's stats) into the frame.
+func (fr *pframe) merge(o *Stats) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.stats.merge(o)
 }
 
 // lim builds a fresh private limit for one operator invocation.
@@ -112,7 +132,37 @@ func measureSubtrees(n plan.Node, sizes map[plan.Node]int) int {
 	return size
 }
 
-func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
+func (pe *parallelExec) eval(n plan.Node, fr *pframe) (*relation.Relation, error) {
+	if _, isScan := n.(*plan.Scan); !isScan && pe.cache != nil {
+		return pe.evalCached(n, fr)
+	}
+	return pe.evalOp(n, fr)
+}
+
+// evalCached wraps evalOp in a cache lookup/store, mirroring the
+// sequential executor: misses evaluate into a private frame whose totals
+// become the stored entry's stats.
+func (pe *parallelExec) evalCached(n plan.Node, fr *pframe) (*relation.Relation, error) {
+	key, vars := cacheKey(pe.dbFP, n)
+	if rel, sub, ok := pe.cache.get(key); ok && (pe.maxRows == 0 || sub.MaxRows <= pe.maxRows) {
+		sub.CacheHits++
+		fr.merge(&sub)
+		return fromCanonical(rel, vars), nil
+	}
+	nf := &pframe{}
+	rel, err := pe.evalOp(n, nf)
+	nf.stats.CacheMisses++
+	entryStats := nf.stats
+	entryStats.CacheHits, entryStats.CacheMisses = 0, 0
+	fr.merge(&nf.stats)
+	if err != nil {
+		return nil, err
+	}
+	pe.cache.put(key, toCanonical(rel, vars), entryStats)
+	return rel, nil
+}
+
+func (pe *parallelExec) evalOp(n plan.Node, fr *pframe) (*relation.Relation, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		rel, ok := pe.db[t.Atom.Rel]
@@ -127,11 +177,11 @@ func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
 			m[a] = t.Atom.Args[i]
 		}
 		bound := relation.Rename(rel, m)
-		pe.observe(bound, 's', 0)
+		fr.observe(bound, 's', 0)
 		return bound, nil
 
 	case *plan.Join:
-		l, r, err := pe.evalPair(t.Left, t.Right)
+		l, r, err := pe.evalPair(t.Left, t.Right, fr)
 		if err != nil {
 			return nil, err
 		}
@@ -140,11 +190,11 @@ func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		pe.observe(out, 'j', work)
+		fr.observe(out, 'j', work)
 		return out, nil
 
 	case *plan.Project:
-		c, err := pe.eval(t.Child)
+		c, err := pe.eval(t.Child, fr)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +203,7 @@ func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		pe.observe(out, 'p', work)
+		fr.observe(out, 'p', work)
 		return out, nil
 
 	default:
@@ -163,13 +213,13 @@ func (pe *parallelExec) eval(n plan.Node) (*relation.Relation, error) {
 
 // evalPair evaluates two subtrees, concurrently when both are non-trivial
 // and a worker slot is free.
-func (pe *parallelExec) evalPair(a, b plan.Node) (*relation.Relation, *relation.Relation, error) {
+func (pe *parallelExec) evalPair(a, b plan.Node, fr *pframe) (*relation.Relation, *relation.Relation, error) {
 	if pe.sizes[a] < 3 || pe.sizes[b] < 3 {
-		ra, err := pe.eval(a)
+		ra, err := pe.eval(a, fr)
 		if err != nil {
 			return nil, nil, err
 		}
-		rb, err := pe.eval(b)
+		rb, err := pe.eval(b, fr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -186,9 +236,9 @@ func (pe *parallelExec) evalPair(a, b plan.Node) (*relation.Relation, *relation.
 		go func() {
 			defer wg.Done()
 			defer func() { <-pe.sem }()
-			rb, ebr = pe.eval(b)
+			rb, ebr = pe.eval(b, fr)
 		}()
-		ra, ear := pe.eval(a)
+		ra, ear := pe.eval(a, fr)
 		wg.Wait()
 		if ear != nil {
 			return nil, nil, ear
@@ -199,11 +249,11 @@ func (pe *parallelExec) evalPair(a, b plan.Node) (*relation.Relation, *relation.
 		return ra, rb, nil
 	default:
 		// No free worker: stay sequential.
-		ra, err := pe.eval(a)
+		ra, err := pe.eval(a, fr)
 		if err != nil {
 			return nil, nil, err
 		}
-		rb, err := pe.eval(b)
+		rb, err := pe.eval(b, fr)
 		if err != nil {
 			return nil, nil, err
 		}

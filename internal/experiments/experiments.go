@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"projpush/internal/core"
@@ -49,6 +50,23 @@ type Config struct {
 	// no projection pushing. The paper drops it after Figure 2 because
 	// its execution matches straightforward while compilation explodes.
 	IncludeNaive bool
+	// Workers fans the (repetition, method) measurements of each data
+	// point across this many goroutines; values < 2 run sequentially.
+	// Instance generation stays sequential with the per-repetition seed
+	// derivation unchanged, and every measurement draws a private RNG
+	// derived from (Seed, x, rep, method), so every randomized choice —
+	// instances, planner tie-breaking, free-variable selection — and
+	// therefore every width, cardinality, and timeout/success outcome is
+	// identical for any worker count. Only wall-clock durations (and,
+	// with a shared Cache, the hit/miss split between concurrent
+	// duplicate misses) vary with the schedule.
+	Workers int
+	// Cache, when non-nil, is a subplan result cache shared by every
+	// measured execution (engine.Options.Cache). The structural
+	// methods' plans share subtrees across methods and repetitions over
+	// one fixed database, so repeated sweeps hit heavily; per-cell hit
+	// and miss counts land in Cell.CacheHits/CacheMisses.
+	Cache *engine.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +92,9 @@ type Cell struct {
 	// Width is the maximum plan width observed across repetitions —
 	// the structural quantity behind the running times.
 	Width int
+	// CacheHits and CacheMisses total the subplan-cache traffic of this
+	// cell's executions (zero when Config.Cache is nil).
+	CacheHits, CacheMisses int64
 }
 
 // Row is one x-coordinate of a figure with all method measurements.
@@ -87,6 +108,9 @@ type Series struct {
 	Title  string
 	XLabel string
 	Rows   []Row
+	// Cache records whether the sweep ran with a subplan cache; CSV
+	// adds per-method hit/miss columns when set.
+	Cache bool
 }
 
 // Family names a structured graph family from Figure 1.
@@ -138,77 +162,158 @@ func freeVars(g *graph.Graph, frac float64, rng *rand.Rand) []cq.Var {
 	return instance.ChooseFree(instance.EdgeVertices(g), frac, rng)
 }
 
+// execOptions translates a config into engine options, threading the
+// shared subplan cache through every measured execution.
+func (c Config) execOptions() engine.Options {
+	return engine.Options{Timeout: c.Timeout, MaxRows: c.MaxRows, Cache: c.Cache}
+}
+
+// outcome is one measurement: duration, plan width, cache traffic, and
+// the error (timeout / row cap) if the run was aborted.
+type outcome struct {
+	d            time.Duration
+	w            int
+	hits, misses int64
+	err          error
+}
+
 // measure builds and executes one method on one query, returning the
 // execution duration (plan construction included; it is negligible, as
 // the paper notes for the subquery-based methods) and the plan width.
-func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) (time.Duration, int, error) {
+func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
 	start := time.Now()
 	p, err := core.BuildPlan(m, q, rng)
 	if err != nil {
-		return 0, 0, err
+		return outcome{err: err}
 	}
 	w := plan.Analyze(p).Width
-	_, err = engine.Exec(p, db, engine.Options{Timeout: cfg.Timeout, MaxRows: cfg.MaxRows})
-	return time.Since(start), w, err
+	res, err := engine.Exec(p, db, cfg.execOptions())
+	return outcome{d: time.Since(start), w: w,
+		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}
 }
 
 // measureNaive runs the naive method end to end: cost-based planning
 // (DP or GEQO) picks a join order, then the straightforward-shaped plan
 // executes. The returned duration includes the planner's compile time,
 // the quantity that dominates it.
-func measureNaive(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) (time.Duration, int, error) {
+func measureNaive(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
 	start := time.Now()
 	cm := pgplanner.NewCostModel(db)
 	res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{})
 	if err != nil {
-		return 0, 0, err
+		return outcome{err: err}
 	}
 	p, err := core.StraightforwardOrder(q, res.Order)
 	if err != nil {
-		return 0, 0, err
+		return outcome{err: err}
 	}
 	w := plan.Analyze(p).Width
-	_, err = engine.Exec(p, db, engine.Options{Timeout: cfg.Timeout, MaxRows: cfg.MaxRows})
-	return time.Since(start), w, err
+	er, err := engine.Exec(p, db, cfg.execOptions())
+	return outcome{d: time.Since(start), w: w,
+		hits: er.Stats.CacheHits, misses: er.Stats.CacheMisses, err: err}
+}
+
+// repSeed derives the instance-generation seed of one repetition — the
+// derivation every sweep has always used, kept stable so fixed-seed
+// figures reproduce across harness versions.
+func repSeed(cfg Config, x float64, rep int) int64 {
+	return cfg.Seed + int64(rep)*7919 + int64(x*1000)
+}
+
+// cellSeed derives the private measurement seed of one (rep, cell) task.
+// Each task owns its RNG, so the schedule — sequential or worker pool —
+// cannot perturb the random choices any measurement sees.
+func cellSeed(cfg Config, x float64, rep, cell int) int64 {
+	return cfg.Seed + int64(rep)*7919 + int64(cell+1)*1_000_003 + int64(x*1000)
 }
 
 // runPoint measures all methods over Reps instances supplied by gen.
+//
+// Instances are generated sequentially (rep order, per-rep seeds), then
+// the Reps × methods measurement grid fans out over cfg.Workers
+// goroutines pulling from a shared queue. Results are folded into the
+// row in (rep, cell) order after all tasks finish, so the produced Row —
+// and therefore every figure, table, and CSV — is identical for any
+// worker count, including the sequential path.
 func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error)) (Row, error) {
-	cells := len(cfg.Methods)
+	ncells := len(cfg.Methods)
 	if cfg.IncludeNaive {
-		cells++
+		ncells++
 	}
-	row := Row{X: x, Cells: make([]Cell, cells)}
+	row := Row{X: x, Cells: make([]Cell, ncells)}
 	if cfg.IncludeNaive {
 		row.Cells[0].Method = "naive"
 	}
-	offset := cells - len(cfg.Methods)
+	offset := ncells - len(cfg.Methods)
 	for i, m := range cfg.Methods {
 		row.Cells[offset+i].Method = string(m)
 	}
+
+	type inst struct {
+		q  *cq.Query
+		db cq.Database
+	}
+	insts := make([]inst, cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*7919 + int64(x*1000)))
+		rng := rand.New(rand.NewSource(repSeed(cfg, x, rep)))
 		q, db, err := gen(rep, rng)
 		if err != nil {
 			return row, err
 		}
-		record := func(cell *Cell, d time.Duration, w int, err error) {
-			if w > cell.Width {
-				cell.Width = w
+		insts[rep] = inst{q: q, db: db}
+	}
+
+	runCell := func(rep, ci int) outcome {
+		rng := rand.New(rand.NewSource(cellSeed(cfg, x, rep, ci)))
+		in := insts[rep]
+		if cfg.IncludeNaive && ci == 0 {
+			return measureNaive(in.q, in.db, rng, cfg)
+		}
+		return measure(cfg.Methods[ci-offset], in.q, in.db, rng, cfg)
+	}
+
+	results := make([]outcome, cfg.Reps*ncells)
+	if cfg.Workers < 2 {
+		for idx := range results {
+			results[idx] = runCell(idx/ncells, idx%ncells)
+		}
+	} else {
+		tasks := make(chan int)
+		var wg sync.WaitGroup
+		workers := cfg.Workers
+		if workers > len(results) {
+			workers = len(results)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range tasks {
+					results[idx] = runCell(idx/ncells, idx%ncells)
+				}
+			}()
+		}
+		for idx := range results {
+			tasks <- idx
+		}
+		close(tasks)
+		wg.Wait()
+	}
+
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for ci := 0; ci < ncells; ci++ {
+			o := results[rep*ncells+ci]
+			cell := &row.Cells[ci]
+			if o.w > cell.Width {
+				cell.Width = o.w
 			}
-			if err != nil {
+			cell.CacheHits += o.hits
+			cell.CacheMisses += o.misses
+			if o.err != nil {
 				cell.Sample.AddTimeout()
-				return
+				continue
 			}
-			cell.Sample.Add(d)
-		}
-		if cfg.IncludeNaive {
-			d, w, err := measureNaive(q, db, rng, cfg)
-			record(&row.Cells[0], d, w, err)
-		}
-		for i, m := range cfg.Methods {
-			d, w, err := measure(m, q, db, rng, cfg)
-			record(&row.Cells[offset+i], d, w, err)
+			cell.Sample.Add(o.d)
 		}
 	}
 	return row, nil
@@ -222,6 +327,7 @@ func DensityScaling(cfg Config, order int, densities []float64) (*Series, error)
 	s := &Series{
 		Title:  fmt.Sprintf("3-COLOR density scaling, order=%d, free=%.0f%%", order, cfg.FreeFraction*100),
 		XLabel: "density",
+		Cache:  cfg.Cache != nil,
 	}
 	for _, d := range densities {
 		row, err := runPoint(d, cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
@@ -254,6 +360,7 @@ func OrderScaling(cfg Config, density float64, orders []int) (*Series, error) {
 	s := &Series{
 		Title:  fmt.Sprintf("3-COLOR order scaling, density=%.1f, free=%.0f%%", density, cfg.FreeFraction*100),
 		XLabel: "order",
+		Cache:  cfg.Cache != nil,
 	}
 	for _, n := range orders {
 		row, err := runPoint(float64(n), cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
@@ -286,6 +393,7 @@ func StructuredScaling(cfg Config, family Family, orders []int) (*Series, error)
 	s := &Series{
 		Title:  fmt.Sprintf("3-COLOR %s, free=%.0f%%", family, cfg.FreeFraction*100),
 		XLabel: "order",
+		Cache:  cfg.Cache != nil,
 	}
 	for _, n := range orders {
 		g, err := BuildFamily(family, n)
@@ -366,6 +474,7 @@ func SATScaling(cfg Config, k, nvars int, densities []float64) (*Series, error) 
 	s := &Series{
 		Title:  fmt.Sprintf("%d-SAT density scaling, %d variables, free=%.0f%%", k, nvars, cfg.FreeFraction*100),
 		XLabel: "density",
+		Cache:  cfg.Cache != nil,
 	}
 	for _, d := range densities {
 		m := int(d*float64(nvars) + 0.5)
@@ -438,7 +547,8 @@ func Report(s *Series) string {
 
 // CSV renders a series as comma-separated values: one row per x with a
 // median-seconds column per method (empty for timeouts) — the format for
-// external plotting tools.
+// external plotting tools. A sweep run with a subplan cache additionally
+// gets <method>_cache_hits and <method>_cache_misses columns.
 func CSV(s *Series) string {
 	var b strings.Builder
 	b.WriteString(s.XLabel)
@@ -446,6 +556,11 @@ func CSV(s *Series) string {
 		for _, c := range s.Rows[0].Cells {
 			b.WriteString(",")
 			b.WriteString(c.Method)
+		}
+		if s.Cache {
+			for _, c := range s.Rows[0].Cells {
+				fmt.Fprintf(&b, ",%s_cache_hits,%s_cache_misses", c.Method, c.Method)
+			}
 		}
 	}
 	b.WriteString("\n")
@@ -455,6 +570,11 @@ func CSV(s *Series) string {
 			b.WriteString(",")
 			if med, ok := r.Cells[i].Sample.Median(); ok {
 				fmt.Fprintf(&b, "%g", med.Seconds())
+			}
+		}
+		if s.Cache {
+			for i := range r.Cells {
+				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].CacheHits, r.Cells[i].CacheMisses)
 			}
 		}
 		b.WriteString("\n")

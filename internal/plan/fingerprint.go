@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"strconv"
+	"strings"
+
+	"projpush/internal/cq"
+)
+
+// Fingerprint returns a canonical structural fingerprint of the plan
+// subtree rooted at n, invariant under variable renaming: two subtrees
+// have equal fingerprints iff one is the image of the other under an
+// injective variable substitution. Variables are numbered 0..k-1 in
+// first-occurrence order of a deterministic left-to-right walk, so the
+// same join/projection structure over differently-named variables — the
+// common case across repetitions of a structured workload — maps to one
+// fingerprint.
+//
+// The second result is the canonicalization witness: vars[i] is the
+// actual variable assigned canonical id i. A cached execution result can
+// therefore be stored over canonical attributes (rename actual → index)
+// and re-bound on a later hit from a renamed but structurally identical
+// subtree (rename index → that subtree's vars[i]).
+func Fingerprint(n Node) (string, []cq.Var) {
+	var b strings.Builder
+	canon := make(map[cq.Var]int)
+	var order []cq.Var
+	id := func(v cq.Var) int {
+		if c, ok := canon[v]; ok {
+			return c
+		}
+		c := len(order)
+		canon[v] = c
+		order = append(order, v)
+		return c
+	}
+	writeVars := func(vs []cq.Var) {
+		for i, v := range vs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(id(v)))
+		}
+	}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Scan:
+			b.WriteString("s:")
+			b.WriteString(t.Atom.Rel)
+			b.WriteByte('(')
+			writeVars(t.Atom.Args)
+			b.WriteByte(')')
+		case *Join:
+			b.WriteString("j(")
+			walk(t.Left)
+			b.WriteString(")(")
+			walk(t.Right)
+			b.WriteByte(')')
+		case *Project:
+			b.WriteString("p{")
+			writeVars(t.Cols)
+			b.WriteString("}(")
+			walk(t.Child)
+			b.WriteByte(')')
+		default:
+			// Unknown node kinds cannot be canonicalized; make the
+			// fingerprint unique so they never alias a real subtree.
+			b.WriteString("?:")
+			b.WriteString(t.String())
+		}
+	}
+	walk(n)
+	return b.String(), order
+}

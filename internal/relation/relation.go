@@ -310,6 +310,15 @@ func (r *Relation) Value(t Tuple, a Attr) Value {
 	return t[r.pos[a]]
 }
 
+// Bytes approximates the relation's resident memory in bytes: the tuple
+// arena plus the dedup table. It is the accounting unit of the engine's
+// subplan result cache; approximation (headers and the attribute schema
+// are ignored) is fine there because cached relations are dominated by
+// their arenas.
+func (r *Relation) Bytes() int64 {
+	return int64(cap(r.data))*4 + int64(len(r.keys))*8 + int64(len(r.refs))*4
+}
+
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
 	return &Relation{

@@ -1,0 +1,112 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// streamTableReference answers the same probes with a string-keyed map —
+// the implementation StreamTable replaced in the engine's iterator
+// executor — so the kernel can be checked differentially.
+func streamTableReference(rows []Tuple, keyPos []int, probe Tuple, probePos []int) []string {
+	key := func(t Tuple, pos []int) string {
+		s := ""
+		for _, p := range pos {
+			s += fmt.Sprintf("%d|", t[p])
+		}
+		return s
+	}
+	want := key(probe, probePos)
+	var out []string
+	for _, r := range rows {
+		if key(r, keyPos) == want {
+			out = append(out, fmt.Sprint(r))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectMatches(st *StreamTable, probe Tuple, probePos []int) []string {
+	var out []string
+	m := st.Probe(probe, probePos)
+	for t := m.Next(); t != nil; t = m.Next() {
+		out = append(out, fmt.Sprint(t))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestStreamTableDifferential(t *testing.T) {
+	// Three value regimes: packed stays packed, "wide" forces migration
+	// to FNV keys mid-build, "mixed" interleaves both so packed inserts
+	// precede and follow the migration point.
+	regimes := []struct {
+		name string
+		gen  func(rng *rand.Rand) Value
+	}{
+		{"packed", func(rng *rand.Rand) Value { return Value(rng.Intn(5)) }},
+		{"wide", func(rng *rand.Rand) Value { return Value(rng.Intn(100_000) - 50_000) }},
+		{"mixed", func(rng *rand.Rand) Value {
+			if rng.Intn(4) == 0 {
+				return Value(rng.Intn(100_000))
+			}
+			return Value(rng.Intn(5))
+		}},
+	}
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			const arity = 3
+			keyPos := []int{0, 2}
+			probePos := []int{1, 0}
+			var rows []Tuple
+			st := NewStreamTable(arity, keyPos)
+			for i := 0; i < 500; i++ {
+				r := Tuple{reg.gen(rng), reg.gen(rng), reg.gen(rng)}
+				rows = append(rows, r)
+				st.Insert(r)
+			}
+			if st.Len() != len(rows) {
+				t.Fatalf("Len = %d, want %d", st.Len(), len(rows))
+			}
+			for i := 0; i < 300; i++ {
+				probe := Tuple{reg.gen(rng), reg.gen(rng)}
+				got := collectMatches(st, probe, probePos)
+				want := streamTableReference(rows, keyPos, probe, probePos)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("probe %v: got %v want %v", probe, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestStreamTableOutOfRangeProbe(t *testing.T) {
+	st := NewStreamTable(2, []int{0})
+	st.Insert(Tuple{1, 1})
+	st.Insert(Tuple{2, 2})
+	// Packed build side, out-of-range probe value: must short-circuit to
+	// no matches, not hash.
+	if got := collectMatches(st, Tuple{1000}, []int{0}); got != nil {
+		t.Fatalf("out-of-range probe matched %v", got)
+	}
+	if got := collectMatches(st, Tuple{2}, []int{0}); len(got) != 1 {
+		t.Fatalf("in-range probe matched %v, want one row", got)
+	}
+}
+
+func TestStreamTableEmptyAndMisuse(t *testing.T) {
+	st := NewStreamTable(2, []int{0})
+	if got := collectMatches(st, Tuple{1}, []int{0}); got != nil {
+		t.Fatalf("empty table matched %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert after Probe did not panic")
+		}
+	}()
+	st.Insert(Tuple{1, 2})
+}
