@@ -13,7 +13,7 @@ vet:
 
 test:
 	go test ./...
-	go test -race ./internal/engine ./internal/relation ./internal/experiments
+	go test -race ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner
 
 # One iteration per benchmark: regenerates every figure series quickly.
 bench:
@@ -23,7 +23,9 @@ bench:
 # partitioned join by worker count) recorded as JSON for trend tracking,
 # plus the engine/harness suite: subplan cache cached-vs-uncached
 # repeated workloads, iterator-join kernel port, and harness scaling by
-# worker count.
+# worker count. The planner suite covers the incremental bitset DP,
+# island GEQO by worker count, and the bucket-queue/bitset elimination
+# orders, each against the map-based baseline it replaced.
 bench-json:
 	go test ./internal/relation -run '^$$' -bench '^BenchmarkKernel' -benchmem \
 		| go run ./cmd/benchjson > BENCH_relation.json
@@ -32,6 +34,10 @@ bench-json:
 		-bench '^BenchmarkEngine|^BenchmarkHarness' -benchmem \
 		| go run ./cmd/benchjson > BENCH_engine.json
 	@cat BENCH_engine.json
+	go test ./internal/pgplanner ./internal/treedec -run '^$$' \
+		-bench '^BenchmarkPlanner|^BenchmarkOrder' -benchmem \
+		| go run ./cmd/benchjson > BENCH_planner.json
+	@cat BENCH_planner.json
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -32,7 +32,7 @@ func main() {
 		free    = flag.Float64("free", -1, "free-variable fraction; -1 runs both Boolean and 20% variants")
 		chart   = flag.Bool("chart", false, "render ASCII logscale charts (the paper's figure style) instead of tables")
 		csv     = flag.Bool("csv", false, "emit CSV (median seconds per method) instead of tables")
-		workers = flag.Int("workers", 1, "harness goroutines fanning reps × methods per data point (output is identical for any value)")
+		workers = flag.Int("workers", 1, "harness goroutines per data point, also the planner's GEQO island count; structural methods are identical for any value, the cost-based naive planner on GEQO-sized queries depends deterministically on it (default matches the serial planner)")
 		cache   = flag.Bool("cache", false, "share a subplan result cache across all measured executions")
 		cachemb = flag.Int("cachemb", 0, "subplan cache budget in MiB (0 = engine default); implies -cache")
 	)

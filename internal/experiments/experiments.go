@@ -60,6 +60,16 @@ type Config struct {
 	// identical for any worker count. Only wall-clock durations (and,
 	// with a shared Cache, the hit/miss split between concurrent
 	// duplicate misses) vary with the schedule.
+	//
+	// Workers is also handed to the cost-based planner as its island
+	// count (pgplanner.Options.Workers). One exception to the
+	// schedule-independence above follows: with IncludeNaive (or in
+	// CompileTimeScaling) on queries large enough for the genetic
+	// search, the chosen join order depends deterministically on the
+	// worker count, because Workers>1 splits the pool into that many
+	// islands. Fixed (Seed, Workers) still reproduces bit-identical
+	// results, and the default Workers=1 matches the serial planner
+	// exactly, so the published figures are unchanged.
 	Workers int
 	// Cache, when non-nil, is a subplan result cache shared by every
 	// measured execution (engine.Options.Cache). The structural
@@ -199,7 +209,7 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 func measureNaive(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
 	start := time.Now()
 	cm := pgplanner.NewCostModel(db)
-	res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{})
+	res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{Workers: cfg.Workers})
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -446,7 +456,7 @@ func CompileTimeScaling(cfg Config, nvars int, densities []float64) (*Series, er
 			cm := pgplanner.NewCostModel(db)
 
 			start := time.Now()
-			res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{})
+			res, err := pgplanner.Plan(q, cm, rng, pgplanner.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}

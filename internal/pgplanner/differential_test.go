@@ -1,0 +1,450 @@
+package pgplanner
+
+// Pinned pre-rewrite implementations of the planner's three hot paths —
+// the per-subset map-based Estimate recomputation in the DP and the
+// allocating map-based genetic search — used (a) as differential oracles
+// proving the flat-table rewrite returns bit-identical orders, costs,
+// and explored counts, and (b) as the map baselines the planner
+// microbenchmarks compare against.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+// estimateMapBaseline is the pre-rewrite CostModel.Estimate, including
+// its stale-occurrence behaviour (occ[v] overwritten with the latest
+// column's distinct count instead of the running max).
+func estimateMapBaseline(cm *CostModel, q *cq.Query, atomSet []int) float64 {
+	rows := 1.0
+	occ := make(map[cq.Var]float64)
+	for _, i := range atomSet {
+		a := q.Atoms[i]
+		base := cm.BaseRows[a.Rel]
+		if base <= 0 {
+			base = 1
+		}
+		rows *= float64(base)
+		for col, v := range a.Args {
+			d := cm.columnDistinct(a.Rel, col)
+			if prev, ok := occ[v]; ok {
+				sel := 1 / math.Max(prev, d)
+				rows *= sel
+			}
+			occ[v] = d
+		}
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// leftDeepCostMapBaseline is the pre-rewrite leftDeepCost (stale
+// occurrence tracking, fresh map per call).
+func leftDeepCostMapBaseline(q *cq.Query, cm *CostModel, order []int) (float64, int64) {
+	rows := 1.0
+	cost := 0.0
+	occ := make(map[cq.Var]float64, len(order)*2)
+	for step, i := range order {
+		a := q.Atoms[i]
+		base := float64(cm.BaseRows[a.Rel])
+		if base <= 0 {
+			base = 1
+		}
+		newRows := rows * base
+		for col, v := range a.Args {
+			d := cm.columnDistinct(a.Rel, col)
+			if prev, ok := occ[v]; ok {
+				newRows *= 1 / math.Max(prev, d)
+			}
+			occ[v] = d
+		}
+		if newRows < 1 {
+			newRows = 1
+		}
+		if step > 0 {
+			cost += math.Min(rows, base) + math.Max(rows, base) + newRows
+		}
+		rows = newRows
+	}
+	return cost, int64(len(order))
+}
+
+// dpMapBaseline is the pre-rewrite DP: a full Estimate recomputation
+// (map allocation and subset slice) per subset state.
+func dpMapBaseline(q *cq.Query, cm *CostModel) (*Result, error) {
+	m := len(q.Atoms)
+	if m == 0 || m > 24 {
+		return nil, fmt.Errorf("dpMapBaseline: bad atom count %d", m)
+	}
+	size := 1 << uint(m)
+	bestCost := make([]float64, size)
+	bestRows := make([]float64, size)
+	lastAtom := make([]int8, size)
+	explored := int64(0)
+	for s := 1; s < size; s++ {
+		bestCost[s] = math.Inf(1)
+		if s&(s-1) == 0 {
+			var a int
+			for a = 0; s>>uint(a)&1 == 0; a++ {
+			}
+			base := float64(cm.BaseRows[q.Atoms[a].Rel])
+			if base <= 0 {
+				base = 1
+			}
+			bestCost[s] = 0
+			bestRows[s] = base
+			lastAtom[s] = int8(a)
+			continue
+		}
+		subset := make([]int, 0, m)
+		for a := 0; a < m; a++ {
+			if s>>uint(a)&1 == 1 {
+				subset = append(subset, a)
+			}
+		}
+		rows := estimateMapBaseline(cm, q, subset)
+		bestRows[s] = rows
+		for _, a := range subset {
+			prev := s &^ (1 << uint(a))
+			explored++
+			base := float64(cm.BaseRows[q.Atoms[a].Rel])
+			if base <= 0 {
+				base = 1
+			}
+			stepCost := math.Min(bestRows[prev], base) + math.Max(bestRows[prev], base) + rows
+			c := bestCost[prev] + stepCost
+			if c < bestCost[s] {
+				bestCost[s] = c
+				lastAtom[s] = int8(a)
+			}
+		}
+	}
+	order := make([]int, m)
+	s := size - 1
+	for i := m - 1; i >= 0; i-- {
+		a := int(lastAtom[s])
+		order[i] = a
+		s &^= 1 << uint(a)
+	}
+	return &Result{Order: order, Cost: bestCost[size-1], PlansExplored: explored, Algorithm: "dp"}, nil
+}
+
+// geqoMapBaseline is the pre-rewrite serial GEQO: map-based cost
+// evaluation and a fresh order copy per pool improvement.
+func geqoMapBaseline(q *cq.Query, cm *CostModel, rng *rand.Rand, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	m := len(q.Atoms)
+	if m == 0 {
+		return nil, fmt.Errorf("geqoMapBaseline: query has no atoms")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	pool := opt.PoolSize
+	if pool <= 0 {
+		shift := m/2 + 1
+		if shift > 30 {
+			shift = 30
+		}
+		pool = 1 << uint(shift)
+		if pool > opt.PoolCap {
+			pool = opt.PoolCap
+		}
+	}
+	if pool < 4 {
+		pool = 4
+	}
+	gens := opt.Generations
+	if gens <= 0 {
+		gens = pool
+	}
+	type member struct {
+		order []int
+		cost  float64
+	}
+	explored := int64(0)
+	eval := func(order []int) float64 {
+		c, n := leftDeepCostMapBaseline(q, cm, order)
+		explored += n
+		return c
+	}
+	members := make([]member, pool)
+	for i := range members {
+		ord := rng.Perm(m)
+		members[i] = member{order: ord, cost: eval(ord)}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].cost < members[j].cost })
+	pick := func() int {
+		u := rng.Float64()
+		return int(u * u * float64(pool))
+	}
+	child := make([]int, m)
+	used := make([]bool, m)
+	for g := 0; g < gens; g++ {
+		p1 := members[pick()].order
+		p2 := members[pick()].order
+		lo := rng.Intn(m)
+		hi := lo + rng.Intn(m-lo)
+		for i := range used {
+			used[i] = false
+		}
+		for i := lo; i <= hi; i++ {
+			child[i] = p1[i]
+			used[p1[i]] = true
+		}
+		j := 0
+		for _, a := range p2 {
+			if used[a] {
+				continue
+			}
+			for j >= lo && j <= hi {
+				j++
+			}
+			child[j] = a
+			j++
+			for j >= lo && j <= hi {
+				j++
+			}
+		}
+		if rng.Intn(4) == 0 {
+			i1, i2 := rng.Intn(m), rng.Intn(m)
+			child[i1], child[i2] = child[i2], child[i1]
+		}
+		c := eval(child)
+		if c < members[pool-1].cost {
+			members[pool-1] = member{order: append([]int(nil), child...), cost: c}
+			for i := pool - 1; i > 0 && members[i].cost < members[i-1].cost; i-- {
+				members[i], members[i-1] = members[i-1], members[i]
+			}
+		}
+	}
+	best := members[0]
+	return &Result{
+		Order:         append([]int(nil), best.order...),
+		Cost:          best.cost,
+		PlansExplored: explored,
+		Algorithm:     "geqo",
+	}, nil
+}
+
+func sameResult(a, b *Result) bool {
+	if a.Cost != b.Cost || a.PlansExplored != b.PlansExplored || len(a.Order) != len(b.Order) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// figure2Queries generates the 3-SAT queries of the Figure 2 workload
+// (5 variables, density swept) exactly as CompileTimeScaling does.
+func figure2Queries(t testing.TB) []struct {
+	q  *cq.Query
+	cm *CostModel
+} {
+	t.Helper()
+	var out []struct {
+		q  *cq.Query
+		cm *CostModel
+	}
+	const nvars = 5
+	for _, d := range []float64{1, 2, 3, 4, 5, 6, 7, 8} {
+		m := int(d*float64(nvars) + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		for rep := 0; rep < 3; rep++ {
+			rng := rand.New(rand.NewSource(1 + int64(rep)*104729 + int64(d*1000)))
+			sat, err := instance.RandomSAT(3, nvars, m, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vars := instance.SATVariablesInClauses(sat)
+			q, db, err := instance.SATQuery(sat, vars[:1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, struct {
+				q  *cq.Query
+				cm *CostModel
+			}{q, NewCostModel(db)})
+		}
+	}
+	return out
+}
+
+// TestDPDifferentialFigure2 pins the rewrite: on the Figure 2 workload
+// the incremental bitset DP returns bit-identical Order, Cost, and
+// PlansExplored to the pre-rewrite map-based DP.
+func TestDPDifferentialFigure2(t *testing.T) {
+	for _, w := range figure2Queries(t) {
+		if len(w.q.Atoms) > 14 {
+			continue // keep the exhaustive search fast
+		}
+		oldRes, err := dpMapBaseline(w.q, w.cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRes, err := DP(w.q, w.cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(oldRes, newRes) {
+			t.Fatalf("DP diverged on %v:\nold: order=%v cost=%v explored=%d\nnew: order=%v cost=%v explored=%d",
+				w.q, oldRes.Order, oldRes.Cost, oldRes.PlansExplored,
+				newRes.Order, newRes.Cost, newRes.PlansExplored)
+		}
+	}
+}
+
+// TestGEQODifferentialFigure2 pins the serial genetic search: for the
+// GEQO-sized queries of the Figure 2 workload, the island implementation
+// at Workers=1 consumes the same rng stream and returns bit-identical
+// results to the pre-rewrite allocating implementation.
+func TestGEQODifferentialFigure2(t *testing.T) {
+	opt := Options{PoolSize: 64, Generations: 256}
+	for _, w := range figure2Queries(t) {
+		if len(w.q.Atoms) <= 12 {
+			continue
+		}
+		oldRes, err := geqoMapBaseline(w.q, w.cm, rand.New(rand.NewSource(42)), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRes, err := GEQO(w.q, w.cm, rand.New(rand.NewSource(42)), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(oldRes, newRes) {
+			t.Fatalf("GEQO diverged on %d atoms:\nold: cost=%v explored=%d order=%v\nnew: cost=%v explored=%d order=%v",
+				len(w.q.Atoms), oldRes.Cost, oldRes.PlansExplored, oldRes.Order,
+				newRes.Cost, newRes.PlansExplored, newRes.Order)
+		}
+	}
+}
+
+// TestGEQODifferentialDerivedPool covers the derived (exponential) pool
+// sizing path on a larger random query.
+func TestGEQODifferentialDerivedPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := graph.Random(16, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := NewCostModel(instance.ColorDatabase(3))
+	oldRes, err := geqoMapBaseline(q, cm, rand.New(rand.NewSource(5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := GEQO(q, cm, rand.New(rand.NewSource(5)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(oldRes, newRes) {
+		t.Fatalf("derived-pool GEQO diverged: old cost=%v explored=%d, new cost=%v explored=%d",
+			oldRes.Cost, oldRes.PlansExplored, newRes.Cost, newRes.PlansExplored)
+	}
+}
+
+// TestEvalOrderMatchesLeftDeepCost checks the allocation-free evaluator
+// against the reference leftDeepCost on random orders, including a cost
+// model with non-uniform distinct counts (where the running-max
+// occurrence rule has bite).
+func TestEvalOrderMatchesLeftDeepCost(t *testing.T) {
+	cm := &CostModel{
+		BaseRows: map[string]int{"r": 100, "s": 50, "t": 80},
+		Distinct: map[string][]int{
+			"r": {4, 20},
+			"s": {7, 3},
+			"t": {12, 5},
+		},
+		DefaultDistinct: 10,
+	}
+	q := &cq.Query{Atoms: []cq.Atom{
+		{Rel: "r", Args: []cq.Var{0, 1}},
+		{Rel: "s", Args: []cq.Var{1, 2}},
+		{Rel: "t", Args: []cq.Var{1, 3}},
+		{Rel: "r", Args: []cq.Var{2, 3}},
+		{Rel: "s", Args: []cq.Var{3, 0}},
+	}}
+	ev := newCostTables(q, cm).newEvaluator()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		order := rng.Perm(len(q.Atoms))
+		want, _ := leftDeepCost(q, cm, order)
+		if got := ev.evalOrder(order); got != want {
+			t.Fatalf("trial %d order %v: evalOrder=%v leftDeepCost=%v", trial, order, got, want)
+		}
+	}
+}
+
+// TestExtendRawMatchesEstimate checks the DP's incremental subset
+// estimates against the exported Estimate on random subsets, again with
+// non-uniform distinct counts exercising the occurrence-table scan.
+func TestExtendRawMatchesEstimate(t *testing.T) {
+	cm := &CostModel{
+		BaseRows: map[string]int{"r": 9, "s": 30},
+		Distinct: map[string][]int{
+			"r": {2, 9},
+			"s": {5, 16},
+		},
+		DefaultDistinct: 10,
+	}
+	q := &cq.Query{Atoms: []cq.Atom{
+		{Rel: "r", Args: []cq.Var{0, 1}},
+		{Rel: "s", Args: []cq.Var{1, 2}},
+		{Rel: "r", Args: []cq.Var{2, 0}},
+		{Rel: "s", Args: []cq.Var{0, 3}},
+		{Rel: "r", Args: []cq.Var{3, 1}},
+		{Rel: "s", Args: []cq.Var{2, 3}},
+	}}
+	tab := newCostTables(q, cm)
+	m := len(q.Atoms)
+	raw := make([]float64, 1<<uint(m))
+	for s := 1; s < 1<<uint(m); s++ {
+		if s&(s-1) == 0 {
+			var a int
+			for a = 0; s>>uint(a)&1 == 0; a++ {
+			}
+			raw[s] = tab.base[a]
+		} else {
+			hi := 0
+			for a := 0; a < m; a++ {
+				if s>>uint(a)&1 == 1 {
+					hi = a
+				}
+			}
+			raw[s] = tab.extendRaw(raw[s&^(1<<uint(hi))], s&^(1<<uint(hi)), hi)
+		}
+		subset := []int{}
+		for a := 0; a < m; a++ {
+			if s>>uint(a)&1 == 1 {
+				subset = append(subset, a)
+			}
+		}
+		want := cm.Estimate(q, subset)
+		got := raw[s]
+		if got < 1 {
+			got = 1
+		}
+		if got != want {
+			t.Fatalf("subset %b: incremental=%v Estimate=%v", s, got, want)
+		}
+	}
+}

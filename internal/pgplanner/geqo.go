@@ -1,0 +1,277 @@
+package pgplanner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"projpush/internal/cq"
+)
+
+// geqoMigrationEpochs is the number of lockstep evolution epochs the
+// island-parallel search runs; the islands exchange best members at the
+// epoch boundaries (epochs-1 migrations).
+const geqoMigrationEpochs = 4
+
+// geqoMember is one pool member: a join order and its model cost.
+type geqoMember struct {
+	order []int
+	cost  float64
+}
+
+// geqoIsland is one independently evolving pool of the genetic search,
+// with a private RNG and private evaluator scratch so islands can run
+// concurrently without synchronization. The serial search is a single
+// island holding the whole pool.
+type geqoIsland struct {
+	ev       *costEvaluator
+	rng      *rand.Rand
+	members  []geqoMember
+	child    []int // recycled offspring buffer (swapped, never copied)
+	used     []bool
+	m        int
+	pool     int
+	explored int64
+}
+
+func newGeqoIsland(t *costTables, rng *rand.Rand, pool int) *geqoIsland {
+	return &geqoIsland{
+		ev:      t.newEvaluator(),
+		rng:     rng,
+		members: make([]geqoMember, pool),
+		child:   make([]int, t.m),
+		used:    make([]bool, t.m),
+		m:       t.m,
+		pool:    pool,
+	}
+}
+
+func (is *geqoIsland) eval(order []int) float64 {
+	is.explored += int64(len(order))
+	return is.ev.evalOrder(order)
+}
+
+// init fills the pool with random permutations and ranks it by cost.
+func (is *geqoIsland) init() {
+	for i := range is.members {
+		ord := is.rng.Perm(is.m)
+		is.members[i] = geqoMember{order: ord, cost: is.eval(ord)}
+	}
+	sort.Slice(is.members, func(i, j int) bool { return is.members[i].cost < is.members[j].cost })
+}
+
+// pick selects a parent index with GEQO's linear bias: squaring a
+// uniform sample biases toward the front (fitter) of the ranked pool.
+func (is *geqoIsland) pick() int {
+	u := is.rng.Float64()
+	return int(u * u * float64(is.pool))
+}
+
+// evolve runs gens steady-state generations: order-crossover of two
+// ranked parents, occasional swap mutation, offspring replacing the
+// worst member when it improves on it. The offspring buffer is recycled
+// by swapping with the evicted member's order, so the steady-state loop
+// allocates nothing.
+func (is *geqoIsland) evolve(gens int) {
+	m, pool := is.m, is.pool
+	for g := 0; g < gens; g++ {
+		p1 := is.members[is.pick()].order
+		p2 := is.members[is.pick()].order
+		// Order crossover (OX): copy a random slice of p1, fill the
+		// rest in p2's order.
+		lo := is.rng.Intn(m)
+		hi := lo + is.rng.Intn(m-lo)
+		for i := range is.used {
+			is.used[i] = false
+		}
+		for i := lo; i <= hi; i++ {
+			is.child[i] = p1[i]
+			is.used[p1[i]] = true
+		}
+		j := 0
+		for _, a := range p2 {
+			if is.used[a] {
+				continue
+			}
+			for j >= lo && j <= hi {
+				j++
+			}
+			is.child[j] = a
+			j++
+			for j >= lo && j <= hi {
+				j++
+			}
+		}
+		// Occasional swap mutation.
+		if is.rng.Intn(4) == 0 {
+			i1, i2 := is.rng.Intn(m), is.rng.Intn(m)
+			is.child[i1], is.child[i2] = is.child[i2], is.child[i1]
+		}
+		c := is.eval(is.child)
+		// Replace the worst member if the child improves on it, then
+		// restore rank order by insertion. Swapping buffers hands the
+		// evicted order to the next generation as scratch; every slot
+		// is rewritten by the crossover, so no stale state survives.
+		if c < is.members[pool-1].cost {
+			is.members[pool-1].order, is.child = is.child, is.members[pool-1].order
+			is.members[pool-1].cost = c
+			for i := pool - 1; i > 0 && is.members[i].cost < is.members[i-1].cost; i-- {
+				is.members[i], is.members[i-1] = is.members[i-1], is.members[i]
+			}
+		}
+	}
+}
+
+// inject offers a migrant to the island: it replaces the worst member if
+// strictly better, keeping the pool ranked. No RNG is consumed, so
+// migration cannot perturb the islands' private random streams.
+func (is *geqoIsland) inject(order []int, cost float64) {
+	pool := is.pool
+	if cost >= is.members[pool-1].cost {
+		return
+	}
+	copy(is.members[pool-1].order, order)
+	is.members[pool-1].cost = cost
+	for i := pool - 1; i > 0 && is.members[i].cost < is.members[i-1].cost; i-- {
+		is.members[i], is.members[i-1] = is.members[i-1], is.members[i]
+	}
+}
+
+// best returns the island's fittest member (the pool is kept ranked).
+func (is *geqoIsland) best() geqoMember { return is.members[0] }
+
+// geqoPoolSize derives the pool size the way PostgreSQL 7.2 did:
+// 2^(m/2+1), capped.
+func geqoPoolSize(m int, opt Options) int {
+	pool := opt.PoolSize
+	if pool <= 0 {
+		shift := m/2 + 1
+		if shift > 30 {
+			shift = 30
+		}
+		pool = 1 << uint(shift)
+		if pool > opt.PoolCap {
+			pool = opt.PoolCap
+		}
+	}
+	if pool < 4 {
+		pool = 4
+	}
+	return pool
+}
+
+// GEQO runs a steady-state genetic search over join orders, in the style
+// of PostgreSQL's genetic query optimizer: an order-crossover of two
+// pool members ranked by cost, offspring replacing the worst member. The
+// derived pool size grows exponentially with the number of atoms (capped
+// at PoolCap), matching the planner behaviour whose compile-time blow-up
+// Figure 2 reports.
+//
+// With Options.Workers > 1 the pool and generation budget split across
+// that many islands, each evolving concurrently with a private RNG
+// seeded deterministically from the caller's rng in island order, and
+// the islands' best members migrate ring-wise at fixed epoch boundaries.
+// The result is a pure function of (seed, Workers): re-running with the
+// same pair reproduces Order, Cost, and PlansExplored exactly, and
+// Workers <= 1 reproduces the serial search's historical results.
+// Explored counts aggregate across islands in island order.
+func GEQO(q *cq.Query, cm *CostModel, rng *rand.Rand, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	m := len(q.Atoms)
+	if m == 0 {
+		return nil, fmt.Errorf("pgplanner: query has no atoms")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	start := time.Now()
+
+	pool := geqoPoolSize(m, opt)
+	gens := opt.Generations
+	if gens <= 0 {
+		gens = pool
+	}
+	t := newCostTables(q, cm)
+
+	nw := opt.Workers
+	if nw > pool/4 {
+		nw = pool / 4 // every island needs a few members to rank
+	}
+	if nw <= 1 {
+		is := newGeqoIsland(t, rng, pool)
+		is.init()
+		is.evolve(gens)
+		best := is.best()
+		return &Result{
+			Order:         append([]int(nil), best.order...),
+			Cost:          best.cost,
+			PlansExplored: is.explored,
+			Elapsed:       time.Since(start),
+			Algorithm:     "geqo",
+		}, nil
+	}
+
+	// Island seeds are drawn from the caller's rng in island order, so
+	// each island's private stream is a deterministic function of
+	// (caller seed, island index).
+	islands := make([]*geqoIsland, nw)
+	gensLeft := make([]int, nw)
+	for i := range islands {
+		p := pool / nw
+		if i < pool%nw {
+			p++
+		}
+		islands[i] = newGeqoIsland(t, rand.New(rand.NewSource(rng.Int63())), p)
+		gensLeft[i] = gens / nw
+		if i < gens%nw {
+			gensLeft[i]++
+		}
+	}
+
+	for e := 0; e < geqoMigrationEpochs; e++ {
+		var wg sync.WaitGroup
+		for i, is := range islands {
+			chunk := gensLeft[i] / (geqoMigrationEpochs - e)
+			gensLeft[i] -= chunk
+			wg.Add(1)
+			go func(is *geqoIsland, first bool, chunk int) {
+				defer wg.Done()
+				if first {
+					is.init()
+				}
+				is.evolve(chunk)
+			}(is, e == 0, chunk)
+		}
+		wg.Wait()
+		if e < geqoMigrationEpochs-1 {
+			// Ring migration: island i's best is offered to island i+1.
+			// Bests are snapshotted first so the exchange is order-free.
+			migrants := make([]geqoMember, nw)
+			for i, is := range islands {
+				b := is.best()
+				migrants[i] = geqoMember{order: append([]int(nil), b.order...), cost: b.cost}
+			}
+			for i := range islands {
+				islands[(i+1)%nw].inject(migrants[i].order, migrants[i].cost)
+			}
+		}
+	}
+
+	best := islands[0].best()
+	explored := islands[0].explored
+	for _, is := range islands[1:] {
+		explored += is.explored
+		if b := is.best(); b.cost < best.cost {
+			best = b
+		}
+	}
+	return &Result{
+		Order:         append([]int(nil), best.order...),
+		Cost:          best.cost,
+		PlansExplored: explored,
+		Elapsed:       time.Since(start),
+		Algorithm:     "geqo",
+	}, nil
+}

@@ -10,13 +10,20 @@
 // search uses an exponentially-sized pool (as PostgreSQL's GEQO sized its
 // pool before being capped), and neither considers projection pushing —
 // they only pick a join order. This package reproduces exactly that.
+//
+// The search *spaces* are the point of the reproduction; the search
+// *implementation* is not, so the hot loops run on flat precomputed
+// tables (see costTables) instead of per-evaluation maps, and the
+// genetic search can fan out across deterministic islands. For a fixed
+// seed the chosen orders, costs, and PlansExplored counts are identical
+// to the straightforward implementation they replace.
 package pgplanner
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
 	"time"
 
 	"projpush/internal/cq"
@@ -75,7 +82,9 @@ func (cm *CostModel) columnDistinct(rel string, col int) float64 {
 // Estimate computes the estimated cardinality of joining a set of atoms:
 // the product of base cardinalities discounted by one equality selectivity
 // per repeated variable occurrence — the standard System-R independence
-// assumptions.
+// assumptions. The occurrence table carries the running maximum distinct
+// count per variable, so a third or later occurrence is priced against
+// the largest domain seen so far, not just the previous column's.
 func (cm *CostModel) Estimate(q *cq.Query, atomSet []int) float64 {
 	rows := 1.0
 	occ := make(map[cq.Var]float64)
@@ -89,9 +98,11 @@ func (cm *CostModel) Estimate(q *cq.Query, atomSet []int) float64 {
 		for col, v := range a.Args {
 			d := cm.columnDistinct(a.Rel, col)
 			if prev, ok := occ[v]; ok {
-				// Another occurrence of v: apply 1/max(distinct).
+				// Another occurrence of v: apply 1/max(distinct) and
+				// keep the running max.
 				sel := 1 / math.Max(prev, d)
 				rows *= sel
+				d = math.Max(prev, d)
 			}
 			occ[v] = d
 		}
@@ -132,6 +143,12 @@ type Options struct {
 	Generations int
 	// PoolCap caps the derived pool size. Default 1 << 14.
 	PoolCap int
+	// Workers splits the genetic search into that many concurrently
+	// evolved islands with periodic best-member migration. Results are
+	// deterministic for a fixed (seed, Workers) pair; Workers <= 1 (the
+	// default) runs the serial search, identical to the pre-island
+	// implementation. The DP is unaffected by Workers.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +157,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoolCap <= 0 {
 		o.PoolCap = 1 << 14
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -162,6 +182,9 @@ func Plan(q *cq.Query, cm *CostModel, rng *rand.Rand, opt Options) (*Result, err
 // order: the sum of estimated intermediate cardinalities plus hash-join
 // build and probe terms. It also reports how many cost evaluations were
 // charged (one per join step).
+//
+// This is the readable reference implementation; the genetic search runs
+// the bit-identical allocation-free costEvaluator.evalOrder instead.
 func leftDeepCost(q *cq.Query, cm *CostModel, order []int) (float64, int64) {
 	// Incremental estimate: carry rows and variable occurrences.
 	rows := 1.0
@@ -178,6 +201,7 @@ func leftDeepCost(q *cq.Query, cm *CostModel, order []int) (float64, int64) {
 			d := cm.columnDistinct(a.Rel, col)
 			if prev, ok := occ[v]; ok {
 				newRows *= 1 / math.Max(prev, d)
+				d = math.Max(prev, d)
 			}
 			occ[v] = d
 		}
@@ -198,6 +222,15 @@ func leftDeepCost(q *cq.Query, cm *CostModel, order []int) (float64, int64) {
 // dynamic programming on atom subsets: 2^m states, each scanning the m
 // possible last atoms. Exponential in the number of atoms — the source of
 // the naive method's compile-time blow-up below the GEQO threshold.
+//
+// Subset cardinality estimates are incremental: the unclamped estimate of
+// S extends the estimate of S minus its highest atom by that atom's base
+// size and per-column selectivities, looked up in precomputed bitmask and
+// distinct tables (costTables.extendRaw) — O(arity) and allocation-free
+// per state instead of rebuilding an occurrence map from the whole
+// subset. The floating-point operation order matches the full
+// recomputation exactly, so costs are bit-identical, and the explored
+// count (one per (subset, last atom) transition) is unchanged.
 func DP(q *cq.Query, cm *CostModel) (*Result, error) {
 	m := len(q.Atoms)
 	if m == 0 {
@@ -207,55 +240,49 @@ func DP(q *cq.Query, cm *CostModel) (*Result, error) {
 		return nil, fmt.Errorf("pgplanner: DP infeasible for %d atoms (limit 24)", m)
 	}
 	start := time.Now()
+	t := newCostTables(q, cm)
 	size := 1 << uint(m)
 	bestCost := make([]float64, size)
-	bestRows := make([]float64, size)
+	rawRows := make([]float64, size) // unclamped subset estimates
 	lastAtom := make([]int8, size)
 	explored := int64(0)
 
-	// Subset cardinality estimates are computed incrementally: rows of
-	// S = rows of S∖{a} adjusted by a's base size and the selectivities
-	// of a's variables against S∖{a}. To keep the DP simple we recompute
-	// the per-variable occurrence structure from the subset each time;
-	// the work is still O(2^m · m · arity), dominated by 2^m.
 	for s := 1; s < size; s++ {
-		bestCost[s] = math.Inf(1)
 		if s&(s-1) == 0 {
 			// Single atom.
-			var a int
-			for a = 0; s>>uint(a)&1 == 0; a++ {
-			}
-			base := float64(cm.BaseRows[q.Atoms[a].Rel])
-			if base <= 0 {
-				base = 1
-			}
+			a := bits.TrailingZeros(uint(s))
 			bestCost[s] = 0
-			bestRows[s] = base
+			rawRows[s] = t.base[a]
 			lastAtom[s] = int8(a)
 			continue
 		}
-		subset := make([]int, 0, m)
-		for a := 0; a < m; a++ {
-			if s>>uint(a)&1 == 1 {
-				subset = append(subset, a)
-			}
+		hi := bits.Len(uint(s)) - 1
+		raw := t.extendRaw(rawRows[s&^(1<<uint(hi))], s&^(1<<uint(hi)), hi)
+		rawRows[s] = raw
+		rows := raw
+		if rows < 1 {
+			rows = 1
 		}
-		rows := cm.Estimate(q, subset)
-		bestRows[s] = rows
-		for _, a := range subset {
+		bc := math.Inf(1)
+		var la int8
+		for rem := s; rem != 0; rem &= rem - 1 {
+			a := bits.TrailingZeros(uint(rem))
 			prev := s &^ (1 << uint(a))
 			explored++
-			base := float64(cm.BaseRows[q.Atoms[a].Rel])
-			if base <= 0 {
-				base = 1
+			base := t.base[a]
+			prevRows := rawRows[prev]
+			if prevRows < 1 {
+				prevRows = 1
 			}
-			stepCost := math.Min(bestRows[prev], base) + math.Max(bestRows[prev], base) + rows
+			stepCost := math.Min(prevRows, base) + math.Max(prevRows, base) + rows
 			c := bestCost[prev] + stepCost
-			if c < bestCost[s] {
-				bestCost[s] = c
-				lastAtom[s] = int8(a)
+			if c < bc {
+				bc = c
+				la = int8(a)
 			}
 		}
+		bestCost[s] = bc
+		lastAtom[s] = la
 	}
 
 	order := make([]int, m)
@@ -271,123 +298,5 @@ func DP(q *cq.Query, cm *CostModel) (*Result, error) {
 		PlansExplored: explored,
 		Elapsed:       time.Since(start),
 		Algorithm:     "dp",
-	}, nil
-}
-
-// GEQO runs a steady-state genetic search over join orders, in the style
-// of PostgreSQL's genetic query optimizer: an order-crossover of two
-// pool members ranked by cost, offspring replacing the worst member. The
-// derived pool size grows exponentially with the number of atoms (capped
-// at PoolCap), matching the planner behaviour whose compile-time blow-up
-// Figure 2 reports.
-func GEQO(q *cq.Query, cm *CostModel, rng *rand.Rand, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	m := len(q.Atoms)
-	if m == 0 {
-		return nil, fmt.Errorf("pgplanner: query has no atoms")
-	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	start := time.Now()
-
-	pool := opt.PoolSize
-	if pool <= 0 {
-		// PostgreSQL 7.2 derived the pool size as 2^(m/2+1), capped.
-		shift := m/2 + 1
-		if shift > 30 {
-			shift = 30
-		}
-		pool = 1 << uint(shift)
-		if pool > opt.PoolCap {
-			pool = opt.PoolCap
-		}
-	}
-	if pool < 4 {
-		pool = 4
-	}
-	gens := opt.Generations
-	if gens <= 0 {
-		gens = pool
-	}
-
-	type member struct {
-		order []int
-		cost  float64
-	}
-	explored := int64(0)
-	eval := func(order []int) float64 {
-		c, n := leftDeepCost(q, cm, order)
-		explored += n
-		return c
-	}
-
-	members := make([]member, pool)
-	for i := range members {
-		ord := rng.Perm(m)
-		members[i] = member{order: ord, cost: eval(ord)}
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i].cost < members[j].cost })
-
-	// Linear-bias parent selection, as GEQO does.
-	pick := func() int {
-		// Squaring a uniform sample biases toward the front (fitter).
-		u := rng.Float64()
-		return int(u * u * float64(pool))
-	}
-
-	child := make([]int, m)
-	used := make([]bool, m)
-	for g := 0; g < gens; g++ {
-		p1 := members[pick()].order
-		p2 := members[pick()].order
-		// Order crossover (OX): copy a random slice of p1, fill the
-		// rest in p2's order.
-		lo := rng.Intn(m)
-		hi := lo + rng.Intn(m-lo)
-		for i := range used {
-			used[i] = false
-		}
-		for i := lo; i <= hi; i++ {
-			child[i] = p1[i]
-			used[p1[i]] = true
-		}
-		j := 0
-		for _, a := range p2 {
-			if used[a] {
-				continue
-			}
-			for j >= lo && j <= hi {
-				j++
-			}
-			child[j] = a
-			j++
-			for j >= lo && j <= hi {
-				j++
-			}
-		}
-		// Occasional swap mutation.
-		if rng.Intn(4) == 0 {
-			i1, i2 := rng.Intn(m), rng.Intn(m)
-			child[i1], child[i2] = child[i2], child[i1]
-		}
-		c := eval(child)
-		// Replace the worst member if the child improves on it, then
-		// restore rank order by insertion.
-		if c < members[pool-1].cost {
-			members[pool-1] = member{order: append([]int(nil), child...), cost: c}
-			for i := pool - 1; i > 0 && members[i].cost < members[i-1].cost; i-- {
-				members[i], members[i-1] = members[i-1], members[i]
-			}
-		}
-	}
-
-	best := members[0]
-	return &Result{
-		Order:         append([]int(nil), best.order...),
-		Cost:          best.cost,
-		PlansExplored: explored,
-		Elapsed:       time.Since(start),
-		Algorithm:     "geqo",
 	}, nil
 }

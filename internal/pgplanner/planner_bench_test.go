@@ -1,0 +1,123 @@
+package pgplanner
+
+// Planner microbenchmarks recorded by `make bench-json` into
+// BENCH_planner.json: the incremental bitset DP and the island genetic
+// search against the pinned map-based baselines they replaced.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+func benchQuery(b *testing.B, seed int64, n, edges int) (*cq.Query, *CostModel) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.Random(n, edges, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q, NewCostModel(instance.ColorDatabase(3))
+}
+
+// BenchmarkPlannerDP14 measures the exhaustive DP on a 14-atom query
+// (16384 subset states): the incremental bitset estimates against the
+// map-based per-subset recomputation.
+func BenchmarkPlannerDP14(b *testing.B) {
+	q, cm := benchQuery(b, 41, 10, 14)
+	if len(q.Atoms) != 14 {
+		b.Fatalf("query has %d atoms, want 14", len(q.Atoms))
+	}
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DP(q, cm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dpMapBaseline(q, cm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlannerGEQO measures the genetic search on a 20-atom query
+// with the pool size and generation budget PostgreSQL 7.2 would derive
+// (pool 2048): the allocating map-based search against the flat-table
+// islands at increasing worker counts. Workers=1 is the serial path;
+// higher counts split the pool and generation budget across islands.
+func BenchmarkPlannerGEQO(b *testing.B) {
+	q, cm := benchQuery(b, 43, 12, 20)
+	if len(q.Atoms) != 20 {
+		b.Fatalf("query has %d atoms, want 20", len(q.Atoms))
+	}
+	b.Run("map-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := geqoMapBaseline(q, cm, rand.New(rand.NewSource(7)), Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := GEQO(q, cm, rand.New(rand.NewSource(7)), Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerGEQOSteadyState isolates the steady-state generation
+// loop on a warmed pool, asserting the recycled offspring buffer keeps
+// it allocation-free (the satellite contract) before measuring it.
+func BenchmarkPlannerGEQOSteadyState(b *testing.B) {
+	q, cm := benchQuery(b, 45, 12, 20)
+	tab := newCostTables(q, cm)
+	is := newGeqoIsland(tab, rand.New(rand.NewSource(19)), 256)
+	is.init()
+	if allocs := testing.AllocsPerRun(5, func() { is.evolve(100) }); allocs != 0 {
+		b.Fatalf("steady-state loop allocates %v objects per 100 generations, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		is.evolve(1)
+	}
+}
+
+// BenchmarkPlannerEval compares one cost evaluation: the flat-table
+// evaluator against the map-based leftDeepCost it replaced.
+func BenchmarkPlannerEval(b *testing.B) {
+	q, cm := benchQuery(b, 47, 12, 20)
+	ev := newCostTables(q, cm).newEvaluator()
+	order := rand.New(rand.NewSource(3)).Perm(len(q.Atoms))
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.evalOrder(order)
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			leftDeepCostMapBaseline(q, cm, order)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package pgplanner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"projpush/internal/cq"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+// TestEstimateOccurrenceRunningMax is the regression test for the
+// occurrence-tracking bug: with a variable occurring in three atoms
+// whose columns have different distinct counts, the second and third
+// occurrences must both be priced against the running maximum, not
+// against whatever column happened to come last. Variable 0 occurs in
+// columns with distinct counts 20, 2, and 4: the buggy tracker stored 2
+// after the second atom and priced the third occurrence at 1/max(2,4) =
+// 1/4; the fix keeps the max 20 and prices it at 1/20.
+func TestEstimateOccurrenceRunningMax(t *testing.T) {
+	cm := &CostModel{
+		BaseRows: map[string]int{"a": 100, "b": 10, "c": 40},
+		Distinct: map[string][]int{
+			"a": {20},
+			"b": {2},
+			"c": {4},
+		},
+		DefaultDistinct: 10,
+	}
+	q := &cq.Query{Atoms: []cq.Atom{
+		{Rel: "a", Args: []cq.Var{0}},
+		{Rel: "b", Args: []cq.Var{0}},
+		{Rel: "c", Args: []cq.Var{0}},
+	}}
+	// 100 * 10 * (1/max(20,2)) * 40 * (1/max(20,4)) = 100.
+	want := 100.0 * 10 / 20 * 40 / 20
+	if got := cm.Estimate(q, []int{0, 1, 2}); got != want {
+		t.Fatalf("Estimate = %v, want %v", got, want)
+	}
+	// The buggy tracker would have returned 100*10/20*40/4 = 2000.
+	if buggy := estimateMapBaseline(cm, q, []int{0, 1, 2}); buggy == want {
+		t.Fatalf("baseline unexpectedly agrees (%v); regression test is vacuous", buggy)
+	}
+
+	// leftDeepCost applies the same rule: its final intermediate
+	// cardinality must reflect the running max too.
+	cost, _ := leftDeepCost(q, cm, []int{0, 1, 2})
+	// Step 1: rows=100, base=10 -> newRows=50; cost = 10+100+50.
+	// Step 2: rows=50, base=40 -> newRows=50*40/20=100; cost += 40+50+100.
+	wantCost := (10.0 + 100 + 50) + (40 + 50 + 100)
+	if cost != wantCost {
+		t.Fatalf("leftDeepCost = %v, want %v", cost, wantCost)
+	}
+}
+
+// TestDPMatchesBruteForce cross-checks DP optimality: for random color
+// queries with at most 7 atoms, enumerate all m! left-deep orders with
+// leftDeepCost and check DP returns a minimum-cost order.
+func TestDPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := instance.ColorDatabase(3)
+	cm := NewCostModel(db)
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(3)
+		maxM := n * (n - 1) / 2
+		m := 3 + rng.Intn(5)
+		if m > maxM {
+			m = maxM
+		}
+		g, err := graph.Random(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() == 0 {
+			continue
+		}
+		q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DP(q, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Heap's algorithm over all orders.
+		best := math.Inf(1)
+		order := make([]int, len(q.Atoms))
+		for i := range order {
+			order[i] = i
+		}
+		var visit func(k int)
+		visit = func(k int) {
+			if k == 1 {
+				if c, _ := leftDeepCost(q, cm, order); c < best {
+					best = c
+				}
+				return
+			}
+			for i := 0; i < k; i++ {
+				visit(k - 1)
+				if k%2 == 0 {
+					order[i], order[k-1] = order[k-1], order[i]
+				} else {
+					order[0], order[k-1] = order[k-1], order[0]
+				}
+			}
+		}
+		visit(len(order))
+
+		// DP accumulates the same step costs in a different float
+		// association, so compare with a relative tolerance.
+		tol := 1e-9 * math.Max(1, best)
+		if res.Cost > best+tol {
+			t.Fatalf("trial %d (%d atoms): DP cost %v above brute-force optimum %v", trial, len(q.Atoms), res.Cost, best)
+		}
+		ownCost, _ := leftDeepCost(q, cm, res.Order)
+		if math.Abs(ownCost-res.Cost) > tol {
+			t.Fatalf("trial %d: DP order's cost %v != reported cost %v", trial, ownCost, res.Cost)
+		}
+	}
+}
+
+func geqoQuery(t testing.TB, seed int64, n, edges int) (*cq.Query, *CostModel) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.Random(n, edges, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, NewCostModel(instance.ColorDatabase(3))
+}
+
+// TestGEQODeterminism pins the genetic search's determinism contract:
+// for a fixed seed and fixed worker count, repeated runs return the same
+// Order, Cost, and PlansExplored — serially and with islands.
+func TestGEQODeterminism(t *testing.T) {
+	q, cm := geqoQuery(t, 31, 15, 40)
+	for _, workers := range []int{1, 2, 4} {
+		opt := Options{PoolSize: 64, Generations: 256, Workers: workers}
+		a, err := GEQO(q, cm, rand.New(rand.NewSource(77)), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GEQO(q, cm, rand.New(rand.NewSource(77)), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(a, b) {
+			t.Fatalf("workers=%d: two seeded runs diverged: cost %v/%v explored %d/%d order %v/%v",
+				workers, a.Cost, b.Cost, a.PlansExplored, b.PlansExplored, a.Order, b.Order)
+		}
+		if a.Algorithm != "geqo" {
+			t.Fatalf("algorithm = %q", a.Algorithm)
+		}
+		seen := make([]bool, len(q.Atoms))
+		for _, i := range a.Order {
+			if i < 0 || i >= len(seen) || seen[i] {
+				t.Fatalf("workers=%d: order not a permutation: %v", workers, a.Order)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestGEQOIslandsExploreAndImprove sanity-checks the island search: the
+// aggregated explored count matches the serial generation budget, and
+// the chosen plan is competitive with random orders.
+func TestGEQOIslandsExploreAndImprove(t *testing.T) {
+	q, cm := geqoQuery(t, 33, 14, 42)
+	m := len(q.Atoms)
+	opt := Options{PoolSize: 64, Generations: 512, Workers: 4}
+	res, err := GEQO(q, cm, rand.New(rand.NewSource(3)), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pool member is evaluated once at init and every generation
+	// evaluates one child, regardless of how the islands split them.
+	if want := int64((64 + 512) * m); res.PlansExplored != want {
+		t.Fatalf("explored = %d, want %d", res.PlansExplored, want)
+	}
+	rng := rand.New(rand.NewSource(99))
+	worse := 0
+	for i := 0; i < 50; i++ {
+		c, _ := leftDeepCost(q, cm, rng.Perm(m))
+		if c >= res.Cost {
+			worse++
+		}
+	}
+	if worse < 40 {
+		t.Fatalf("island GEQO (cost %g) beats only %d/50 random orders", res.Cost, worse)
+	}
+}
+
+// TestGEQOSteadyStateZeroAlloc asserts the satellite contract: after
+// initialization the steady-state loop — crossover, mutation, cost
+// evaluation, pool replacement — allocates nothing, the recycled
+// offspring buffer replacing the old per-improvement order copy.
+func TestGEQOSteadyStateZeroAlloc(t *testing.T) {
+	q, cm := geqoQuery(t, 35, 14, 40)
+	tab := newCostTables(q, cm)
+	is := newGeqoIsland(tab, rand.New(rand.NewSource(17)), 64)
+	is.init()
+	if allocs := testing.AllocsPerRun(10, func() { is.evolve(100) }); allocs != 0 {
+		t.Fatalf("steady-state loop allocates %v objects per 100 generations, want 0", allocs)
+	}
+}

@@ -1,0 +1,213 @@
+package pgplanner
+
+import (
+	"math"
+
+	"projpush/internal/cq"
+)
+
+// The planner's hot loops — the 2^m-state DP and the genetic search's
+// eval-per-child — used to rebuild a map[cq.Var]float64 occurrence table
+// for every cost evaluation. costTables precomputes everything those
+// loops need as flat arrays indexed by atom and by a dense variable id:
+// per-atom base cardinalities, per-atom column lists (variable id +
+// distinct count), per-atom variable bitmasks, and per-variable
+// occurrence tables. Built once per (query, cost model) pair; immutable
+// afterwards, so concurrent GEQO islands share one instance.
+type costTables struct {
+	m    int
+	nv   int       // distinct variables, densely renumbered 0..nv-1
+	base []float64 // per atom: clamped base cardinality
+
+	// Column lists, flattened: atom i's columns are
+	// cols[colIdx[i]:colIdx[i+1]], in argument order.
+	colIdx []int32
+	cols   []atomCol
+
+	// varMask[i] is atom i's variable set as a bitmask over the dense
+	// variable universe; only populated when nv <= 64 (the paper's
+	// queries are far below that).
+	varMask []uint64
+
+	// atomsOf[v] is the set of atoms containing variable v, as a bitmask
+	// over atom indexes; only populated when m <= 64 (the DP needs it and
+	// caps m at 24).
+	atomsOf []uint64
+
+	// Per-variable distinct tables: occs[v] lists v's occurrences in
+	// ascending atom order with the occurrence's distinct count, and
+	// uniformD[v] is set when every occurrence agrees on that count — the
+	// common case (a variable ranging over one attribute domain), which
+	// makes the DP transition's selectivity lookup O(1).
+	occs     [][]occEntry
+	uniformD []bool
+	uniD     []float64
+}
+
+// atomCol is one bound column of an atom: the dense variable id and the
+// column's distinct count under the cost model.
+type atomCol struct {
+	v int32
+	d float64
+}
+
+// occEntry records one occurrence of a variable: the atom index and the
+// distinct count of the column it occupies there.
+type occEntry struct {
+	atom int32
+	d    float64
+}
+
+func newCostTables(q *cq.Query, cm *CostModel) *costTables {
+	m := len(q.Atoms)
+	t := &costTables{
+		m:      m,
+		base:   make([]float64, m),
+		colIdx: make([]int32, m+1),
+	}
+	varID := make(map[cq.Var]int32)
+	for i, a := range q.Atoms {
+		base := float64(cm.BaseRows[a.Rel])
+		if base <= 0 {
+			base = 1
+		}
+		t.base[i] = base
+		t.colIdx[i] = int32(len(t.cols))
+		for col, v := range a.Args {
+			id, ok := varID[v]
+			if !ok {
+				id = int32(len(varID))
+				varID[v] = id
+				t.occs = append(t.occs, nil)
+			}
+			d := cm.columnDistinct(a.Rel, col)
+			t.cols = append(t.cols, atomCol{v: id, d: d})
+			t.occs[id] = append(t.occs[id], occEntry{atom: int32(i), d: d})
+		}
+	}
+	t.colIdx[m] = int32(len(t.cols))
+	t.nv = len(varID)
+
+	t.uniformD = make([]bool, t.nv)
+	t.uniD = make([]float64, t.nv)
+	for v, occ := range t.occs {
+		uniform := true
+		for _, o := range occ[1:] {
+			if o.d != occ[0].d {
+				uniform = false
+				break
+			}
+		}
+		t.uniformD[v] = uniform
+		t.uniD[v] = occ[0].d
+	}
+	if m <= 64 {
+		t.atomsOf = make([]uint64, t.nv)
+		for v, occ := range t.occs {
+			for _, o := range occ {
+				t.atomsOf[v] |= 1 << uint(o.atom)
+			}
+		}
+	}
+	if t.nv <= 64 {
+		t.varMask = make([]uint64, m)
+		for i := 0; i < m; i++ {
+			for _, c := range t.cols[t.colIdx[i]:t.colIdx[i+1]] {
+				t.varMask[i] |= 1 << uint(c.v)
+			}
+		}
+	}
+	return t
+}
+
+// extendRaw extends the unclamped cardinality estimate of the atom set
+// prevSet (a bitmask) by atom a: multiply in a's base cardinality, then
+// one equality selectivity per column whose variable already occurs in
+// prevSet. The floating-point operation sequence is exactly the one
+// CostModel.Estimate performs for prevSet ∪ {a} when a is the highest
+// atom index — the DP adds atoms in ascending order, so per-subset
+// estimates stay bit-identical to the full recomputation they replace.
+// Requires m <= 64 (atomsOf populated).
+func (t *costTables) extendRaw(prevRaw float64, prevSet int, a int) float64 {
+	r := prevRaw * t.base[a]
+	for _, c := range t.cols[t.colIdx[a]:t.colIdx[a+1]] {
+		in := t.atomsOf[c.v] & uint64(prevSet)
+		if in == 0 {
+			continue
+		}
+		var prevd float64
+		if t.uniformD[c.v] {
+			prevd = t.uniD[c.v]
+		} else {
+			// Running max over the occurrences present in prevSet — the
+			// occurrence-tracking rule Estimate applies.
+			prevd = math.Inf(-1)
+			for _, o := range t.occs[c.v] {
+				if in>>uint(o.atom)&1 == 1 {
+					prevd = math.Max(prevd, o.d)
+				}
+			}
+		}
+		sel := 1 / math.Max(prevd, c.d)
+		r *= sel
+	}
+	return r
+}
+
+// costEvaluator is the mutable scratch state for evaluating left-deep
+// join orders against one costTables: a per-variable running-max
+// distinct table, epoch-versioned so resets are O(1). Each concurrent
+// user (a GEQO island) owns its own evaluator; evalOrder allocates
+// nothing.
+type costEvaluator struct {
+	t       *costTables
+	occMax  []float64
+	occSeen []uint32
+	epoch   uint32
+}
+
+func (t *costTables) newEvaluator() *costEvaluator {
+	return &costEvaluator{
+		t:       t,
+		occMax:  make([]float64, t.nv),
+		occSeen: make([]uint32, t.nv),
+	}
+}
+
+// evalOrder computes the left-deep model cost of the given join order —
+// bit-identical to leftDeepCost, with the map replaced by the epoch-
+// versioned flat tables. Zero allocations per call.
+func (e *costEvaluator) evalOrder(order []int) float64 {
+	e.epoch++
+	if e.epoch == 0 { // uint32 wrap: invalidate all stale marks
+		for i := range e.occSeen {
+			e.occSeen[i] = 0
+		}
+		e.epoch = 1
+	}
+	t := e.t
+	rows := 1.0
+	cost := 0.0
+	for step, i := range order {
+		base := t.base[i]
+		newRows := rows * base
+		for _, c := range t.cols[t.colIdx[i]:t.colIdx[i+1]] {
+			if e.occSeen[c.v] == e.epoch {
+				prev := e.occMax[c.v]
+				newRows *= 1 / math.Max(prev, c.d)
+				e.occMax[c.v] = math.Max(prev, c.d)
+			} else {
+				e.occSeen[c.v] = e.epoch
+				e.occMax[c.v] = c.d
+			}
+		}
+		if newRows < 1 {
+			newRows = 1
+		}
+		if step > 0 {
+			cost += math.Min(rows, base) + math.Max(rows, base) + newRows
+		}
+		rows = newRows
+	}
+	return cost
+}

@@ -1,8 +1,6 @@
 package treedec
 
 import (
-	"sort"
-
 	"projpush/internal/graph"
 )
 
@@ -32,18 +30,7 @@ func FillIn(g *graph.Graph, elim []int) int {
 	adj := liveSets(g)
 	fill := 0
 	for _, v := range elim {
-		nbrs := make([]int, 0, len(adj[v]))
-		for w := range adj[v] {
-			nbrs = append(nbrs, w)
-		}
-		sort.Ints(nbrs)
-		for i := 0; i < len(nbrs); i++ {
-			for j := i + 1; j < len(nbrs); j++ {
-				if !adj[nbrs[i]][nbrs[j]] {
-					fill++
-				}
-			}
-		}
+		fill += adj.missingPairs(v)
 		eliminate(adj, v)
 	}
 	return fill

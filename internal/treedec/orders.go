@@ -1,6 +1,7 @@
 package treedec
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"projpush/internal/graph"
@@ -13,51 +14,107 @@ import (
 // numbered neighbors. Ties are broken randomly when rng is non-nil, by
 // lowest vertex id otherwise (for reproducibility).
 //
+// The unnumbered vertices live in a bucket queue keyed by weight (one
+// bitset per weight level), so each pick pops the top bucket instead of
+// scanning all n vertices — O(n+m) bucket updates overall, against the
+// O(n^2) full scans the queue replaces. Each bucket enumerates its
+// vertices in ascending id order, exactly the tie set the scanning
+// implementation built, so seeded random tie-breaking draws the same
+// vertices from the same rng stream.
+//
 // For bucket elimination the buckets are processed from xn down to x1, so
 // the elimination order is the reverse of this numbering; see
 // EliminationOrder.
 func MCS(g *graph.Graph, initial []int, rng *rand.Rand) []int {
 	adj := g.Adjacency()
-	numbered := make([]bool, g.N)
-	weight := make([]int, g.N)
-	order := make([]int, 0, g.N)
+	n := g.N
+	numbered := make([]bool, n)
+	weight := make([]int, n)
+	order := make([]int, 0, n)
+
+	words := (n + 63) / 64
+	// buckets[w] holds the unnumbered vertices of weight w as a bitset;
+	// counts[w] tracks the bucket's population for O(1) emptiness and
+	// tie-set size checks. Levels are grown lazily (weights only ever
+	// increase by one).
+	buckets := [][]uint64{make([]uint64, words)}
+	counts := []int{n}
+	for v := 0; v < n; v++ {
+		buckets[0][v>>6] |= 1 << uint(v&63)
+	}
+	curMax := 0
 
 	pick := func(v int) {
 		numbered[v] = true
+		buckets[weight[v]][v>>6] &^= 1 << uint(v&63)
+		counts[weight[v]]--
 		order = append(order, v)
 		for _, w := range adj[v] {
-			if !numbered[w] {
-				weight[w]++
+			if numbered[w] {
+				continue
+			}
+			buckets[weight[w]][w>>6] &^= 1 << uint(w&63)
+			counts[weight[w]]--
+			weight[w]++
+			if weight[w] >= len(buckets) {
+				buckets = append(buckets, make([]uint64, words))
+				counts = append(counts, 0)
+			}
+			buckets[weight[w]][w>>6] |= 1 << uint(w&63)
+			counts[weight[w]]++
+			if weight[w] > curMax {
+				curMax = weight[w]
 			}
 		}
 	}
+
 	for _, v := range initial {
-		if v >= 0 && v < g.N && !numbered[v] {
+		if v >= 0 && v < n && !numbered[v] {
 			pick(v)
 		}
 	}
-	for len(order) < g.N {
-		best := -1
-		var ties []int
-		for v := 0; v < g.N; v++ {
-			if numbered[v] {
-				continue
-			}
-			switch {
-			case best < 0 || weight[v] > weight[best]:
-				best = v
-				ties = ties[:0]
-				ties = append(ties, v)
-			case weight[v] == weight[best]:
-				ties = append(ties, v)
-			}
+	for len(order) < n {
+		for curMax > 0 && counts[curMax] == 0 {
+			curMax--
 		}
-		if rng != nil && len(ties) > 1 {
-			best = ties[rng.Intn(len(ties))]
+		b := buckets[curMax]
+		var best int
+		if rng != nil && counts[curMax] > 1 {
+			best = selectBit(b, rng.Intn(counts[curMax]))
+		} else {
+			best = firstBit(b)
 		}
 		pick(best)
 	}
 	return order
+}
+
+// firstBit returns the index of the lowest set bit of the bitset.
+func firstBit(b []uint64) int {
+	for i, w := range b {
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// selectBit returns the index of the k-th (0-based, ascending) set bit.
+func selectBit(b []uint64, k int) int {
+	for i, w := range b {
+		c := bits.OnesCount64(w)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; ; w &= w - 1 {
+			if k == 0 {
+				return i<<6 + bits.TrailingZeros64(w)
+			}
+			k--
+		}
+	}
+	return -1
 }
 
 // EliminationOrder reverses an MCS numbering into the elimination order
@@ -70,37 +127,92 @@ func EliminationOrder(mcsOrder []int) []int {
 	return out
 }
 
-// liveSets builds mutable adjacency sets for elimination simulation.
-func liveSets(g *graph.Graph) []map[int]bool {
-	adj := make([]map[int]bool, g.N)
-	for i := range adj {
-		adj[i] = make(map[int]bool)
-	}
-	for _, e := range g.Edges {
-		adj[e[0]][e[1]] = true
-		adj[e[1]][e[0]] = true
-	}
-	return adj
+// liveRows is the mutable adjacency of an elimination simulation, one
+// bitset row per vertex. A nil row marks an eliminated vertex. The fill
+// step — connecting a vertex's live neighbors into a clique — is a
+// handful of word-wide ORs per neighbor instead of the per-pair map
+// inserts of the hash-set representation this replaces.
+type liveRows struct {
+	words int
+	rows  [][]uint64
 }
 
-// eliminate removes v from the live sets, connecting its live neighbors
-// into a clique (the fill step). It returns v's live neighbors at the time
-// of elimination.
-func eliminate(adj []map[int]bool, v int) []int {
-	nbrs := make([]int, 0, len(adj[v]))
-	for w := range adj[v] {
-		nbrs = append(nbrs, w)
+// liveSets builds the mutable adjacency rows for elimination simulation.
+func liveSets(g *graph.Graph) *liveRows {
+	words := (g.N + 63) / 64
+	lr := &liveRows{words: words, rows: make([][]uint64, g.N)}
+	backing := make([]uint64, g.N*words)
+	for i := range lr.rows {
+		lr.rows[i] = backing[i*words : (i+1)*words]
 	}
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			adj[nbrs[i]][nbrs[j]] = true
-			adj[nbrs[j]][nbrs[i]] = true
+	for _, e := range g.Edges {
+		lr.rows[e[0]][e[1]>>6] |= 1 << uint(e[1]&63)
+		lr.rows[e[1]][e[0]>>6] |= 1 << uint(e[0]&63)
+	}
+	return lr
+}
+
+// has reports whether the live edge (u,v) exists.
+func (lr *liveRows) has(u, v int) bool {
+	return lr.rows[u][v>>6]>>uint(v&63)&1 == 1
+}
+
+// degree returns the live degree of v.
+func (lr *liveRows) degree(v int) int {
+	d := 0
+	for _, w := range lr.rows[v] {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// neighbors returns v's live neighbors in ascending order.
+func (lr *liveRows) neighbors(v int) []int {
+	out := make([]int, 0, lr.degree(v))
+	for i, w := range lr.rows[v] {
+		for ; w != 0; w &= w - 1 {
+			out = append(out, i<<6+bits.TrailingZeros64(w))
 		}
 	}
-	for _, w := range nbrs {
-		delete(adj[w], v)
+	return out
+}
+
+// missingPairs counts the non-adjacent pairs among v's live neighbors —
+// the fill edges eliminating v would add. Each neighbor u contributes
+// |N(v) \ N(u)| - 1 missing partners (u itself is never in N(u)), and
+// every missing pair is counted from both ends.
+func (lr *liveRows) missingPairs(v int) int {
+	row := lr.rows[v]
+	total := 0
+	for i, w := range row {
+		for ; w != 0; w &= w - 1 {
+			u := i<<6 + bits.TrailingZeros64(w)
+			ru := lr.rows[u]
+			c := 0
+			for j, x := range row {
+				c += bits.OnesCount64(x &^ ru[j])
+			}
+			total += c - 1
+		}
 	}
-	adj[v] = nil
+	return total / 2
+}
+
+// eliminate removes v from the live rows, connecting its live neighbors
+// into a clique (the fill step). It returns v's live neighbors at the time
+// of elimination, in ascending order.
+func eliminate(lr *liveRows, v int) []int {
+	nbrs := lr.neighbors(v)
+	row := lr.rows[v]
+	for _, u := range nbrs {
+		ru := lr.rows[u]
+		for j := range ru {
+			ru[j] |= row[j]
+		}
+		ru[u>>6] &^= 1 << uint(u&63) // no self-loop
+		ru[v>>6] &^= 1 << uint(v&63) // drop the eliminated vertex
+	}
+	lr.rows[v] = nil
 	return nbrs
 }
 
@@ -111,34 +223,20 @@ func eliminate(adj []map[int]bool, v int) []int {
 func MinFill(g *graph.Graph) []int {
 	adj := liveSets(g)
 	order := make([]int, 0, g.N)
-	remaining := g.N
 	removed := make([]bool, g.N)
-	for remaining > 0 {
+	for len(order) < g.N {
 		best, bestFill := -1, int(^uint(0)>>1)
 		for v := 0; v < g.N; v++ {
 			if removed[v] {
 				continue
 			}
-			fill := 0
-			nbrs := make([]int, 0, len(adj[v]))
-			for w := range adj[v] {
-				nbrs = append(nbrs, w)
-			}
-			for i := 0; i < len(nbrs); i++ {
-				for j := i + 1; j < len(nbrs); j++ {
-					if !adj[nbrs[i]][nbrs[j]] {
-						fill++
-					}
-				}
-			}
-			if fill < bestFill {
+			if fill := adj.missingPairs(v); fill < bestFill {
 				best, bestFill = v, fill
 			}
 		}
 		eliminate(adj, best)
 		removed[best] = true
 		order = append(order, best)
-		remaining--
 	}
 	return order
 }
@@ -153,7 +251,7 @@ func MinDegree(g *graph.Graph) []int {
 		best, bestDeg := -1, int(^uint(0)>>1)
 		for v := 0; v < g.N; v++ {
 			if !removed[v] {
-				if d := len(adj[v]); d < bestDeg {
+				if d := adj.degree(v); d < bestDeg {
 					best, bestDeg = v, d
 				}
 			}
@@ -257,19 +355,13 @@ func MinWeight(g *graph.Graph, weight []int) []int {
 				continue
 			}
 			w := wt(v)
-			nbrs := make([]int, 0, len(adj[v]))
-			for u := range adj[v] {
+			for _, u := range adj.neighbors(v) {
 				w += wt(u)
-				nbrs = append(nbrs, u)
 			}
-			fill := 0
-			for i := 0; i < len(nbrs); i++ {
-				for j := i + 1; j < len(nbrs); j++ {
-					if !adj[nbrs[i]][nbrs[j]] {
-						fill++
-					}
-				}
+			if w > bestW {
+				continue
 			}
+			fill := adj.missingPairs(v)
 			if w < bestW || (w == bestW && fill < bestFill) {
 				best, bestW, bestFill = v, w, fill
 			}

@@ -1,0 +1,81 @@
+package treedec
+
+// Elimination-order microbenchmarks recorded by `make bench-json` into
+// BENCH_planner.json: the bucket-queue MCS and bitset elimination
+// simulation against the scanning / map-of-sets baselines they replaced.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"projpush/internal/graph"
+)
+
+func benchGraph(b *testing.B, n int, density float64) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(61))
+	g, err := graph.Random(n, int(density*float64(n)), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkOrderMCS measures maximum cardinality search with seeded
+// random tie-breaking on random graphs of density 4: the bucket queue
+// against the full-scan baseline.
+func BenchmarkOrderMCS(b *testing.B) {
+	for _, n := range []int{512, 1024} {
+		g := benchGraph(b, n, 4)
+		b.Run(fmt.Sprintf("bucket/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MCS(g, nil, rand.New(rand.NewSource(9)))
+			}
+		})
+		b.Run(fmt.Sprintf("scan-baseline/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mcsScanBaseline(g, nil, rand.New(rand.NewSource(9)))
+			}
+		})
+	}
+}
+
+// BenchmarkOrderInducedWidth measures the fill-in simulation behind
+// InducedWidth on a 512-vertex graph: bitset rows against map-of-sets.
+func BenchmarkOrderInducedWidth(b *testing.B) {
+	g := benchGraph(b, 512, 4)
+	elim := rand.New(rand.NewSource(13)).Perm(g.N)
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			InducedWidth(g, elim)
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inducedWidthMapBaseline(g, elim)
+		}
+	})
+}
+
+// BenchmarkOrderMinDegree measures the min-degree heuristic end to end
+// (degree scans plus fill steps) on a 512-vertex graph.
+func BenchmarkOrderMinDegree(b *testing.B) {
+	g := benchGraph(b, 512, 4)
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MinDegree(g)
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			minDegreeMapBaseline(g)
+		}
+	})
+}

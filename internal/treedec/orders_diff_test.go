@@ -1,0 +1,305 @@
+package treedec
+
+// Pinned pre-rewrite implementations of the ordering heuristics — the
+// O(n^2)-scan MCS and the map-of-sets elimination simulation — used as
+// differential oracles for the bucket-queue/bitset rewrite and as the
+// baselines in the ordering microbenchmarks.
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/graph"
+)
+
+// mcsScanBaseline is the pre-rewrite MCS: a full scan over all vertices
+// per pick, rebuilding the tie set each round.
+func mcsScanBaseline(g *graph.Graph, initial []int, rng *rand.Rand) []int {
+	adj := g.Adjacency()
+	numbered := make([]bool, g.N)
+	weight := make([]int, g.N)
+	order := make([]int, 0, g.N)
+
+	pick := func(v int) {
+		numbered[v] = true
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if !numbered[w] {
+				weight[w]++
+			}
+		}
+	}
+	for _, v := range initial {
+		if v >= 0 && v < g.N && !numbered[v] {
+			pick(v)
+		}
+	}
+	for len(order) < g.N {
+		best := -1
+		var ties []int
+		for v := 0; v < g.N; v++ {
+			if numbered[v] {
+				continue
+			}
+			switch {
+			case best < 0 || weight[v] > weight[best]:
+				best = v
+				ties = ties[:0]
+				ties = append(ties, v)
+			case weight[v] == weight[best]:
+				ties = append(ties, v)
+			}
+		}
+		if rng != nil && len(ties) > 1 {
+			best = ties[rng.Intn(len(ties))]
+		}
+		pick(best)
+	}
+	return order
+}
+
+// liveSetsMapBaseline / eliminateMapBaseline are the pre-rewrite
+// elimination simulation on []map[int]bool adjacency.
+func liveSetsMapBaseline(g *graph.Graph) []map[int]bool {
+	adj := make([]map[int]bool, g.N)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for _, e := range g.Edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	return adj
+}
+
+func eliminateMapBaseline(adj []map[int]bool, v int) []int {
+	nbrs := make([]int, 0, len(adj[v]))
+	for w := range adj[v] {
+		nbrs = append(nbrs, w)
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			adj[nbrs[i]][nbrs[j]] = true
+			adj[nbrs[j]][nbrs[i]] = true
+		}
+	}
+	for _, w := range nbrs {
+		delete(adj[w], v)
+	}
+	adj[v] = nil
+	return nbrs
+}
+
+func inducedWidthMapBaseline(g *graph.Graph, elim []int) int {
+	adj := liveSetsMapBaseline(g)
+	w := 0
+	for _, v := range elim {
+		if n := len(eliminateMapBaseline(adj, v)); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+func minFillMapBaseline(g *graph.Graph) []int {
+	adj := liveSetsMapBaseline(g)
+	order := make([]int, 0, g.N)
+	removed := make([]bool, g.N)
+	for len(order) < g.N {
+		best, bestFill := -1, int(^uint(0)>>1)
+		for v := 0; v < g.N; v++ {
+			if removed[v] {
+				continue
+			}
+			fill := 0
+			nbrs := make([]int, 0, len(adj[v]))
+			for w := range adj[v] {
+				nbrs = append(nbrs, w)
+			}
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill {
+				best, bestFill = v, fill
+			}
+		}
+		eliminateMapBaseline(adj, best)
+		removed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+func minDegreeMapBaseline(g *graph.Graph) []int {
+	adj := liveSetsMapBaseline(g)
+	order := make([]int, 0, g.N)
+	removed := make([]bool, g.N)
+	for len(order) < g.N {
+		best, bestDeg := -1, int(^uint(0)>>1)
+		for v := 0; v < g.N; v++ {
+			if !removed[v] {
+				if d := len(adj[v]); d < bestDeg {
+					best, bestDeg = v, d
+				}
+			}
+		}
+		eliminateMapBaseline(adj, best)
+		removed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+func minWeightMapBaseline(g *graph.Graph, weight []int) []int {
+	wt := func(v int) int {
+		if v < len(weight) && weight[v] > 0 {
+			return weight[v]
+		}
+		return 1
+	}
+	adj := liveSetsMapBaseline(g)
+	order := make([]int, 0, g.N)
+	removed := make([]bool, g.N)
+	for len(order) < g.N {
+		best, bestW, bestFill := -1, int(^uint(0)>>1), int(^uint(0)>>1)
+		for v := 0; v < g.N; v++ {
+			if removed[v] {
+				continue
+			}
+			w := wt(v)
+			nbrs := make([]int, 0, len(adj[v]))
+			for u := range adj[v] {
+				w += wt(u)
+				nbrs = append(nbrs, u)
+			}
+			fill := 0
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if w < bestW || (w == bestW && fill < bestFill) {
+				best, bestW, bestFill = v, w, fill
+			}
+		}
+		eliminateMapBaseline(adj, best)
+		removed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+func sameOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMCSDifferential pins the bucket-queue MCS against the scanning
+// implementation across random graphs, with and without seeded random
+// tie-breaking and with initial seed vertices. Both consume the rng
+// stream identically, so the orders must match element for element.
+func TestMCSDifferential(t *testing.T) {
+	meta := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + meta.Intn(60)
+		maxM := n * (n - 1) / 2
+		m := meta.Intn(maxM + 1)
+		g, err := graph.Random(n, m, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var initial []int
+		for k := meta.Intn(3); k > 0; k-- {
+			initial = append(initial, meta.Intn(n))
+		}
+		seed := meta.Int63()
+
+		oldOrder := mcsScanBaseline(g, initial, rand.New(rand.NewSource(seed)))
+		newOrder := MCS(g, initial, rand.New(rand.NewSource(seed)))
+		if !sameOrder(oldOrder, newOrder) {
+			t.Fatalf("trial %d (n=%d m=%d init=%v): seeded MCS diverged\nold: %v\nnew: %v",
+				trial, n, m, initial, oldOrder, newOrder)
+		}
+		if !sameOrder(mcsScanBaseline(g, initial, nil), MCS(g, initial, nil)) {
+			t.Fatalf("trial %d: deterministic MCS diverged", trial)
+		}
+	}
+}
+
+// TestEliminationDifferential pins every bitset-based elimination
+// consumer — MinFill, MinDegree, MinWeight, InducedWidth, FillIn — to
+// the map-of-sets baselines on random graphs.
+func TestEliminationDifferential(t *testing.T) {
+	meta := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + meta.Intn(40)
+		maxM := n * (n - 1) / 2
+		m := meta.Intn(maxM + 1)
+		g, err := graph.Random(n, m, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := MinFill(g), minFillMapBaseline(g); !sameOrder(got, want) {
+			t.Fatalf("trial %d: MinFill diverged: %v vs %v", trial, got, want)
+		}
+		if got, want := MinDegree(g), minDegreeMapBaseline(g); !sameOrder(got, want) {
+			t.Fatalf("trial %d: MinDegree diverged: %v vs %v", trial, got, want)
+		}
+		weights := make([]int, n)
+		for i := range weights {
+			weights[i] = 1 + meta.Intn(5)
+		}
+		if got, want := MinWeight(g, weights), minWeightMapBaseline(g, weights); !sameOrder(got, want) {
+			t.Fatalf("trial %d: MinWeight diverged: %v vs %v", trial, got, want)
+		}
+		elim := meta.Perm(n)
+		if got, want := InducedWidth(g, elim), inducedWidthMapBaseline(g, elim); got != want {
+			t.Fatalf("trial %d: InducedWidth diverged: %d vs %d", trial, got, want)
+		}
+		// FillIn against a direct pair count on the map baseline.
+		adj := liveSetsMapBaseline(g)
+		wantFill := 0
+		for _, v := range elim {
+			nbrs := make([]int, 0, len(adj[v]))
+			for w := range adj[v] {
+				nbrs = append(nbrs, w)
+			}
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						wantFill++
+					}
+				}
+			}
+			eliminateMapBaseline(adj, v)
+		}
+		if got := FillIn(g, elim); got != wantFill {
+			t.Fatalf("trial %d: FillIn diverged: %d vs %d", trial, got, wantFill)
+		}
+	}
+}
+
+// TestEliminateReturnsAscendingNeighbors pins the new contract: the
+// bitset eliminate reports live neighbors in ascending vertex order.
+func TestEliminateReturnsAscendingNeighbors(t *testing.T) {
+	g := graph.Complete(6)
+	adj := liveSets(g)
+	nbrs := eliminate(adj, 3)
+	want := []int{0, 1, 2, 4, 5}
+	if !sameOrder(nbrs, want) {
+		t.Fatalf("eliminate neighbors = %v, want %v", nbrs, want)
+	}
+}
