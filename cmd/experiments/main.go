@@ -20,23 +20,36 @@ import (
 
 	"projpush/internal/engine"
 	"projpush/internal/experiments"
+	"projpush/internal/faultinject"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "figure to reproduce: 2,3,4,5,6,7,8,9,sat or all")
-		scale   = flag.Float64("scale", 1.0, "scale factor on sweep sizes (0.5 = half the paper's orders)")
-		reps    = flag.Int("reps", 5, "instances per data point (medians reported)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-run execution timeout")
-		free    = flag.Float64("free", -1, "free-variable fraction; -1 runs both Boolean and 20% variants")
-		chart   = flag.Bool("chart", false, "render ASCII logscale charts (the paper's figure style) instead of tables")
-		csv     = flag.Bool("csv", false, "emit CSV (median seconds per method) instead of tables")
-		workers = flag.Int("workers", 1, "harness goroutines per data point, also the planner's GEQO island count; structural methods are identical for any value, the cost-based naive planner on GEQO-sized queries depends deterministically on it (default matches the serial planner)")
-		cache   = flag.Bool("cache", false, "share a subplan result cache across all measured executions")
-		cachemb = flag.Int("cachemb", 0, "subplan cache budget in MiB (0 = engine default); implies -cache")
+		figure    = flag.String("figure", "all", "figure to reproduce: 2,3,4,5,6,7,8,9,sat or all")
+		scale     = flag.Float64("scale", 1.0, "scale factor on sweep sizes (0.5 = half the paper's orders)")
+		reps      = flag.Int("reps", 5, "instances per data point (medians reported)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-run execution timeout")
+		free      = flag.Float64("free", -1, "free-variable fraction; -1 runs both Boolean and 20% variants")
+		chart     = flag.Bool("chart", false, "render ASCII logscale charts (the paper's figure style) instead of tables")
+		csv       = flag.Bool("csv", false, "emit CSV (median seconds per method) instead of tables")
+		workers   = flag.Int("workers", 1, "harness goroutines per data point, also the planner's GEQO island count; structural methods are identical for any value, the cost-based naive planner on GEQO-sized queries depends deterministically on it (default matches the serial planner)")
+		cache     = flag.Bool("cache", false, "share a subplan result cache across all measured executions")
+		cachemb   = flag.Int("cachemb", 0, "subplan cache budget in MiB (0 = engine default); implies -cache")
+		membudget = flag.Int("membudget", 0, "per-run materialized-bytes budget in MiB (0 = unlimited); runs that blow it are annotated 'membudget'")
+		resilient = flag.Bool("resilient", false, "retry resource-aborted runs down the degradation ladder (early projection, then bucket elimination) instead of annotating them as failures")
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,experiment.panic=0.1' (see internal/faultinject); for robustness drills")
+		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultinject.Enable(*faults, *faultseed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -faults:", err)
+			os.Exit(1)
+		}
+		defer faultinject.Disable()
+	}
 
 	render := func(s *experiments.Series) string {
 		switch {
@@ -49,7 +62,10 @@ func main() {
 		}
 	}
 
-	base := experiments.Config{Seed: *seed, Reps: *reps, Timeout: *timeout, Workers: *workers}
+	base := experiments.Config{
+		Seed: *seed, Reps: *reps, Timeout: *timeout, Workers: *workers,
+		MaxBytes: int64(*membudget) << 20, Resilient: *resilient,
+	}
 	if *cache || *cachemb > 0 {
 		base.Cache = engine.NewCache(int64(*cachemb) << 20)
 	}

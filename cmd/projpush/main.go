@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"projpush/internal/instance"
 	"projpush/internal/pgplanner"
 	"projpush/internal/plan"
+	"projpush/internal/resilience"
 	"projpush/internal/sqlgen"
 	"projpush/internal/workload"
 )
@@ -40,6 +42,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-run execution timeout")
 		maxRows   = flag.Int("maxrows", 10_000_000, "intermediate row cap (0 = unlimited)")
+		membudget = flag.Int("membudget", 0, "materialized-bytes budget in MiB (0 = unlimited)")
+		resilient = flag.Bool("resilient", false, "on row-cap/memory/internal failures, degrade to early projection then bucket elimination instead of reporting the error")
 		showSQL   = flag.Bool("sql", false, "print the generated SQL instead of executing")
 		explain   = flag.Bool("explain", false, "print the plan tree with actual cardinalities instead of the summary line")
 		analyze   = flag.Bool("analyze", false, "print the structural report (treewidth bounds, induced widths, plan widths) and exit")
@@ -61,8 +65,10 @@ func main() {
 		}
 		return
 	}
+	opt := engine.Options{Timeout: *timeout, MaxRows: *maxRows, MaxBytes: int64(*membudget) << 20}
+
 	if *suiteFile != "" {
-		runSuite(*suiteFile, core.Method(*method), *all, *timeout, *maxRows, rng)
+		runSuite(*suiteFile, core.Method(*method), *all, opt, *resilient, rng)
 		return
 	}
 
@@ -182,7 +188,7 @@ func main() {
 			continue
 		}
 		if *explain {
-			out, err := engine.Explain(p, db, engine.Options{Timeout: *timeout, MaxRows: *maxRows}, true)
+			out, err := engine.Explain(p, db, opt, true)
 			if err != nil {
 				fatal(err)
 			}
@@ -190,7 +196,7 @@ func main() {
 			continue
 		}
 		st := plan.Analyze(p)
-		res, err := engine.Exec(p, db, engine.Options{Timeout: *timeout, MaxRows: *maxRows})
+		res, err := execute(p, q, db, opt, *resilient, rng)
 		if err != nil {
 			fmt.Printf("%-18s width=%-3d ERROR: %v\n", m, st.Width, err)
 			continue
@@ -205,9 +211,28 @@ func main() {
 	}
 }
 
+// execute runs one plan, degrading down the method ladder when resil is
+// set: a row-cap, memory-budget, or internal failure retries with early
+// projection and then bucket elimination (engine.ExecResilient), logging
+// the abandoned rungs to stderr so the summary line stays comparable.
+func execute(p plan.Node, q *cq.Query, db cq.Database, opt engine.Options, resil bool, rng *rand.Rand) (*engine.Result, error) {
+	if !resil {
+		return engine.Exec(p, db, opt)
+	}
+	res, err := engine.ExecResilient(context.Background(), p, resilience.DegradationLadder(q, rng), db, opt, 1)
+	if res != nil && len(res.Stats.Attempts) > 1 {
+		for _, a := range res.Stats.Attempts {
+			if a.Err != "" {
+				fmt.Fprintf(os.Stderr, "degraded: %s failed: %s\n", a.Method, a.Err)
+			}
+		}
+	}
+	return res, err
+}
+
 // runSuite executes every spec of a workload suite under the chosen
 // method(s), one summary line per (spec, method).
-func runSuite(path string, method core.Method, all bool, timeout time.Duration, maxRows int, rng *rand.Rand) {
+func runSuite(path string, method core.Method, all bool, opt engine.Options, resil bool, rng *rand.Rand) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -233,7 +258,7 @@ func runSuite(path string, method core.Method, all bool, timeout time.Duration, 
 				fatal(fmt.Errorf("%s %s: %w", sp.Name, m, err))
 			}
 			st := plan.Analyze(p)
-			res, err := engine.Exec(p, db, engine.Options{Timeout: timeout, MaxRows: maxRows})
+			res, err := execute(p, q, db, opt, resil, rng)
 			if err != nil {
 				fmt.Printf("%-28s %-18s width=%-3d TIMEOUT/%v\n", sp.Name, m, st.Width, err)
 				continue

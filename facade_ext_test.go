@@ -1,6 +1,8 @@
 package projpush
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -205,5 +207,47 @@ func TestFacadeHybrid(t *testing.T) {
 	}
 	if !res.Nonempty() {
 		t.Fatal("augmented ladder is 3-colorable")
+	}
+}
+
+func TestFacadeResourceGovernor(t *testing.T) {
+	g := AugmentedCircularLadder(4)
+	q, err := ColorQuery(g, BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ColorDatabase(3)
+	p, err := BuildPlan(Straightforward, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteContext(pre, p, db, ExecOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("ExecuteContext pre-canceled: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ExecuteParallelContext(pre, p, db, ExecOptions{}, 2); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("ExecuteParallelContext pre-canceled: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ExecuteIteratorContext(pre, p, db, ExecOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("ExecuteIteratorContext pre-canceled: err = %v, want ErrCanceled", err)
+	}
+
+	// A tiny byte budget fails the straightforward plan with ErrMemLimit;
+	// ExecuteResilient rescues it down the ladder.
+	tight := ExecOptions{MaxBytes: 1 << 10}
+	if _, err := Execute(p, db, tight); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("Execute under 1KiB budget: err = %v, want ErrMemLimit", err)
+	}
+	res, err := ExecuteResilient(context.Background(), p, DegradationLadder(q, nil), db, ExecOptions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Attempts) != 1 || res.Stats.Attempts[0].Method != "given" {
+		t.Fatalf("unconstrained resilient run attempts = %+v, want the given plan only", res.Stats.Attempts)
+	}
+	if !res.Nonempty() {
+		t.Fatal("augmented circular ladder is 3-colorable")
 	}
 }

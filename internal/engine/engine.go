@@ -19,8 +19,9 @@
 package engine
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"projpush/internal/cq"
@@ -35,18 +36,17 @@ type Options struct {
 	// MaxRows caps the cardinality of any intermediate relation.
 	// Zero means no cap.
 	MaxRows int
+	// MaxBytes caps the cumulative bytes of relation storage (tuple
+	// arenas, dedup tables, join tables) materialized by the run. Zero
+	// means no budget. Exceeding it fails the run with ErrMemLimit —
+	// typically long before MaxRows would fire, since the budget charges
+	// allocation pressure, not just final cardinalities.
+	MaxBytes int64
 	// Cache, when non-nil, memoizes Join and Project subtree results
 	// across executions (see Cache). The iterator executor ignores it:
 	// that engine materializes no subtree results to share.
 	Cache *Cache
 }
-
-// ErrTimeout is returned when a run exceeds Options.Timeout.
-var ErrTimeout = errors.New("engine: execution timed out")
-
-// ErrRowLimit is returned when an intermediate result exceeds
-// Options.MaxRows.
-var ErrRowLimit = errors.New("engine: intermediate result exceeds row cap")
 
 // Stats instruments one execution.
 type Stats struct {
@@ -69,6 +69,15 @@ type Stats struct {
 	// memoized subtree's stats into the counters above, so the totals
 	// match a cache-off run.
 	CacheHits, CacheMisses int64
+	// Bytes is the total bytes of relation storage materialized by Join
+	// and Project operators (arena plus dedup table of each output).
+	// Cache hits replay the memoized subtree's byte count, so cache-on
+	// and cache-off totals match.
+	Bytes int64
+	// Attempts records the degradation history of an ExecResilient run:
+	// one entry per plan tried, in order, the last being the one whose
+	// stats this struct carries. Nil for the plain entry points.
+	Attempts []Attempt
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -88,6 +97,7 @@ func (s *Stats) merge(o *Stats) {
 	s.Projections += o.Projections
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
+	s.Bytes += o.Bytes
 }
 
 // Result is the outcome of executing a plan.
@@ -104,8 +114,11 @@ func (r *Result) Nonempty() bool { return !r.Rel.Empty() }
 
 type executor struct {
 	db       cq.Database
+	ctx      context.Context
 	deadline time.Time
 	maxRows  int
+	maxBytes int64
+	bytes    atomic.Int64
 	cache    *Cache
 	dbFP     string
 	stats    Stats
@@ -116,8 +129,14 @@ type executor struct {
 	cached map[plan.Node]bool
 }
 
-func newExecutor(db cq.Database, opt Options) *executor {
-	ex := &executor{db: db, maxRows: opt.MaxRows, cache: opt.Cache}
+func newExecutor(ctx context.Context, db cq.Database, opt Options) *executor {
+	ex := &executor{
+		db:       db,
+		ctx:      ctx,
+		maxRows:  opt.MaxRows,
+		maxBytes: opt.MaxBytes,
+		cache:    opt.Cache,
+	}
 	if opt.Timeout > 0 {
 		ex.deadline = time.Now().Add(opt.Timeout)
 	}
@@ -127,36 +146,55 @@ func newExecutor(db cq.Database, opt Options) *executor {
 	return ex
 }
 
-// lim builds the limit charging work into the given stats frame.
+// lim builds the limit charging work into the given stats frame. The byte
+// budget counter is shared across all operators of the run, so MaxBytes
+// bounds the run's cumulative materialization, not any single operator's.
 func (ex *executor) lim(st *Stats) *relation.Limit {
-	return &relation.Limit{MaxRows: ex.maxRows, Deadline: ex.deadline, Work: &st.Work}
+	return &relation.Limit{
+		MaxRows:  ex.maxRows,
+		Deadline: ex.deadline,
+		Work:     &st.Work,
+		Ctx:      ex.ctx,
+		MaxBytes: ex.maxBytes,
+		Bytes:    &ex.bytes,
+	}
+}
+
+// admissible reports whether a cached subtree's recorded footprint fits
+// this run's limits. An inadmissible hit falls through to honest
+// re-execution, which reports the violation exactly as an uncached run
+// would.
+func (ex *executor) admissible(sub *Stats) bool {
+	if ex.maxRows > 0 && sub.MaxRows > ex.maxRows {
+		return false
+	}
+	if ex.maxBytes > 0 && ex.bytes.Load()+sub.Bytes > ex.maxBytes {
+		return false
+	}
+	return true
 }
 
 // Exec evaluates the plan over db under opt.
-// On timeout or row-cap violation it returns ErrTimeout or ErrRowLimit
-// (wrapped); the partial stats collected so far are returned alongside so
-// harnesses can report how far a run got.
+// On timeout, cancellation, row-cap or byte-budget violation it returns
+// ErrTimeout, ErrCanceled, ErrRowLimit or ErrMemLimit (wrapped); the
+// partial stats collected so far are returned alongside so harnesses can
+// report how far a run got.
 func Exec(n plan.Node, db cq.Database, opt Options) (*Result, error) {
-	ex := newExecutor(db, opt)
+	return ExecContext(context.Background(), n, db, opt)
+}
+
+// ExecContext is Exec under a context: cancellation is observed by every
+// kernel within a bounded amount of work and surfaces as ErrCanceled
+// (matching context.Canceled under errors.Is).
+func ExecContext(ctx context.Context, n plan.Node, db cq.Database, opt Options) (*Result, error) {
+	ex := newExecutor(ctx, db, opt)
 	start := time.Now()
 	rel, err := ex.eval(n, &ex.stats)
 	ex.stats.Elapsed = time.Since(start)
 	if err != nil {
-		return &Result{Rel: nil, Stats: ex.stats}, wrapLimitErr(err, ex.stats.Elapsed)
+		return &Result{Rel: nil, Stats: ex.stats}, classifyErr(err, ex.stats.Elapsed)
 	}
 	return &Result{Rel: rel, Stats: ex.stats}, nil
-}
-
-// wrapLimitErr converts relation limit errors into the engine's sentinel
-// errors.
-func wrapLimitErr(err error, elapsed time.Duration) error {
-	switch {
-	case errors.Is(err, relation.ErrDeadline):
-		return fmt.Errorf("%w after %v: %v", ErrTimeout, elapsed, err)
-	case errors.Is(err, relation.ErrRowLimit):
-		return fmt.Errorf("%w: %v", ErrRowLimit, err)
-	}
-	return err
 }
 
 // observe folds one operator's output into the stats frame.
@@ -197,12 +235,13 @@ func (ex *executor) eval(n plan.Node, st *Stats) (*relation.Relation, error) {
 // subtree.
 func (ex *executor) evalCached(n plan.Node, st *Stats) (*relation.Relation, error) {
 	key, vars := cacheKey(ex.dbFP, n)
-	if rel, sub, ok := ex.cache.get(key); ok && (ex.maxRows == 0 || sub.MaxRows <= ex.maxRows) {
+	if rel, sub, ok := ex.cache.get(key); ok && ex.admissible(&sub) {
 		// A hit whose recorded intermediates exceed this run's row cap
-		// falls through to honest re-execution (which will report the
-		// cap violation, as the uncached run would).
+		// or byte budget falls through to honest re-execution (which
+		// will report the violation, as the uncached run would).
 		st.CacheHits++
 		st.merge(&sub)
+		ex.bytes.Add(sub.Bytes)
 		out := fromCanonical(rel, vars)
 		ex.record(n, out, true)
 		return out, nil
@@ -259,6 +298,7 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 			return nil, err
 		}
 		st.Joins++
+		st.Bytes += out.Bytes()
 		observe(st, out)
 		ex.record(n, out, false)
 		return out, nil
@@ -273,6 +313,7 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 			return nil, err
 		}
 		st.Projections++
+		st.Bytes += out.Bytes()
 		observe(st, out)
 		ex.record(n, out, false)
 		return out, nil

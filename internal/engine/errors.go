@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"projpush/internal/relation"
+)
+
+// The engine reports every abnormal termination through one of five
+// sentinel errors, so harnesses can classify outcomes with errors.Is
+// without knowing which executor or kernel produced them. classifyErr is
+// the single translation point from the relation layer's errors; all
+// three executors (materializing, partition-parallel, iterator) route
+// their failures through it.
+
+// sentinelError is a sentinel that additionally aliases a standard
+// library error: errors.Is(err, ErrTimeout) and
+// errors.Is(err, context.DeadlineExceeded) both hold for an engine
+// timeout, so engine-aware and context-aware callers agree.
+type sentinelError struct {
+	msg   string
+	alias error
+}
+
+func (e *sentinelError) Error() string { return e.msg }
+
+func (e *sentinelError) Is(target error) bool {
+	return e.alias != nil && target == e.alias
+}
+
+// ErrTimeout is returned when a run exceeds Options.Timeout. It matches
+// context.DeadlineExceeded under errors.Is.
+var ErrTimeout error = &sentinelError{
+	msg:   "engine: execution timed out",
+	alias: context.DeadlineExceeded,
+}
+
+// ErrCanceled is returned when the context passed to ExecContext (or its
+// siblings) is canceled mid-run. It matches context.Canceled under
+// errors.Is.
+var ErrCanceled error = &sentinelError{
+	msg:   "engine: execution canceled",
+	alias: context.Canceled,
+}
+
+// ErrRowLimit is returned when an intermediate result exceeds
+// Options.MaxRows.
+var ErrRowLimit = errors.New("engine: intermediate result exceeds row cap")
+
+// ErrMemLimit is returned when a run's materialized bytes exceed
+// Options.MaxBytes.
+var ErrMemLimit = errors.New("engine: execution exceeds memory budget")
+
+// ErrInternal is returned when a worker goroutine panics mid-run: the
+// panic is recovered at the pool boundary (relation.PanicError) and
+// surfaces here instead of crashing the process. The wrapped error
+// carries the panicking goroutine's stack.
+var ErrInternal = errors.New("engine: internal execution fault")
+
+// classifyErr converts a relation-layer failure into the engine's
+// sentinel errors. It is the shared error path of Exec, ExecParallel and
+// ExecIterator; errors it does not recognize pass through unchanged.
+func classifyErr(err error, elapsed time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	var pe *relation.PanicError
+	switch {
+	case errors.Is(err, relation.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w after %v: %v", ErrTimeout, elapsed, err)
+	case errors.Is(err, relation.ErrCanceled):
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	case errors.Is(err, relation.ErrRowLimit):
+		return fmt.Errorf("%w: %v", ErrRowLimit, err)
+	case errors.Is(err, relation.ErrMemBudget):
+		return fmt.Errorf("%w: %v", ErrMemLimit, err)
+	case errors.As(err, &pe):
+		return fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	return err
+}

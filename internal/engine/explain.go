@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,11 +21,11 @@ import (
 func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, error) {
 	var ex *executor
 	if analyze {
-		ex = newExecutor(db, opt)
+		ex = newExecutor(context.Background(), db, opt)
 		ex.rows = make(map[plan.Node]int)
 		ex.cached = make(map[plan.Node]bool)
 		if _, err := ex.eval(p, &ex.stats); err != nil {
-			return "", wrapLimitErr(err, 0)
+			return "", classifyErr(err, 0)
 		}
 	}
 	var b strings.Builder
@@ -55,6 +56,13 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 		}
 	}
 	walk(p, 0)
+	if analyze {
+		fmt.Fprintf(&b, "memory: %d bytes materialized", ex.stats.Bytes)
+		if opt.MaxBytes > 0 {
+			fmt.Fprintf(&b, " (budget %d)", opt.MaxBytes)
+		}
+		b.WriteString("\n")
+	}
 	if analyze && opt.Cache != nil {
 		fmt.Fprintf(&b, "cache: run hits=%d misses=%d; %s\n",
 			ex.stats.CacheHits, ex.stats.CacheMisses, opt.Cache.Counters())

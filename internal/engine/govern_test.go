@@ -1,0 +1,291 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/faultinject"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/plan"
+	"projpush/internal/resilience"
+)
+
+// figure9 builds a Figure-9-style instance — the Boolean 3-COLOR query of
+// an augmented circular ladder — the regime the resource governor exists
+// for: the straightforward plan's intermediates explode while bucket
+// elimination stays polynomial.
+func figure9(t testing.TB, order int) (*cq.Query, cq.Database) {
+	t.Helper()
+	g := graph.AugmentedCircularLadder(order)
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, instance.ColorDatabase(3)
+}
+
+func buildPlan(t testing.TB, m core.Method, q *cq.Query) plan.Node {
+	t.Helper()
+	p, err := core.BuildPlan(m, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSentinelAliases checks the engine sentinels match their context
+// counterparts under errors.Is, and only those.
+func TestSentinelAliases(t *testing.T) {
+	if !errors.Is(engine.ErrTimeout, context.DeadlineExceeded) {
+		t.Error("ErrTimeout does not match context.DeadlineExceeded")
+	}
+	if !errors.Is(engine.ErrCanceled, context.Canceled) {
+		t.Error("ErrCanceled does not match context.Canceled")
+	}
+	if errors.Is(engine.ErrTimeout, context.Canceled) {
+		t.Error("ErrTimeout must not match context.Canceled")
+	}
+	if errors.Is(engine.ErrRowLimit, context.DeadlineExceeded) {
+		t.Error("ErrRowLimit must not match context.DeadlineExceeded")
+	}
+}
+
+// TestTimeoutMatchesDeadlineExceeded runs a hopeless plan under a tiny
+// timeout and checks the failure matches both the engine sentinel and the
+// standard library's.
+func TestTimeoutMatchesDeadlineExceeded(t *testing.T) {
+	q, db := figure9(t, 6)
+	p := buildPlan(t, core.MethodStraightforward, q)
+	_, err := engine.Exec(p, db, engine.Options{Timeout: 2 * time.Millisecond})
+	if !errors.Is(err, engine.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+}
+
+// TestExecContextCancellation cancels all three executors, before the run
+// and mid-run, and checks the failure is ErrCanceled (matching
+// context.Canceled) with no goroutine leak.
+func TestExecContextCancellation(t *testing.T) {
+	q, db := figure9(t, 6)
+	p := buildPlan(t, core.MethodStraightforward, q)
+	base := runtime.NumGoroutine()
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	type runner struct {
+		name string
+		run  func(ctx context.Context) error
+	}
+	runners := []runner{
+		{"Exec", func(ctx context.Context) error {
+			_, err := engine.ExecContext(ctx, p, db, engine.Options{})
+			return err
+		}},
+		{"ExecParallel", func(ctx context.Context) error {
+			_, err := engine.ExecParallelContext(ctx, p, db, engine.Options{}, 4)
+			return err
+		}},
+		{"ExecIterator", func(ctx context.Context) error {
+			_, err := engine.ExecIteratorContext(ctx, p, db, engine.Options{})
+			return err
+		}},
+	}
+	for _, r := range runners {
+		if err := r.run(pre); !errors.Is(err, engine.ErrCanceled) {
+			t.Fatalf("%s pre-canceled: err = %v, want ErrCanceled", r.name, err)
+		}
+		ctx, cancelMid := context.WithCancel(context.Background())
+		timer := time.AfterFunc(3*time.Millisecond, cancelMid)
+		err := r.run(ctx)
+		timer.Stop()
+		cancelMid()
+		if !errors.Is(err, engine.ErrCanceled) {
+			t.Fatalf("%s mid-run: err = %v, want ErrCanceled", r.name, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s mid-run: err = %v, want errors.Is(err, context.Canceled)", r.name, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines leaked after cancellations: %d before, %d after", base, n)
+	}
+}
+
+// TestMemBudget checks Options.MaxBytes aborts all three executors with
+// ErrMemLimit, and that a roomy budget reports materialized bytes in
+// Stats.
+func TestMemBudget(t *testing.T) {
+	q, db := figure9(t, 4)
+	p := buildPlan(t, core.MethodBucketElimination, q)
+
+	ok, err := engine.Exec(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Stats.Bytes <= 0 {
+		t.Fatal("successful run reports no materialized bytes")
+	}
+
+	tight := engine.Options{MaxBytes: 256}
+	if _, err := engine.Exec(p, db, tight); !errors.Is(err, engine.ErrMemLimit) {
+		t.Fatalf("Exec: err = %v, want ErrMemLimit", err)
+	}
+	if _, err := engine.ExecParallel(p, db, tight, 4); !errors.Is(err, engine.ErrMemLimit) {
+		t.Fatalf("ExecParallel: err = %v, want ErrMemLimit", err)
+	}
+	if _, err := engine.ExecIterator(p, db, tight); !errors.Is(err, engine.ErrMemLimit) {
+		t.Fatalf("ExecIterator: err = %v, want ErrMemLimit", err)
+	}
+
+	// A budget above the run's appetite changes nothing.
+	roomy, err := engine.Exec(p, db, engine.Options{MaxBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !roomy.Rel.Equal(ok.Rel) || roomy.Stats.Bytes != ok.Stats.Bytes {
+		t.Fatal("roomy budget perturbed the result or its stats")
+	}
+}
+
+// TestStatsBytesCacheReplay checks cache hits replay the memoized
+// subtree's byte counts, keeping cache-on and cache-off Stats.Bytes
+// identical.
+func TestStatsBytesCacheReplay(t *testing.T) {
+	q, db := figure9(t, 4)
+	p := buildPlan(t, core.MethodEarlyProjection, q)
+
+	bare, err := engine.Exec(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := engine.NewCache(0)
+	cold, err := engine.Exec(p, db, engine.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := engine.Exec(p, db, engine.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits == 0 {
+		t.Fatal("warm run had no cache hits")
+	}
+	if cold.Stats.Bytes != bare.Stats.Bytes || warm.Stats.Bytes != bare.Stats.Bytes {
+		t.Fatalf("Stats.Bytes diverges: bare=%d cold=%d warm=%d",
+			bare.Stats.Bytes, cold.Stats.Bytes, warm.Stats.Bytes)
+	}
+}
+
+// TestSubtreePanicIsolation injects panics into the parallel executor's
+// subtree workers and checks they surface as ErrInternal instead of
+// crashing the process.
+func TestSubtreePanicIsolation(t *testing.T) {
+	defer faultinject.Disable()
+	q, db := figure9(t, 4)
+	// Bucket elimination plans are bushy, so subtrees actually fork.
+	p := buildPlan(t, core.MethodBucketElimination, q)
+	if err := faultinject.Enable("subtree.panic=1", 11); err != nil {
+		t.Fatal(err)
+	}
+	_, err := engine.ExecParallel(p, db, engine.Options{}, 4)
+	if !errors.Is(err, engine.ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	faultinject.Disable()
+	res, err := engine.ExecParallel(p, db, engine.Options{}, 4)
+	if err != nil {
+		t.Fatalf("after Disable: %v", err)
+	}
+	oracle, err := engine.EvalOracle(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rel.Equal(oracle) {
+		t.Fatal("result differs from oracle after fault injection was disabled")
+	}
+}
+
+// TestExecResilientDegradation is the end-to-end acceptance check of the
+// resource governor: on a Figure-9-style workload, a straightforward plan
+// run with injected worker panics and a byte budget too tight for early
+// projection degrades down resilience.DegradationLadder and returns, via
+// the bucket-elimination rung, a result differentially checked against
+// the oracle.
+func TestExecResilientDegradation(t *testing.T) {
+	defer faultinject.Disable()
+	q, db := figure9(t, 4)
+
+	// Calibrate a budget between the two fallback rungs' appetites:
+	// early projection must blow it, bucket elimination must fit.
+	early, err := engine.Exec(buildPlan(t, core.MethodEarlyProjection, q), db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketPlan := buildPlan(t, core.MethodBucketElimination, q)
+	bucket, err := engine.Exec(bucketPlan, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bucket.Stats.Bytes >= early.Stats.Bytes {
+		t.Fatalf("workload does not separate the methods: bucket=%dB early=%dB",
+			bucket.Stats.Bytes, early.Stats.Bytes)
+	}
+	budget := early.Stats.Bytes * 9 / 10
+	if _, err := engine.Exec(bucketPlan, db, engine.Options{MaxBytes: budget}); err != nil {
+		t.Fatalf("calibration: bucket elimination does not fit the budget %d: %v", budget, err)
+	}
+
+	if err := faultinject.Enable("join.panic=1,subtree.panic=1", 23); err != nil {
+		t.Fatal(err)
+	}
+	opt := engine.Options{MaxBytes: budget}
+	res, err := engine.ExecResilient(context.Background(), buildPlan(t, core.MethodStraightforward, q),
+		resilience.DegradationLadder(q, nil), db, opt, 4)
+	if err != nil {
+		t.Fatalf("ExecResilient failed down the whole ladder: %v\nattempts: %+v",
+			err, res.Stats.Attempts)
+	}
+
+	at := res.Stats.Attempts
+	if len(at) != 3 {
+		t.Fatalf("attempts = %+v, want 3 (given, earlyprojection, bucketelimination)", at)
+	}
+	if at[0].Method != "given" || at[0].Err == "" {
+		t.Fatalf("first attempt = %+v, want a failed 'given' run", at[0])
+	}
+	if at[1].Method != string(core.MethodEarlyProjection) || !errorsContains(at[1].Err, "memory") {
+		t.Fatalf("second attempt = %+v, want early projection failing on the byte budget", at[1])
+	}
+	if last := at[2]; last.Method != string(core.MethodBucketElimination) || last.Err != "" {
+		t.Fatalf("last attempt = %+v, want bucket elimination succeeding", at[2])
+	}
+
+	oracle, err := engine.EvalOracle(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rel.Equal(oracle) {
+		t.Fatalf("degraded result differs from oracle (%d vs %d rows)",
+			res.Rel.Len(), oracle.Len())
+	}
+}
+
+// errorsContains reports whether the recorded attempt error mentions sub.
+func errorsContains(errStr, sub string) bool {
+	return errStr != "" && strings.Contains(errStr, sub)
+}

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
@@ -42,16 +42,42 @@ type iterator interface {
 
 // execContext carries limits and instrumentation shared by a pipeline.
 type execContext struct {
+	cctx     context.Context
 	deadline time.Time
 	maxRows  int
+	maxBytes int64
+	bytes    int64 // cumulative bytes materialized (single-goroutine engine)
 	stats    *Stats
 	ticks    int
 }
 
 func (c *execContext) tick() error {
 	c.ticks++
-	if c.ticks%4096 == 0 && !c.deadline.IsZero() && time.Now().After(c.deadline) {
-		return relation.ErrDeadline
+	if c.ticks%4096 == 0 {
+		if c.cctx != nil {
+			if err := c.cctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", relation.ErrCanceled, err)
+			}
+		}
+		if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+			return relation.ErrDeadline
+		}
+	}
+	return nil
+}
+
+// chargeMem charges the growth of one operator's resident state (now
+// bytes, previously *last) against the run's byte budget. State sizes
+// only grow, so the delta path is branch-free in the common case.
+func (c *execContext) chargeMem(now int64, last *int64) error {
+	delta := now - *last
+	if delta == 0 {
+		return nil
+	}
+	*last = now
+	c.bytes += delta
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return relation.ErrMemBudget
 	}
 	return nil
 }
@@ -86,11 +112,12 @@ type hashJoinIter struct {
 	leftCols    []int // schema assembly: left column index or -1
 	rightCols   []int // schema assembly: right column index or -1
 
-	table   *relation.StreamTable
-	built   bool
-	cur     relation.Tuple // current left tuple (buffer, reused)
-	matches relation.StreamMatches
-	out     relation.Tuple
+	table      *relation.StreamTable
+	built      bool
+	tableBytes int64          // last-seen table footprint, for budget deltas
+	cur        relation.Tuple // current left tuple (buffer, reused)
+	matches    relation.StreamMatches
+	out        relation.Tuple
 }
 
 func newHashJoinIter(ctx *execContext, left, right iterator) *hashJoinIter {
@@ -145,6 +172,9 @@ func (j *hashJoinIter) build() error {
 			return relation.ErrRowLimit
 		}
 		j.table.Insert(t)
+		if err := j.ctx.chargeMem(j.table.Bytes(), &j.tableBytes); err != nil {
+			return err
+		}
 	}
 	j.built = true
 	return nil
@@ -189,12 +219,13 @@ func (j *hashJoinIter) Next() (relation.Tuple, error) {
 // relation.Relation, so dedup runs on the arena + open-addressing kernel
 // instead of a string-keyed map.
 type distinctProjectIter struct {
-	ctx    *execContext
-	in     iterator
-	schema []cq.Var
-	idx    []int
-	seen   *relation.Relation
-	out    relation.Tuple
+	ctx       *execContext
+	in        iterator
+	schema    []cq.Var
+	idx       []int
+	seen      *relation.Relation
+	seenBytes int64 // last-seen dedup-state footprint, for budget deltas
+	out       relation.Tuple
 }
 
 func newDistinctProjectIter(ctx *execContext, in iterator, cols []cq.Var) (*distinctProjectIter, error) {
@@ -244,6 +275,9 @@ func (d *distinctProjectIter) Next() (relation.Tuple, error) {
 		}
 		if !d.seen.Add(d.out) {
 			continue
+		}
+		if err := d.ctx.chargeMem(d.seen.Bytes(), &d.seenBytes); err != nil {
+			return nil, err
 		}
 		if d.ctx.maxRows > 0 && d.seen.Len() > d.ctx.maxRows {
 			return nil, relation.ErrRowLimit
@@ -303,8 +337,15 @@ func buildIterator(ctx *execContext, n plan.Node, db cq.Database) (iterator, err
 // than DISTINCT states). The subplan cache (opt.Cache) is ignored: this
 // engine materializes no subtree results to share.
 func ExecIterator(n plan.Node, db cq.Database, opt Options) (*Result, error) {
+	return ExecIteratorContext(context.Background(), n, db, opt)
+}
+
+// ExecIteratorContext is ExecIterator under a context: the pipeline polls
+// the context at the same cadence as the deadline check, so cancellation
+// lands within a few thousand tuples and surfaces as ErrCanceled.
+func ExecIteratorContext(cctx context.Context, n plan.Node, db cq.Database, opt Options) (*Result, error) {
 	var stats Stats
-	ctx := &execContext{maxRows: opt.MaxRows, stats: &stats}
+	ctx := &execContext{cctx: cctx, maxRows: opt.MaxRows, maxBytes: opt.MaxBytes, stats: &stats}
 	if opt.Timeout > 0 {
 		ctx.deadline = time.Now().Add(opt.Timeout)
 	}
@@ -314,28 +355,30 @@ func ExecIterator(n plan.Node, db cq.Database, opt Options) (*Result, error) {
 		return nil, err
 	}
 	out := relation.New(append([]cq.Var(nil), it.Schema()...))
+	var outBytes int64
+	fail := func(err error) (*Result, error) {
+		stats.Elapsed = time.Since(start)
+		stats.Bytes = ctx.bytes
+		return &Result{Stats: stats}, classifyErr(err, stats.Elapsed)
+	}
 	for {
 		t, err := it.Next()
 		if err != nil {
-			stats.Elapsed = time.Since(start)
-			switch {
-			case errors.Is(err, relation.ErrDeadline):
-				err = fmt.Errorf("%w after %v: %v", ErrTimeout, stats.Elapsed, err)
-			case errors.Is(err, relation.ErrRowLimit):
-				err = fmt.Errorf("%w: %v", ErrRowLimit, err)
-			}
-			return &Result{Stats: stats}, err
+			return fail(err)
 		}
 		if t == nil {
 			break
 		}
 		out.Add(t)
+		if err := ctx.chargeMem(out.Bytes(), &outBytes); err != nil {
+			return fail(err)
+		}
 		if opt.MaxRows > 0 && out.Len() > opt.MaxRows {
-			stats.Elapsed = time.Since(start)
-			return &Result{Stats: stats}, fmt.Errorf("%w: final result", ErrRowLimit)
+			return fail(fmt.Errorf("%w: final result", relation.ErrRowLimit))
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	stats.Bytes = ctx.bytes
 	if out.Arity() > stats.MaxArity {
 		stats.MaxArity = out.Arity()
 	}

@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"projpush/internal/cq"
+	"projpush/internal/faultinject"
 	"projpush/internal/plan"
 	"projpush/internal/relation"
 )
@@ -38,17 +42,35 @@ import (
 // replay identical instrumentation regardless of which executor populated
 // the entry.
 func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Result, error) {
+	return ExecParallelContext(context.Background(), n, db, opt, workers)
+}
+
+// ExecParallelContext is ExecParallel under a context: cancellation is
+// polled by every kernel and every partition worker, and surfaces as
+// ErrCanceled. A panic in a subtree-evaluating goroutine is recovered at
+// the goroutine boundary, cancels the sibling subtree's workers via the
+// shared limit, and surfaces as ErrInternal instead of crashing the
+// process.
+func ExecParallelContext(ctx context.Context, n plan.Node, db cq.Database, opt Options, workers int) (*Result, error) {
 	if workers < 2 {
-		return Exec(n, db, opt)
+		return ExecContext(ctx, n, db, opt)
 	}
 	var deadline time.Time
 	if opt.Timeout > 0 {
 		deadline = time.Now().Add(opt.Timeout)
 	}
+	// The run's internal context lets a failing subtree cancel its
+	// concurrently-evaluating siblings instead of letting them run to
+	// their own limits.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
 	pe := &parallelExec{
 		db:       db,
+		ctx:      ctx,
+		abort:    abort,
 		deadline: deadline,
 		maxRows:  opt.MaxRows,
+		maxBytes: opt.MaxBytes,
 		cache:    opt.Cache,
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
@@ -63,15 +85,19 @@ func ExecParallel(n plan.Node, db cq.Database, opt Options, workers int) (*Resul
 	rel, err := pe.eval(n, root)
 	root.stats.Elapsed = time.Since(start)
 	if err != nil {
-		return &Result{Stats: root.stats}, wrapLimitErr(err, root.stats.Elapsed)
+		return &Result{Stats: root.stats}, classifyErr(err, root.stats.Elapsed)
 	}
 	return &Result{Rel: rel, Stats: root.stats}, nil
 }
 
 type parallelExec struct {
 	db       cq.Database
+	ctx      context.Context
+	abort    context.CancelFunc
 	deadline time.Time
 	maxRows  int
+	maxBytes int64
+	bytes    atomic.Int64
 	cache    *Cache
 	dbFP     string
 	workers  int
@@ -103,8 +129,10 @@ func (fr *pframe) observe(r *relation.Relation, kind byte, work int64) {
 	switch kind {
 	case 'j':
 		fr.stats.Joins++
+		fr.stats.Bytes += r.Bytes()
 	case 'p':
 		fr.stats.Projections++
+		fr.stats.Bytes += r.Bytes()
 	}
 }
 
@@ -115,9 +143,17 @@ func (fr *pframe) merge(o *Stats) {
 	fr.stats.merge(o)
 }
 
-// lim builds a fresh private limit for one operator invocation.
+// lim builds a fresh private limit for one operator invocation. The byte
+// counter is shared across all operators and workers of the run.
 func (pe *parallelExec) lim(work *int64) *relation.Limit {
-	return &relation.Limit{MaxRows: pe.maxRows, Deadline: pe.deadline, Work: work}
+	return &relation.Limit{
+		MaxRows:  pe.maxRows,
+		Deadline: pe.deadline,
+		Work:     work,
+		Ctx:      pe.ctx,
+		MaxBytes: pe.maxBytes,
+		Bytes:    &pe.bytes,
+	}
 }
 
 // measureSubtrees records the node count of every subtree in one walk, so
@@ -144,9 +180,19 @@ func (pe *parallelExec) eval(n plan.Node, fr *pframe) (*relation.Relation, error
 // become the stored entry's stats.
 func (pe *parallelExec) evalCached(n plan.Node, fr *pframe) (*relation.Relation, error) {
 	key, vars := cacheKey(pe.dbFP, n)
-	if rel, sub, ok := pe.cache.get(key); ok && (pe.maxRows == 0 || sub.MaxRows <= pe.maxRows) {
+	admissible := func(sub *Stats) bool {
+		if pe.maxRows > 0 && sub.MaxRows > pe.maxRows {
+			return false
+		}
+		if pe.maxBytes > 0 && pe.bytes.Load()+sub.Bytes > pe.maxBytes {
+			return false
+		}
+		return true
+	}
+	if rel, sub, ok := pe.cache.get(key); ok && admissible(&sub) {
 		sub.CacheHits++
 		fr.merge(&sub)
+		pe.bytes.Add(sub.Bytes)
 		return fromCanonical(rel, vars), nil
 	}
 	nf := &pframe{}
@@ -236,15 +282,26 @@ func (pe *parallelExec) evalPair(a, b plan.Node, fr *pframe) (*relation.Relation
 		go func() {
 			defer wg.Done()
 			defer func() { <-pe.sem }()
+			// A failing subtree cancels its sibling; a panicking one
+			// additionally becomes a typed error at the goroutine
+			// boundary (classified as ErrInternal by the entry point)
+			// instead of crashing the process.
+			defer func() {
+				if ebr != nil {
+					pe.abort()
+				}
+			}()
+			defer relation.RecoverPanic(&ebr)
+			faultinject.Panic(faultinject.PanicSubtreeWorker)
 			rb, ebr = pe.eval(b, fr)
 		}()
 		ra, ear := pe.eval(a, fr)
-		wg.Wait()
 		if ear != nil {
-			return nil, nil, ear
+			pe.abort()
 		}
-		if ebr != nil {
-			return nil, nil, ebr
+		wg.Wait()
+		if err := preferErr(ear, ebr); err != nil {
+			return nil, nil, err
 		}
 		return ra, rb, nil
 	default:
@@ -259,4 +316,16 @@ func (pe *parallelExec) evalPair(a, b plan.Node, fr *pframe) (*relation.Relation
 		}
 		return ra, rb, nil
 	}
+}
+
+// preferErr picks the more informative of two concurrent subtree errors:
+// a genuine failure over the cancellation it induced in its sibling.
+func preferErr(a, b error) error {
+	if a == nil {
+		return b
+	}
+	if b != nil && errors.Is(a, relation.ErrCanceled) && !errors.Is(b, relation.ErrCanceled) {
+		return b
+	}
+	return a
 }

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/plan"
+)
+
+// ExecResilient runs a plan with graceful method degradation: when the
+// given plan blows a resource limit (row cap or byte budget) or hits an
+// internal fault, progressively safer plans from the fallback ladder are
+// tried instead of giving up. This mirrors how the paper's methods relate
+// in practice: the straightforward method legitimately explodes on
+// treewidth-bounded instances where early projection or bucket
+// elimination stays polynomial, so a failure of the former is an
+// instruction to re-plan, not a property of the query.
+
+// Fallback is one rung of a degradation ladder: a plan construction to
+// try when the previous rung failed degradably.
+type Fallback struct {
+	// Name labels the rung in Stats.Attempts (typically the method name).
+	Name string
+	// Build constructs the rung's plan. It runs only if the rung is
+	// reached, so expensive plan construction is paid on demand.
+	Build func() (plan.Node, error)
+}
+
+// Attempt records one rung of an ExecResilient run.
+type Attempt struct {
+	// Method is the rung's label ("given" for the initial plan).
+	Method string
+	// Err is the failure, empty for the succeeding attempt. Plan
+	// construction failures are prefixed "plan: ".
+	Err string
+	// Elapsed, MaxRows and Bytes summarize how far the attempt got.
+	Elapsed time.Duration
+	MaxRows int
+	Bytes   int64
+}
+
+// Degradable reports whether an execution error warrants retrying with a
+// safer plan: resource exhaustion (ErrRowLimit, ErrMemLimit) and internal
+// faults (ErrInternal) do; timeouts and cancellations do not — the caller
+// asked the run to stop, and a safer method cannot un-expire a deadline.
+func Degradable(err error) bool {
+	return errors.Is(err, ErrRowLimit) || errors.Is(err, ErrMemLimit) || errors.Is(err, ErrInternal)
+}
+
+// ExecResilient evaluates the plan over db under opt, retrying down the
+// fallback ladder on degradable failures. The given plan runs first with
+// the given worker count; fallback rungs run sequentially (workers = 1) —
+// the safest configuration, with no worker pools to fault and the
+// smallest memory turnover. Every attempt gets a fresh byte budget and
+// timeout.
+//
+// The returned Result carries the succeeding attempt's stats, with
+// Stats.Attempts listing every rung tried in order. When every rung
+// fails, the last rung's result and error are returned (Attempts still
+// records the full history).
+func ExecResilient(ctx context.Context, n plan.Node, fallbacks []Fallback,
+	db cq.Database, opt Options, workers int) (*Result, error) {
+
+	var attempts []Attempt
+	try := func(name string, p plan.Node) (*Result, error) {
+		var res *Result
+		var err error
+		if workers > 1 && len(attempts) == 0 {
+			res, err = ExecParallelContext(ctx, p, db, opt, workers)
+		} else {
+			res, err = ExecContext(ctx, p, db, opt)
+		}
+		a := Attempt{
+			Method:  name,
+			Elapsed: res.Stats.Elapsed,
+			MaxRows: res.Stats.MaxRows,
+			Bytes:   res.Stats.Bytes,
+		}
+		if err != nil {
+			a.Err = err.Error()
+		}
+		attempts = append(attempts, a)
+		return res, err
+	}
+
+	res, err := try("given", n)
+	for _, fb := range fallbacks {
+		if err == nil || !Degradable(err) {
+			break
+		}
+		p, berr := fb.Build()
+		if berr != nil {
+			attempts = append(attempts, Attempt{Method: fb.Name, Err: "plan: " + berr.Error()})
+			continue
+		}
+		res, err = try(fb.Name, p)
+	}
+	if res != nil {
+		res.Stats.Attempts = attempts
+	}
+	return res, err
+}

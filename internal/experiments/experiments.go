@@ -11,8 +11,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -20,10 +23,12 @@ import (
 	"projpush/internal/core"
 	"projpush/internal/cq"
 	"projpush/internal/engine"
+	"projpush/internal/faultinject"
 	"projpush/internal/graph"
 	"projpush/internal/instance"
 	"projpush/internal/pgplanner"
 	"projpush/internal/plan"
+	"projpush/internal/resilience"
 	"projpush/internal/stats"
 )
 
@@ -39,6 +44,16 @@ type Config struct {
 	Timeout time.Duration
 	// MaxRows caps intermediate results as a memory guard (0 = none).
 	MaxRows int
+	// MaxBytes caps the bytes of relation storage each run may
+	// materialize (engine.Options.MaxBytes); 0 means no byte budget.
+	MaxBytes int64
+	// Resilient retries each structural-method run down the degradation
+	// ladder (engine.ExecResilient with resilience.DegradationLadder)
+	// when it fails on a resource limit or internal fault: the cell then
+	// measures the rescued run end to end instead of recording a
+	// failure. The naive baseline is never retried — its explosion is
+	// the quantity Figure 2 reports.
+	Resilient bool
 	// FreeFraction is the fraction of vertices kept free; 0 runs the
 	// Boolean variant (one projected variable), 0.2 the paper's
 	// non-Boolean variant.
@@ -105,6 +120,63 @@ type Cell struct {
 	// CacheHits and CacheMisses total the subplan-cache traffic of this
 	// cell's executions (zero when Config.Cache is nil).
 	CacheHits, CacheMisses int64
+	// Failures counts aborted repetitions by kind ("timeout", "rowcap",
+	// "membudget", "panic", "canceled", "generator", "error"); nil when
+	// every repetition succeeded. Failed repetitions also count into
+	// Sample.Timeouts, as the paper's plots lump every abort together.
+	Failures map[string]int
+}
+
+// fail annotates one aborted repetition on the cell.
+func (c *Cell) fail(kind string) {
+	if c.Failures == nil {
+		c.Failures = make(map[string]int)
+	}
+	c.Failures[kind]++
+	c.Sample.AddTimeout()
+}
+
+// annotation renders the cell's sample for the text report. The sample
+// itself lumps every abort into "(N timeouts)" the way the paper's plots
+// do; when a kind other than a plain timeout occurred, that note is
+// replaced with the per-kind breakdown from Failures.
+func (c *Cell) annotation() string {
+	s := c.Sample.String()
+	if len(c.Failures) == 0 || (len(c.Failures) == 1 && c.Failures["timeout"] > 0) {
+		return s
+	}
+	kinds := make([]string, 0, len(c.Failures))
+	for k := range c.Failures {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%d %s", c.Failures[k], k)
+	}
+	note := "(" + strings.Join(parts, ", ") + ")"
+	if i := strings.LastIndex(s, "("); i >= 0 {
+		return s[:i] + note
+	}
+	return s + " " + note
+}
+
+// failureKind classifies an execution error for Cell.Failures.
+func failureKind(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, engine.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, engine.ErrRowLimit):
+		return "rowcap"
+	case errors.Is(err, engine.ErrMemLimit):
+		return "membudget"
+	case errors.Is(err, engine.ErrInternal):
+		return "panic"
+	default:
+		return "error"
+	}
 }
 
 // Row is one x-coordinate of a figure with all method measurements.
@@ -175,7 +247,7 @@ func freeVars(g *graph.Graph, frac float64, rng *rand.Rand) []cq.Var {
 // execOptions translates a config into engine options, threading the
 // shared subplan cache through every measured execution.
 func (c Config) execOptions() engine.Options {
-	return engine.Options{Timeout: c.Timeout, MaxRows: c.MaxRows, Cache: c.Cache}
+	return engine.Options{Timeout: c.Timeout, MaxRows: c.MaxRows, MaxBytes: c.MaxBytes, Cache: c.Cache}
 }
 
 // outcome is one measurement: duration, plan width, cache traffic, and
@@ -197,7 +269,13 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 		return outcome{err: err}
 	}
 	w := plan.Analyze(p).Width
-	res, err := engine.Exec(p, db, cfg.execOptions())
+	var res *engine.Result
+	if cfg.Resilient {
+		res, err = engine.ExecResilient(context.Background(), p,
+			resilience.DegradationLadder(q, rng), db, cfg.execOptions(), 1)
+	} else {
+		res, err = engine.Exec(p, db, cfg.execOptions())
+	}
 	return outcome{d: time.Since(start), w: w,
 		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}
 }
@@ -259,21 +337,39 @@ func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Quer
 		row.Cells[offset+i].Method = string(m)
 	}
 
+	// A failing generator spoils only its own repetition: the rep's
+	// cells are annotated "generator" and the rest of the series runs.
+	// Aborting the whole sweep here used to throw away every completed
+	// point because one instance drew an empty graph.
 	type inst struct {
 		q  *cq.Query
 		db cq.Database
 	}
 	insts := make([]inst, cfg.Reps)
+	genErrs := make([]error, cfg.Reps)
 	for rep := 0; rep < cfg.Reps; rep++ {
 		rng := rand.New(rand.NewSource(repSeed(cfg, x, rep)))
 		q, db, err := gen(rep, rng)
 		if err != nil {
-			return row, err
+			genErrs[rep] = err
+			continue
 		}
 		insts[rep] = inst{q: q, db: db}
 	}
 
-	runCell := func(rep, ci int) outcome {
+	// A panicking measurement is recovered at the task boundary, so one
+	// pathological cell cannot take down the whole batch (or, with a
+	// worker pool, the process).
+	runCell := func(rep, ci int) (o outcome) {
+		if genErrs[rep] != nil {
+			return outcome{err: genErrs[rep]}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				o = outcome{err: fmt.Errorf("%w: experiment worker panic: %v", engine.ErrInternal, r)}
+			}
+		}()
+		faultinject.Panic(faultinject.PanicExperimentWorker)
 		rng := rand.New(rand.NewSource(cellSeed(cfg, x, rep, ci)))
 		in := insts[rep]
 		if cfg.IncludeNaive && ci == 0 {
@@ -320,7 +416,11 @@ func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Quer
 			cell.CacheHits += o.hits
 			cell.CacheMisses += o.misses
 			if o.err != nil {
-				cell.Sample.AddTimeout()
+				if genErrs[rep] != nil {
+					cell.fail("generator")
+				} else {
+					cell.fail(failureKind(o.err))
+				}
 				continue
 			}
 			cell.Sample.Add(o.d)
@@ -535,7 +635,7 @@ func Report(s *Series) string {
 	for _, r := range s.Rows {
 		line := []string{fmt.Sprintf("%g", r.X)}
 		for i := range r.Cells {
-			line = append(line, r.Cells[i].Sample.String())
+			line = append(line, r.Cells[i].annotation())
 		}
 		lines = append(lines, line)
 	}

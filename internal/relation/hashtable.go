@@ -218,6 +218,13 @@ func makeJoinTable(n int) joinTable {
 	}
 }
 
+// bytes approximates the table's resident memory: slot arrays plus chain
+// arrays at capacity. It is the join kernels' accounting unit for the
+// memory budget (Limit.MaxBytes).
+func (jt *joinTable) bytes() int64 {
+	return int64(len(jt.slotKey))*12 + int64(cap(jt.rowOf))*8
+}
+
 // insert prepends row to the chain of key.
 func (jt *joinTable) insert(key uint64, row int32) {
 	i := mix64(key) & jt.mask

@@ -1,9 +1,13 @@
 package relation
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"projpush/internal/faultinject"
 )
 
 // Limit bounds the work an operation may perform. The zero value imposes no
@@ -21,6 +25,22 @@ type Limit struct {
 	Deadline time.Time
 	// Work, if non-nil, is incremented by the number of tuples touched.
 	Work *int64
+	// Ctx, when non-nil, cancels the operation: kernels poll Ctx.Err()
+	// at the same cadence as the deadline check, so cancellation lands
+	// within a few thousand rows. A canceled operation fails with an
+	// error wrapping both ErrCanceled and the context's error.
+	Ctx context.Context
+	// MaxBytes caps the cumulative bytes of relation storage (tuple
+	// arenas plus dedup and join tables) materialized under this limit.
+	// 0 means unlimited. The byte budget is checked on every arena or
+	// table growth, so joins on pathological plans abort on allocation
+	// pressure before the row cap would fire.
+	MaxBytes int64
+	// Bytes, when non-nil, is the shared cumulative byte counter: one
+	// execution threads a single counter through every operator (and
+	// every partition-parallel worker), making MaxBytes a per-run
+	// budget rather than a per-operator one.
+	Bytes *atomic.Int64
 }
 
 // ErrRowLimit is returned when an operation would exceed Limit.MaxRows.
@@ -28,6 +48,12 @@ var ErrRowLimit = errors.New("relation: intermediate result exceeds row limit")
 
 // ErrDeadline is returned when an operation runs past Limit.Deadline.
 var ErrDeadline = errors.New("relation: deadline exceeded")
+
+// ErrCanceled is returned when Limit.Ctx is canceled mid-operation.
+var ErrCanceled = errors.New("relation: operation canceled")
+
+// ErrMemBudget is returned when an operation would exceed Limit.MaxBytes.
+var ErrMemBudget = errors.New("relation: intermediate results exceed memory budget")
 
 const deadlineCheckInterval = 4096
 
@@ -37,12 +63,58 @@ func (l *Limit) charge(n int64) {
 	}
 }
 
-func (l *Limit) expired() bool {
-	return l != nil && !l.Deadline.IsZero() && time.Now().After(l.Deadline)
+// interrupted reports why the operation must stop early: context
+// cancellation or deadline expiry. It returns nil to continue.
+func (l *Limit) interrupted() error {
+	if l == nil {
+		return nil
+	}
+	if l.Ctx != nil {
+		if err := l.Ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+	}
+	if !l.Deadline.IsZero() && time.Now().After(l.Deadline) {
+		return ErrDeadline
+	}
+	return nil
 }
 
 func (l *Limit) overRows(n int) bool {
 	return l != nil && l.MaxRows > 0 && n > l.MaxRows
+}
+
+// chargeBytes folds delta bytes into the budget counter and reports
+// whether the budget is exhausted.
+func (l *Limit) chargeBytes(delta int64) error {
+	if l == nil || l.MaxBytes <= 0 || delta <= 0 {
+		return nil
+	}
+	total := delta
+	if l.Bytes != nil {
+		total = l.Bytes.Add(delta)
+	}
+	if total > l.MaxBytes {
+		return ErrMemBudget
+	}
+	return nil
+}
+
+// chargeMem charges the growth of out's resident footprint since *last.
+// Callers keep one last-seen value per output relation; growth is zero on
+// most rows (arenas double), so the common case is three multiplications
+// and a compare.
+func (l *Limit) chargeMem(out *Relation, last *int64) error {
+	if l == nil || l.MaxBytes <= 0 {
+		return nil
+	}
+	b := out.Bytes()
+	delta := b - *last
+	if delta == 0 {
+		return nil
+	}
+	*last = b
+	return l.chargeBytes(delta)
 }
 
 // SharedAttrs returns the attributes common to r and o, in r's column order.
@@ -172,8 +244,12 @@ func Join(r, o *Relation) *Relation {
 // the larger one. This mirrors the paper's setup, which forced hash joins
 // in PostgreSQL.
 func JoinLimited(r, o *Relation, lim *Limit) (*Relation, error) {
-	if lim.expired() {
-		return nil, ErrDeadline
+	if err := lim.interrupted(); err != nil {
+		return nil, err
+	}
+	faultinject.Sleep(faultinject.LatencyKernel)
+	if faultinject.FailAlloc(faultinject.AllocJoin) {
+		return nil, fmt.Errorf("%w: injected allocation failure", ErrMemBudget)
 	}
 	spec := makeJoinSpec(r, o)
 	out := New(spec.outAttrs)
@@ -183,23 +259,37 @@ func JoinLimited(r, o *Relation, lim *Limit) (*Relation, error) {
 
 	jt := newJoinTable(spec.buildKeys())
 	lim.charge(int64(spec.build.n))
+	if err := lim.chargeBytes(jt.bytes()); err != nil {
+		return nil, err
+	}
 
+	// The interrupt check ticks on tuples touched, not probe rows: a
+	// high-fanout join can emit millions of rows from a handful of probe
+	// rows, and cancellation must land within a bounded amount of work.
 	probe := spec.probe
-	var touched int64
+	var touched, outBytes int64
+	nextCheck := int64(deadlineCheckInterval)
 	for pi := 0; pi < probe.n; pi++ {
-		if (pi+1)%deadlineCheckInterval == 0 && lim.expired() {
-			lim.charge(touched)
-			return nil, ErrDeadline
-		}
 		pt := probe.row(pi)
 		touched++
 		for e := jt.first(spec.pKey.key(pt)); e != 0; e = jt.next[e-1] {
 			bt := spec.build.row(int(jt.rowOf[e-1]))
 			touched++
+			if touched >= nextCheck {
+				nextCheck = touched + deadlineCheckInterval
+				if err := lim.interrupted(); err != nil {
+					lim.charge(touched)
+					return nil, err
+				}
+			}
 			if spec.needVerify && !spec.verifyMatch(pt, bt) {
 				continue
 			}
 			spec.emit(out, pt, bt)
+			if err := lim.chargeMem(out, &outBytes); err != nil {
+				lim.charge(touched)
+				return nil, err
+			}
 			if lim.overRows(out.n) {
 				lim.charge(touched)
 				return nil, ErrRowLimit
@@ -222,8 +312,12 @@ func Project(r *Relation, attrs []Attr) *Relation {
 
 // ProjectLimited is Project under lim.
 func ProjectLimited(r *Relation, attrs []Attr, lim *Limit) (*Relation, error) {
-	if lim.expired() {
-		return nil, ErrDeadline
+	if err := lim.interrupted(); err != nil {
+		return nil, err
+	}
+	faultinject.Sleep(faultinject.LatencyKernel)
+	if faultinject.FailAlloc(faultinject.AllocProject) {
+		return nil, fmt.Errorf("%w: injected allocation failure", ErrMemBudget)
 	}
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -235,9 +329,12 @@ func ProjectLimited(r *Relation, attrs []Attr, lim *Limit) (*Relation, error) {
 	}
 	out := New(attrs)
 	lim.charge(int64(r.n))
+	var outBytes int64
 	for n := 0; n < r.n; n++ {
-		if n%deadlineCheckInterval == deadlineCheckInterval-1 && lim.expired() {
-			return nil, ErrDeadline
+		if n%deadlineCheckInterval == deadlineCheckInterval-1 {
+			if err := lim.interrupted(); err != nil {
+				return nil, err
+			}
 		}
 		t := r.row(n)
 		row := out.stage()
@@ -245,6 +342,9 @@ func ProjectLimited(r *Relation, attrs []Attr, lim *Limit) (*Relation, error) {
 			row[i] = t[j]
 		}
 		out.commitStaged(row)
+		if err := lim.chargeMem(out, &outBytes); err != nil {
+			return nil, err
+		}
 		if lim.overRows(out.n) {
 			return nil, ErrRowLimit
 		}

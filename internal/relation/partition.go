@@ -3,6 +3,8 @@ package relation
 import (
 	"sync"
 	"sync/atomic"
+
+	"projpush/internal/faultinject"
 )
 
 // Partition-parallel hash join, two strategies:
@@ -52,8 +54,8 @@ func ParallelJoinLimited(r, o *Relation, lim *Limit, workers int) (*Relation, er
 	if workers < 2 || r.n+o.n < parallelJoinMinRows {
 		return JoinLimited(r, o, lim)
 	}
-	if lim.expired() {
-		return nil, ErrDeadline
+	if err := lim.interrupted(); err != nil {
+		return nil, err
 	}
 	spec := makeJoinSpec(r, o)
 	if len(spec.shared) == 0 || spec.build.n == 0 {
@@ -97,15 +99,26 @@ func ParallelJoinLimited(r, o *Relation, lim *Limit, workers int) (*Relation, er
 	if nworkers > nparts {
 		nworkers = nparts
 	}
+	werrs := make([]error, nworkers)
 	for w := 0; w < nworkers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// A panicking worker becomes a typed error and flips the
+			// shared abort flag, so its siblings drain instead of
+			// crashing the process.
+			defer func() {
+				if werrs[w] != nil {
+					aborted.Store(true)
+				}
+			}()
+			defer RecoverPanic(&werrs[w])
 			for {
 				p := int(nextPart.Add(1)) - 1
 				if p >= nparts || aborted.Load() {
 					return
 				}
+				faultinject.Panic(faultinject.PanicJoinWorker)
 				brows := bIdx[bStarts[p]:bStarts[p+1]]
 				prows := pIdx[pStarts[p]:pStarts[p+1]]
 				if len(brows) == 0 || len(prows) == 0 {
@@ -119,10 +132,15 @@ func ParallelJoinLimited(r, o *Relation, lim *Limit, workers int) (*Relation, er
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	lim.charge(work.Load())
+	for _, err := range werrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -137,6 +155,9 @@ func ParallelJoinLimited(r, o *Relation, lim *Limit, workers int) (*Relation, er
 // the package comment for why per-chunk dedup is globally correct.
 func chunkedJoin(spec *joinSpec, bKeys []uint64, lim *Limit, workers int) (*Relation, error) {
 	jt := newJoinTable(bKeys)
+	if err := lim.chargeBytes(jt.bytes()); err != nil {
+		return nil, err
+	}
 
 	nchunks := 4 * workers
 	if nchunks > maxPartitions {
@@ -157,15 +178,23 @@ func chunkedJoin(spec *joinSpec, bKeys []uint64, lim *Limit, workers int) (*Rela
 	if nworkers > nchunks {
 		nworkers = nchunks
 	}
+	werrs := make([]error, nworkers)
 	for w := 0; w < nworkers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if werrs[w] != nil {
+					aborted.Store(true)
+				}
+			}()
+			defer RecoverPanic(&werrs[w])
 			for {
 				c := int(nextChunk.Add(1)) - 1
 				if c >= nchunks || aborted.Load() {
 					return
 				}
+				faultinject.Panic(faultinject.PanicJoinWorker)
 				lo := c * per
 				hi := lo + per
 				if hi > spec.probe.n {
@@ -181,10 +210,15 @@ func chunkedJoin(spec *joinSpec, bKeys []uint64, lim *Limit, workers int) (*Rela
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	lim.charge(work.Load())
+	for _, err := range werrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -200,26 +234,31 @@ func joinChunk(spec *joinSpec, jt *joinTable, lo, hi int,
 	lim *Limit, totalRows, work *atomic.Int64, aborted *atomic.Bool) (*Relation, error) {
 
 	out := New(spec.outAttrs)
-	var touched int64
+	var touched, outBytes int64
+	nextCheck := int64(deadlineCheckInterval)
 	defer func() { work.Add(touched) }()
 	for i := lo; i < hi; i++ {
-		if (i-lo+1)%deadlineCheckInterval == 0 {
-			if aborted.Load() {
-				return out, nil
-			}
-			if lim.expired() {
-				return nil, ErrDeadline
-			}
-		}
 		pt := spec.probe.row(i)
 		touched++
 		for e := jt.first(spec.pKey.key(pt)); e != 0; e = jt.next[e-1] {
 			bt := spec.build.row(int(jt.rowOf[e-1]))
 			touched++
+			if touched >= nextCheck {
+				nextCheck = touched + deadlineCheckInterval
+				if aborted.Load() {
+					return out, nil
+				}
+				if err := lim.interrupted(); err != nil {
+					return nil, err
+				}
+			}
 			if spec.needVerify && !spec.verifyMatch(pt, bt) {
 				continue
 			}
 			if spec.emit(out, pt, bt) {
+				if err := lim.chargeMem(out, &outBytes); err != nil {
+					return nil, err
+				}
 				if lim != nil && lim.MaxRows > 0 && totalRows.Add(1) > int64(lim.MaxRows) {
 					return nil, ErrRowLimit
 				}
@@ -260,28 +299,36 @@ func joinPartition(spec *joinSpec, bKeys, pKeys []uint64, brows, prows []int32,
 	for _, bi := range brows {
 		jt.insert(bKeys[bi], bi)
 	}
+	if err := lim.chargeBytes(jt.bytes()); err != nil {
+		return nil, err
+	}
 
 	out := New(spec.outAttrs)
-	var touched int64
+	var touched, outBytes int64
+	nextCheck := int64(deadlineCheckInterval)
 	defer func() { work.Add(touched) }()
-	for n, pi := range prows {
-		if (n+1)%deadlineCheckInterval == 0 {
-			if aborted.Load() {
-				return out, nil
-			}
-			if lim.expired() {
-				return nil, ErrDeadline
-			}
-		}
+	for _, pi := range prows {
 		pt := spec.probe.row(int(pi))
 		touched++
 		for e := jt.first(pKeys[pi]); e != 0; e = jt.next[e-1] {
 			bt := spec.build.row(int(jt.rowOf[e-1]))
 			touched++
+			if touched >= nextCheck {
+				nextCheck = touched + deadlineCheckInterval
+				if aborted.Load() {
+					return out, nil
+				}
+				if err := lim.interrupted(); err != nil {
+					return nil, err
+				}
+			}
 			if spec.needVerify && !spec.verifyMatch(pt, bt) {
 				continue
 			}
 			if spec.emit(out, pt, bt) {
+				if err := lim.chargeMem(out, &outBytes); err != nil {
+					return nil, err
+				}
 				if lim != nil && lim.MaxRows > 0 && totalRows.Add(1) > int64(lim.MaxRows) {
 					return nil, ErrRowLimit
 				}

@@ -42,6 +42,17 @@ func NewStreamTable(arity int, keyPos []int) *StreamTable {
 // Len returns the number of inserted rows.
 func (st *StreamTable) Len() int { return st.n }
 
+// Bytes approximates the table's resident memory: the tuple arena, the
+// per-row keys, and the probe structure once built. It is the iterator
+// engine's accounting unit for the memory budget.
+func (st *StreamTable) Bytes() int64 {
+	b := int64(cap(st.data))*4 + int64(cap(st.keys))*8
+	if st.built {
+		b += st.jt.bytes()
+	}
+	return b
+}
+
 // Row returns stored row i. The caller must not modify it.
 func (st *StreamTable) Row(i int) Tuple {
 	return st.data[i*st.arity : (i+1)*st.arity]

@@ -1,0 +1,38 @@
+// Package resilience connects the paper's plan-construction methods
+// (package core) to the engine's degradation ladder
+// (engine.ExecResilient). It lives outside both packages so that core
+// stays a pure plan library and engine stays method-agnostic.
+package resilience
+
+import (
+	"math/rand"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/plan"
+)
+
+// DegradationLadder returns the fallback ladder for engine.ExecResilient:
+// the paper's methods ordered from cheapest re-plan to most robust. A
+// plan that blows the row cap or memory budget is almost always a
+// projection-pushing failure — the straightforward method's intermediates
+// are exponential exactly where early projection (Section 4) and bucket
+// elimination (Section 5) stay polynomial in the treewidth — so retrying
+// down this ladder turns a resource abort into the answer the safer
+// method would have produced all along.
+//
+// rng seeds the bucket-elimination tie-breaking (nil is deterministic);
+// plans are constructed lazily, only if their rung is reached.
+func DegradationLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {
+	return []engine.Fallback{
+		{
+			Name:  string(core.MethodEarlyProjection),
+			Build: func() (plan.Node, error) { return core.EarlyProjection(q) },
+		},
+		{
+			Name:  string(core.MethodBucketElimination),
+			Build: func() (plan.Node, error) { return core.BucketElimination(q, rng) },
+		},
+	}
+}

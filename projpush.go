@@ -31,6 +31,7 @@
 package projpush
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -48,6 +49,7 @@ import (
 	"projpush/internal/pgplanner"
 	"projpush/internal/plan"
 	"projpush/internal/relation"
+	"projpush/internal/resilience"
 	"projpush/internal/sqlgen"
 	"projpush/internal/sqlparse"
 )
@@ -195,9 +197,70 @@ func PlanWidth(p Plan) int { return plan.Analyze(p).Width }
 // ExecOptions bounds an execution.
 type ExecOptions = engine.Options
 
+// Execution failure sentinels. Every executor reports resource aborts
+// through these (test with errors.Is); ErrTimeout and ErrCanceled also
+// match context.DeadlineExceeded and context.Canceled respectively, so
+// engine failures compose with standard context plumbing.
+var (
+	// ErrTimeout: the ExecOptions.Timeout or a context deadline expired.
+	ErrTimeout = engine.ErrTimeout
+	// ErrCanceled: the context passed to a *Context entry point was
+	// canceled.
+	ErrCanceled = engine.ErrCanceled
+	// ErrRowLimit: an intermediate result exceeded ExecOptions.MaxRows.
+	ErrRowLimit = engine.ErrRowLimit
+	// ErrMemLimit: materialized bytes exceeded ExecOptions.MaxBytes.
+	ErrMemLimit = engine.ErrMemLimit
+	// ErrInternal: a panic inside an execution worker, isolated and
+	// surfaced as an error (with the stack in the message).
+	ErrInternal = engine.ErrInternal
+)
+
 // Execute runs a plan over a database.
 func Execute(p Plan, db Database, opt ExecOptions) (*Result, error) {
 	return engine.Exec(p, db, opt)
+}
+
+// ExecuteContext is Execute with cancellation: the run aborts promptly
+// (mid-join) when ctx is canceled or its deadline expires.
+func ExecuteContext(ctx context.Context, p Plan, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecContext(ctx, p, db, opt)
+}
+
+// ExecuteParallel runs a plan with up to workers goroutines spent on
+// independent subtrees and partition-parallel joins; results and stats
+// are identical to Execute.
+func ExecuteParallel(p Plan, db Database, opt ExecOptions, workers int) (*Result, error) {
+	return engine.ExecParallel(p, db, opt, workers)
+}
+
+// ExecuteParallelContext is ExecuteParallel with cancellation; a failure
+// in any subtree cancels its siblings.
+func ExecuteParallelContext(ctx context.Context, p Plan, db Database, opt ExecOptions, workers int) (*Result, error) {
+	return engine.ExecParallelContext(ctx, p, db, opt, workers)
+}
+
+// Fallback is one rung of an ExecuteResilient degradation ladder.
+type Fallback = engine.Fallback
+
+// Attempt records one rung tried by ExecuteResilient (Stats.Attempts).
+type Attempt = engine.Attempt
+
+// DegradationLadder is the standard fallback ladder for a query: early
+// projection, then bucket elimination — the paper's methods ordered from
+// cheapest re-plan to most robust. rng drives bucket elimination's
+// tie-breaking; nil is deterministic.
+func DegradationLadder(q *Query, rng *rand.Rand) []Fallback {
+	return resilience.DegradationLadder(q, rng)
+}
+
+// ExecuteResilient runs a plan and, when it fails on a resource limit
+// (ErrRowLimit, ErrMemLimit) or an internal fault (ErrInternal), retries
+// down the fallback ladder instead of giving up; Stats.Attempts on the
+// returned result records every rung tried. Timeouts and cancellations
+// are not retried.
+func ExecuteResilient(ctx context.Context, p Plan, fallbacks []Fallback, db Database, opt ExecOptions, workers int) (*Result, error) {
+	return engine.ExecResilient(ctx, p, fallbacks, db, opt, workers)
 }
 
 // Run is the one-call path: build the method's plan and execute it.
@@ -310,6 +373,12 @@ func Explain(p Plan, db Database, opt ExecOptions, analyze bool) (string, error)
 // (PostgreSQL's execution model); results are identical to Execute.
 func ExecuteIterator(p Plan, db Database, opt ExecOptions) (*Result, error) {
 	return engine.ExecIterator(p, db, opt)
+}
+
+// ExecuteIteratorContext is ExecuteIterator with cancellation, checked
+// between iterator ticks.
+func ExecuteIteratorContext(ctx context.Context, p Plan, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecIteratorContext(ctx, p, db, opt)
 }
 
 // CQFile is a parsed query+database text file (Datalog-flavoured; see
