@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-json fuzz experiments clean
+.PHONY: all build vet test chaos bench bench-json fuzz experiments clean
 
 all: build vet test
 
@@ -13,7 +13,12 @@ vet:
 
 test:
 	go test ./...
-	go test -race ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner
+	go test -race ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner ./internal/server/...
+
+# The serving-layer acceptance drill: concurrent retrying clients vs a
+# server with network + engine faults injected, under the race detector.
+chaos:
+	go test -race -run '^TestChaosDrill$$' -timeout 30s -count=1 -v ./internal/server
 
 # One iteration per benchmark: regenerates every figure series quickly.
 bench:

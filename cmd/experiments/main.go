@@ -37,6 +37,7 @@ func main() {
 		cache     = flag.Bool("cache", false, "share a subplan result cache across all measured executions")
 		cachemb   = flag.Int("cachemb", 0, "subplan cache budget in MiB (0 = engine default); implies -cache")
 		membudget = flag.Int("membudget", 0, "per-run materialized-bytes budget in MiB (0 = unlimited); runs that blow it are annotated 'membudget'")
+		maxwidth  = flag.Int("maxwidth", 0, "width-admission cap (0 = off); plans wider than this are rejected before executing and annotated 'overwidth'")
 		resilient = flag.Bool("resilient", false, "retry resource-aborted runs down the degradation ladder (early projection, then bucket elimination) instead of annotating them as failures")
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,experiment.panic=0.1' (see internal/faultinject); for robustness drills")
 		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
@@ -65,6 +66,7 @@ func main() {
 	base := experiments.Config{
 		Seed: *seed, Reps: *reps, Timeout: *timeout, Workers: *workers,
 		MaxBytes: int64(*membudget) << 20, Resilient: *resilient,
+		MaxWidth: *maxwidth,
 	}
 	if *cache || *cachemb > 0 {
 		base.Cache = engine.NewCache(int64(*cachemb) << 20)

@@ -1,0 +1,164 @@
+// Command loadgen drives a projpushd server with concurrent clients and
+// reports the outcome mix and latency tail — the companion drill tool
+// for the serving layer. Each client retries retryable outcomes (shed,
+// timeout, internal, torn connections) with jittered backoff and counts
+// terminal ones (over-width, parse, resource) as final.
+//
+//	loadgen -addr 127.0.0.1:7433 -clients 8 -requests 50 -family augpath -order 6
+//	loadgen -addr 127.0.0.1:7433 -queryfile q.cq -clients 4
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"projpush/internal/cqparse"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/server"
+	"projpush/internal/server/client"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7433", "projpushd address")
+		clients   = flag.Int("clients", 4, "concurrent clients")
+		requests  = flag.Int("requests", 25, "requests per client")
+		method    = flag.String("method", "", "optimization method (empty = server default)")
+		family    = flag.String("family", "augpath", "generated 3-COLOR family: augpath, ladder, augladder, cycle")
+		order     = flag.Int("order", 6, "family order of the generated query")
+		queryFile = flag.String("queryfile", "", "send this cqparse file verbatim instead of generating queries")
+		seed      = flag.Int64("seed", 1, "seed for client jitter and per-request family orders")
+		retries   = flag.Int("retries", 4, "max retries per request")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request attempt timeout")
+	)
+	flag.Parse()
+
+	queries, err := buildQueries(*queryFile, *family, *order)
+	if err != nil {
+		fatal(err)
+	}
+
+	type result struct {
+		status  string
+		latency time.Duration
+	}
+	results := make([][]result, *clients)
+	var attempts int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < *clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := client.New(client.Options{
+				Addr:           *addr,
+				MaxRetries:     *retries,
+				AttemptTimeout: *timeout,
+				Seed:           *seed + int64(ci),
+			})
+			rng := rand.New(rand.NewSource(*seed + int64(ci)*7919))
+			for r := 0; r < *requests; r++ {
+				q := queries[rng.Intn(len(queries))]
+				t0 := time.Now()
+				resp, err := c.Query(context.Background(), q, *method)
+				lat := time.Since(t0)
+				status := "transport_error"
+				if resp != nil {
+					status = string(resp.Status)
+				} else if err == nil {
+					status = string(server.StatusOK)
+				}
+				results[ci] = append(results[ci], result{status: status, latency: lat})
+			}
+			mu.Lock()
+			attempts += c.Attempts()
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []result
+	for _, rs := range results {
+		all = append(all, rs...)
+	}
+	counts := make(map[string]int)
+	lats := make([]time.Duration, 0, len(all))
+	for _, r := range all {
+		counts[r.status]++
+		lats = append(lats, r.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Printf("loadgen: %d requests (%d round trips incl. retries) in %v, %.1f req/s\n",
+		len(all), attempts, elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	statuses := make([]string, 0, len(counts))
+	for s := range counts {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Printf("  %-16s %d\n", s, counts[s])
+	}
+	fmt.Printf("latency p50=%v p95=%v max=%v\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+}
+
+// buildQueries returns the request texts: the query file verbatim, or a
+// few 3-COLOR instances of the family around the requested order (the
+// server is expected to hold the k-COLOR edge database).
+func buildQueries(path, family string, order int) ([]string, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return []string{string(data)}, nil
+	}
+	var queries []string
+	for _, n := range []int{order, order + 1, order + 2} {
+		var g *graph.Graph
+		switch family {
+		case "augpath":
+			g = graph.AugmentedPath(n)
+		case "ladder":
+			g = graph.Ladder(n)
+		case "augladder":
+			g = graph.AugmentedLadder(n)
+		case "cycle":
+			g = graph.Cycle(n)
+		default:
+			return nil, fmt.Errorf("unknown family %q", family)
+		}
+		q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := cqparse.WriteQuery(&buf, q); err != nil {
+			return nil, err
+		}
+		queries = append(queries, buf.String())
+	}
+	return queries, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

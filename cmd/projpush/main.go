@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -22,11 +23,13 @@ import (
 	"projpush/internal/cq"
 	"projpush/internal/cqparse"
 	"projpush/internal/engine"
+	"projpush/internal/faultinject"
 	"projpush/internal/graph"
 	"projpush/internal/instance"
 	"projpush/internal/pgplanner"
 	"projpush/internal/plan"
 	"projpush/internal/resilience"
+	"projpush/internal/server/client"
 	"projpush/internal/sqlgen"
 	"projpush/internal/workload"
 )
@@ -54,8 +57,18 @@ func main() {
 		suiteFile = flag.String("suite", "", "run every instance of a JSON workload suite (see -emitsuite)")
 		emitSuite = flag.Float64("emitsuite", 0, "print the paper's workload suite at the given scale as JSON and exit")
 		emitQuery = flag.Bool("emitquery", false, "print the generated instance as a query file (the -query format) and exit")
+		connect   = flag.String("connect", "", "send the instance to a projpushd server at this address instead of executing locally")
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,kernel.latency=500us:0.1' (see internal/faultinject); for robustness drills")
+		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultinject.Enable(*faults, *faultseed); err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		defer faultinject.Disable()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -149,6 +162,10 @@ func main() {
 		}
 		return
 	}
+	if *connect != "" {
+		runRemote(*connect, q, db, core.Method(*method), *timeout)
+		return
+	}
 	if *analyze {
 		rep, err := core.AnalyzeStructure(q)
 		if err != nil {
@@ -228,6 +245,44 @@ func execute(p plan.Node, q *cq.Query, db cq.Database, opt engine.Options, resil
 		}
 	}
 	return res, err
+}
+
+// runRemote ships the instance (database and query) to a projpushd
+// server and reports its verdict: the request carries the full cqparse
+// rendering, so the server answers over these relations even when its
+// resident database differs.
+func runRemote(addr string, q *cq.Query, db cq.Database, m core.Method, timeout time.Duration) {
+	var buf bytes.Buffer
+	if err := cqparse.Write(&buf, db, q); err != nil {
+		fatal(err)
+	}
+	c := client.New(client.Options{Addr: addr, AttemptTimeout: timeout})
+	resp, err := c.Query(context.Background(), buf.String(), string(m))
+	if err != nil {
+		if resp != nil && resp.Verdict != nil {
+			v := resp.Verdict
+			fmt.Fprintf(os.Stderr, "verdict: plan width %d, elimination width %d, AGM log2 %.1f (thresholds: width %d, AGM log2 %.1f)\n",
+				v.PlanWidth, v.ElimWidth, v.AGMLog2, v.MaxWidth, v.MaxAGMLog2)
+		}
+		fatal(fmt.Errorf("%s after %d attempt(s): %w", addr, c.Attempts(), err))
+	}
+	answer := "EMPTY"
+	if resp.Answer != nil && resp.Answer.Nonempty {
+		answer = fmt.Sprintf("NONEMPTY (%d tuples)", resp.Answer.Rows)
+	}
+	status := string(resp.Status)
+	if resp.Stats != nil {
+		fmt.Printf("%-18s status=%-9s time=%-12v maxrows=%-8d tuples=%-9d joins=%-3d %s\n",
+			m, status, time.Duration(resp.Stats.ElapsedUS)*time.Microsecond,
+			resp.Stats.MaxRows, resp.Stats.Tuples, resp.Stats.Joins, answer)
+		for _, a := range resp.Stats.Attempts {
+			if a.Err != "" {
+				fmt.Fprintf(os.Stderr, "degraded: %s failed: %s\n", a.Method, a.Err)
+			}
+		}
+	} else {
+		fmt.Printf("%-18s status=%-9s %s\n", m, status, answer)
+	}
 }
 
 // runSuite executes every spec of a workload suite under the chosen

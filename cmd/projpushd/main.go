@@ -1,0 +1,154 @@
+// Command projpushd serves project-join queries over TCP: a hardened,
+// long-running front end to the projpush engine with width-aware
+// admission control, load shedding, per-method circuit breakers, and a
+// graceful SIGTERM drain.
+//
+//	projpushd -addr :7433 -colors 3 -maxwidth 6 -concurrency 8
+//	projpushd -addr :7433 -db instance.cq -method bucketelimination -log requests.log
+//
+// Clients speak the length-prefixed JSON protocol of internal/server;
+// cmd/loadgen drives it under load, and `projpush -connect` sends a
+// single generated instance.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/engine"
+	"projpush/internal/faultinject"
+	"projpush/internal/instance"
+	"projpush/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7433", "TCP listen address")
+		dbFile      = flag.String("db", "", "serve this cqparse database (rel blocks; any query clause is ignored as a sample)")
+		colors      = flag.Int("colors", 3, "with no -db, serve the k-COLOR edge database for this k")
+		method      = flag.String("method", string(core.MethodBucketElimination), "default optimization method")
+		maxWidth    = flag.Int("maxwidth", 0, "admission threshold on predicted plan width (0 = off)")
+		maxAGM      = flag.Float64("maxagm", 0, "admission threshold on the AGM output bound, in log2 rows (0 = off)")
+		concurrency = flag.Int("concurrency", 4, "concurrently executing requests")
+		queue       = flag.Int("queue", 0, "bounded wait queue ahead of the executors (0 = 2x concurrency)")
+		queueWait   = flag.Duration("queuewait", time.Second, "max time a request may queue before being shed")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request execution deadline")
+		maxRows     = flag.Int("maxrows", 10_000_000, "intermediate row cap per request (0 = unlimited)")
+		membudget   = flag.Int("membudget", 256, "materialized-bytes budget per request in MiB (0 = unlimited)")
+		workers     = flag.Int("workers", 1, "executor workers per request")
+		resilient   = flag.Bool("resilient", true, "degrade failed runs down the method ladder instead of failing them")
+		brkN        = flag.Int("breaker", 3, "consecutive internal/memory failures that trip a method's circuit breaker (-1 disables)")
+		brkCool     = flag.Duration("breakercooldown", 5*time.Second, "open-breaker cooldown before a half-open trial")
+		drain       = flag.Duration("drain", 15*time.Second, "SIGTERM drain deadline for in-flight requests")
+		cachemb     = flag.Int("cachemb", 0, "shared subplan cache budget in MiB (0 = no cache)")
+		logFile     = flag.String("log", "", "append structured per-request JSON logs here (default stderr; 'none' disables)")
+		faults      = flag.String("faults", "", "fault-injection spec for chaos drills, e.g. 'conn.drop=0.05,join.panic=0.02' (see internal/faultinject)")
+		faultseed   = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
+	)
+	flag.Parse()
+
+	if *faults != "" {
+		if err := faultinject.Enable(*faults, *faultseed); err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		defer faultinject.Disable()
+	}
+
+	db, err := loadDB(*dbFile, *colors)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := server.Config{
+		DB:               db,
+		Method:           core.Method(*method),
+		MaxWidth:         *maxWidth,
+		MaxAGMLog2:       *maxAGM,
+		MaxConcurrent:    *concurrency,
+		MaxQueue:         *queue,
+		QueueWait:        *queueWait,
+		RequestTimeout:   *timeout,
+		MaxRows:          *maxRows,
+		MaxBytes:         int64(*membudget) << 20,
+		Workers:          *workers,
+		Resilient:        *resilient,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCool,
+	}
+	if *cachemb > 0 {
+		cfg.Cache = engine.NewCache(int64(*cachemb) << 20)
+	}
+	switch *logFile {
+	case "":
+		cfg.Log = os.Stderr
+	case "none":
+	default:
+		f, err := os.OpenFile(*logFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Log = f
+	}
+
+	srv := server.New(cfg)
+	if err := srv.Listen(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "projpushd: serving %d relations on %s (method=%s maxwidth=%d concurrency=%d)\n",
+		len(db), srv.Addr(), *method, *maxWidth, *concurrency)
+
+	// SIGTERM/SIGINT: readiness flips false, the listener closes,
+	// in-flight requests drain under the deadline.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "projpushd: %v, draining (deadline %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+		<-done
+		fmt.Fprintln(os.Stderr, "projpushd: drained cleanly")
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// loadDB builds the served database: a cqparse file's rel blocks, or the
+// k-COLOR edge database.
+func loadDB(path string, colors int) (cq.Database, error) {
+	if path == "" {
+		return instance.ColorDatabase(colors), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	parsed, err := cqparse.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return parsed.DB, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "projpushd:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,16 @@ type File struct {
 
 // Parse reads the whole format from r.
 func Parse(r io.Reader) (*File, error) {
+	return ParseWith(r, nil)
+}
+
+// ParseWith is Parse against a base database: the query is validated
+// over the union of the file's own rel blocks and base, with file-local
+// relations shadowing base relations of the same name. It serves query
+// service requests, which typically carry only a query clause to be
+// answered over the server-resident database; base relations referenced
+// by the query are shared into the returned File's DB, not copied.
+func ParseWith(r io.Reader, base cq.Database) (*File, error) {
 	p := &parser{
 		sc: bufio.NewScanner(r),
 		f: &File{
@@ -69,6 +79,11 @@ func Parse(r io.Reader) (*File, error) {
 	}
 	if p.f.Query == nil {
 		return nil, fmt.Errorf("cqparse: no query clause")
+	}
+	for name, rel := range base {
+		if _, shadowed := p.f.DB[name]; !shadowed {
+			p.f.DB[name] = rel
+		}
 	}
 	if err := p.f.Query.Validate(p.f.DB); err != nil {
 		return nil, fmt.Errorf("cqparse: %w", err)
@@ -286,6 +301,13 @@ func Write(w io.Writer, db cq.Database, q *cq.Query) error {
 			return err
 		}
 	}
+	return WriteQuery(w, q)
+}
+
+// WriteQuery serializes only the query clause, without any rel blocks —
+// the shape of a query service request answered over a database the
+// server already holds. Variable names are rendered as x<id>.
+func WriteQuery(w io.Writer, q *cq.Query) error {
 	head := make([]string, len(q.Free))
 	for i, v := range q.Free {
 		head[i] = fmt.Sprintf("x%d", v)

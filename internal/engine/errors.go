@@ -60,6 +60,21 @@ var ErrMemLimit = errors.New("engine: execution exceeds memory budget")
 // carries the panicking goroutine's stack.
 var ErrInternal = errors.New("engine: internal execution fault")
 
+// ErrOverWidth is returned when width-aware admission control rejects a
+// query before execution: its predicted intermediate arity (plan width)
+// or AGM output bound exceeds the configured threshold. The paper's
+// Theorems 1–2 make this a static predictor — treewidth+1 bounds the
+// achievable arity — so rejection costs plan construction only, never a
+// materialized intermediate. Terminal: retrying the same query cannot
+// change its width.
+var ErrOverWidth = errors.New("engine: query exceeds admission width threshold")
+
+// ErrOverloaded is returned when a request is shed by a concurrency
+// limiter: every execution slot is busy and the bounded wait queue is
+// full (or the queue wait expired). Retryable: the same query is
+// admissible once load subsides.
+var ErrOverloaded = errors.New("engine: request shed under load")
+
 // classifyErr converts a relation-layer failure into the engine's
 // sentinel errors. It is the shared error path of Exec, ExecParallel and
 // ExecIterator; errors it does not recognize pass through unchanged.

@@ -47,6 +47,13 @@ type Config struct {
 	// MaxBytes caps the bytes of relation storage each run may
 	// materialize (engine.Options.MaxBytes); 0 means no byte budget.
 	MaxBytes int64
+	// MaxWidth, when positive, is a width-admission cap mirroring the
+	// serving layer (internal/server): a method whose plan width
+	// exceeds it is rejected before execution with engine.ErrOverWidth
+	// and counted as "overwidth" in Cell.Failures — rejected at
+	// admission, with nothing materialized, as opposed to the kinds
+	// that abort mid-execution.
+	MaxWidth int
 	// Resilient retries each structural-method run down the degradation
 	// ladder (engine.ExecResilient with resilience.DegradationLadder)
 	// when it fails on a resource limit or internal fault: the cell then
@@ -120,11 +127,30 @@ type Cell struct {
 	// CacheHits and CacheMisses total the subplan-cache traffic of this
 	// cell's executions (zero when Config.Cache is nil).
 	CacheHits, CacheMisses int64
-	// Failures counts aborted repetitions by kind ("timeout", "rowcap",
-	// "membudget", "panic", "canceled", "generator", "error"); nil when
-	// every repetition succeeded. Failed repetitions also count into
+	// Failures counts failed repetitions by kind; nil when every
+	// repetition succeeded. Admission verdicts ("overwidth", "shed")
+	// mean the run was rejected before executing; the rest ("timeout",
+	// "rowcap", "membudget", "panic", "canceled", "generator", "error")
+	// aborted mid-execution. Failed repetitions also count into
 	// Sample.Timeouts, as the paper's plots lump every abort together.
 	Failures map[string]int
+}
+
+// rejected counts the repetitions turned away at admission, before any
+// intermediate was materialized.
+func (c *Cell) rejected() int {
+	return c.Failures["overwidth"] + c.Failures["shed"]
+}
+
+// aborted counts the repetitions that started executing and failed.
+func (c *Cell) aborted() int {
+	n := 0
+	for k, v := range c.Failures {
+		if k != "overwidth" && k != "shed" {
+			n += v
+		}
+	}
+	return n
 }
 
 // fail annotates one aborted repetition on the cell.
@@ -174,6 +200,10 @@ func failureKind(err error) string {
 		return "membudget"
 	case errors.Is(err, engine.ErrInternal):
 		return "panic"
+	case errors.Is(err, engine.ErrOverWidth):
+		return "overwidth"
+	case errors.Is(err, engine.ErrOverloaded):
+		return "shed"
 	default:
 		return "error"
 	}
@@ -269,6 +299,10 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 		return outcome{err: err}
 	}
 	w := plan.Analyze(p).Width
+	if cfg.MaxWidth > 0 && w > cfg.MaxWidth {
+		return outcome{w: w, err: fmt.Errorf("%w: plan width %d over admission cap %d",
+			engine.ErrOverWidth, w, cfg.MaxWidth)}
+	}
 	var res *engine.Result
 	if cfg.Resilient {
 		res, err = engine.ExecResilient(context.Background(), p,
@@ -296,6 +330,10 @@ func measureNaive(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outco
 		return outcome{err: err}
 	}
 	w := plan.Analyze(p).Width
+	if cfg.MaxWidth > 0 && w > cfg.MaxWidth {
+		return outcome{w: w, err: fmt.Errorf("%w: plan width %d over admission cap %d",
+			engine.ErrOverWidth, w, cfg.MaxWidth)}
+	}
 	er, err := engine.Exec(p, db, cfg.execOptions())
 	return outcome{d: time.Since(start), w: w,
 		hits: er.Stats.CacheHits, misses: er.Stats.CacheMisses, err: err}
@@ -655,11 +693,28 @@ func Report(s *Series) string {
 	return b.String()
 }
 
+// hasFailures reports whether any cell of the series recorded a failed
+// repetition — the trigger for the CSV failure columns.
+func hasFailures(s *Series) bool {
+	for _, r := range s.Rows {
+		for i := range r.Cells {
+			if len(r.Cells[i].Failures) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // CSV renders a series as comma-separated values: one row per x with a
 // median-seconds column per method (empty for timeouts) — the format for
 // external plotting tools. A sweep run with a subplan cache additionally
-// gets <method>_cache_hits and <method>_cache_misses columns.
+// gets <method>_cache_hits and <method>_cache_misses columns, and a
+// sweep with any failed repetition gets <method>_rejected (turned away
+// at admission: over-width, shed) and <method>_aborted (failed
+// mid-execution) columns.
 func CSV(s *Series) string {
+	failures := hasFailures(s)
 	var b strings.Builder
 	b.WriteString(s.XLabel)
 	if len(s.Rows) > 0 {
@@ -670,6 +725,11 @@ func CSV(s *Series) string {
 		if s.Cache {
 			for _, c := range s.Rows[0].Cells {
 				fmt.Fprintf(&b, ",%s_cache_hits,%s_cache_misses", c.Method, c.Method)
+			}
+		}
+		if failures {
+			for _, c := range s.Rows[0].Cells {
+				fmt.Fprintf(&b, ",%s_rejected,%s_aborted", c.Method, c.Method)
 			}
 		}
 	}
@@ -685,6 +745,11 @@ func CSV(s *Series) string {
 		if s.Cache {
 			for i := range r.Cells {
 				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].CacheHits, r.Cells[i].CacheMisses)
+			}
+		}
+		if failures {
+			for i := range r.Cells {
+				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].rejected(), r.Cells[i].aborted())
 			}
 		}
 		b.WriteString("\n")

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -142,5 +143,65 @@ func TestResilientSweepRescuesBudgetFailures(t *testing.T) {
 	}
 	if got := len(rc.Sample.Durations); got != cfg.withDefaults().Reps {
 		t.Fatalf("resilient sweep measured %d reps, want %d", got, cfg.withDefaults().Reps)
+	}
+}
+
+// TestFailureKindAdmissionVerdicts pins the classification of the
+// serving layer's admission sentinels: rejected-at-admission kinds get
+// their own annotations, distinct from mid-execution aborts.
+func TestFailureKindAdmissionVerdicts(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{engine.ErrOverWidth, "overwidth"},
+		{engine.ErrOverloaded, "shed"},
+		{fmt.Errorf("wrapped: %w", engine.ErrOverWidth), "overwidth"},
+		{engine.ErrRowLimit, "rowcap"},
+		{engine.ErrMemLimit, "membudget"},
+	}
+	for _, c := range cases {
+		if got := failureKind(c.err); got != c.want {
+			t.Errorf("failureKind(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestAdmissionCapRejectsBeforeExecuting sweeps with a width cap no
+// method can meet: every repetition is annotated "overwidth", the cell
+// counts it as rejected (not aborted), and the CSV grows the
+// rejected/aborted breakdown columns.
+func TestAdmissionCapRejectsBeforeExecuting(t *testing.T) {
+	cfg := robustConfig()
+	cfg.Methods = []core.Method{core.MethodBucketElimination}
+	cfg.MaxWidth = 1 // even a single join's output is wider
+	s, err := StructuredScaling(cfg, FamilyAugmentedLadder, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := s.Rows[0].Cells[0]
+	if got := cell.Failures["overwidth"]; got != cfg.withDefaults().Reps {
+		t.Fatalf("overwidth failures = %d (of %v), want every rep", got, cell.Failures)
+	}
+	if cell.rejected() == 0 || cell.aborted() != 0 {
+		t.Fatalf("rejected=%d aborted=%d, want all rejected", cell.rejected(), cell.aborted())
+	}
+	if len(cell.Sample.Durations) != 0 {
+		t.Fatal("rejected repetitions must not record execution durations")
+	}
+	if ann := cell.annotation(); !strings.Contains(ann, "overwidth") {
+		t.Fatalf("annotation %q lacks the overwidth breakdown", ann)
+	}
+	csv := CSV(s)
+	if !strings.Contains(csv, "_rejected") || !strings.Contains(csv, "_aborted") {
+		t.Fatalf("CSV of a sweep with admission rejections lacks breakdown columns:\n%s", csv)
+	}
+	// A clean sweep must not grow the columns (header stability).
+	clean, err := StructuredScaling(robustConfig(), FamilyAugmentedPath, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := CSV(clean); strings.Contains(out, "_rejected") {
+		t.Fatalf("clean sweep CSV grew failure columns:\n%s", out)
 	}
 }

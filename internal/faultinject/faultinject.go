@@ -41,6 +41,18 @@ const (
 	// PanicExperimentWorker panics inside the experiments measurement
 	// pool.
 	PanicExperimentWorker
+	// AcceptFail fails a just-accepted server connection: the listener
+	// drops it before a single byte is served, as a dying peer or an
+	// exhausted accept queue would.
+	AcceptFail
+	// ConnDrop severs a server connection mid-response: the write is
+	// abandoned and the socket closed, so clients see a torn frame or an
+	// unexpected EOF.
+	ConnDrop
+	// SlowWrite tears a server response in two: the first half of the
+	// frame is written, the configured latency elapses, then the rest
+	// follows — exercising client read loops and tail-latency bounds.
+	SlowWrite
 
 	numPoints
 )
@@ -52,6 +64,9 @@ var pointNames = [numPoints]string{
 	PanicJoinWorker:       "join.panic",
 	PanicSubtreeWorker:    "subtree.panic",
 	PanicExperimentWorker: "experiment.panic",
+	AcceptFail:            "accept.fail",
+	ConnDrop:              "conn.drop",
+	SlowWrite:             "write.slow",
 }
 
 // String returns the spec name of the point.
@@ -192,4 +207,12 @@ func Sleep(p Point) {
 	if s, ok := fire(p); ok && s.delay > 0 {
 		time.Sleep(s.delay)
 	}
+}
+
+// Latency reports whether the point fires at this call and, if so, the
+// configured delay. Call sites that need to interleave the delay with
+// their own work (torn network writes) use this instead of Sleep.
+func Latency(p Point) (time.Duration, bool) {
+	s, ok := fire(p)
+	return s.delay, ok
 }

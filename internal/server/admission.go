@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/plan"
+	"projpush/internal/treedec"
+)
+
+// Width-aware admission control. The paper's theory gives the server a
+// static blow-up predictor no cost-based system has: a plan's width (its
+// maximum intermediate arity) is known before execution, Theorems 1–2
+// bound the best achievable width by treewidth+1, and the AGM inequality
+// bounds the join's output size from the relation cardinalities alone.
+// Admission therefore rejects hopeless queries for the price of plan
+// construction — never a materialized intermediate — instead of
+// admitting everything and aborting mid-explosion.
+
+// assess computes the admission verdict for a planned query: the chosen
+// plan's width, the join graph's MCS elimination width, and the AGM
+// output bound, checked against the server's thresholds.
+func assess(q *cq.Query, p plan.Node, method string, maxWidth int, maxAGMLog2 float64, db cq.Database) *Verdict {
+	v := &Verdict{
+		Method:     method,
+		PlanWidth:  plan.Analyze(p).Width,
+		MaxWidth:   maxWidth,
+		MaxAGMLog2: maxAGMLog2,
+		Admitted:   true,
+	}
+	if jg, elim, err := core.EliminationOrder(q, core.OrderMCS, nil); err == nil {
+		v.ElimWidth = treedec.InducedWidth(jg.G, elim)
+	}
+	v.AGMLog2 = agmLog2(q, db)
+	if maxWidth > 0 && v.PlanWidth > maxWidth {
+		v.Admitted = false
+	}
+	if maxAGMLog2 > 0 && v.AGMLog2 > maxAGMLog2 {
+		v.Admitted = false
+	}
+	return v
+}
+
+// agmLog2 returns log2 of an AGM-style bound on the full join's output
+// cardinality: a greedy integral edge cover of the query's variables by
+// its atoms, charging log2 of each chosen relation's cardinality. The
+// integral cover relaxes the AGM fractional cover, so the bound is valid
+// (an upper bound on the fractional optimum) and needs no LP solver. An
+// empty relation anywhere in the cover proves the answer empty (bound 0).
+func agmLog2(q *cq.Query, db cq.Database) float64 {
+	uncovered := make(map[cq.Var]bool)
+	for _, v := range q.Vars() {
+		uncovered[v] = true
+	}
+	var total float64
+	for len(uncovered) > 0 {
+		best, bestNew, bestLog := -1, 0, 0.0
+		for i, a := range q.Atoms {
+			n := 0
+			for _, v := range a.Args {
+				if uncovered[v] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			rel := db[a.Rel]
+			lg := 0.0
+			if rel != nil && rel.Len() > 1 {
+				lg = math.Log2(float64(rel.Len()))
+			}
+			if rel != nil && rel.Len() == 0 {
+				// An empty relation covering a live variable makes the
+				// whole join empty.
+				return 0
+			}
+			if best < 0 || n > bestNew || (n == bestNew && lg < bestLog) {
+				best, bestNew, bestLog = i, n, lg
+			}
+		}
+		if best < 0 {
+			// Remaining variables occur in no atom (free-only variables
+			// rejected earlier by validation); nothing more to charge.
+			break
+		}
+		for _, v := range q.Atoms[best].Args {
+			delete(uncovered, v)
+		}
+		total += bestLog
+	}
+	return total
+}
+
+// limiter is the concurrency gate in front of the executors: a semaphore
+// of execution slots plus a bounded wait queue. A request that finds all
+// slots busy and the queue full — or that waits out its queue budget —
+// is shed immediately with engine.ErrOverloaded, so overload produces
+// fast typed rejections instead of unbounded queueing and hangs.
+type limiter struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newLimiter(maxConcurrent, maxQueue int) *limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxQueue),
+	}
+}
+
+// acquire takes an execution slot, queueing at most until ctx is done.
+// It never blocks past the queue bound: the overflow request is shed.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return fmt.Errorf("%w: %d executing, wait queue full", engine.ErrOverloaded, cap(l.slots))
+	}
+	defer func() { <-l.queue }()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: queue wait expired", engine.ErrOverloaded)
+	}
+}
+
+func (l *limiter) release() { <-l.slots }

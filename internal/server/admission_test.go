@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+type testInstance struct {
+	q  *cq.Query
+	db cq.Database
+}
+
+// colorQuery builds the Boolean 3-COLOR query for a graph.
+func colorQuery(t *testing.T, g *graph.Graph) *testInstance {
+	t.Helper()
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatalf("ColorQuery: %v", err)
+	}
+	return &testInstance{q: q, db: instance.ColorDatabase(3)}
+}
+
+func TestAssessWidths(t *testing.T) {
+	in := colorQuery(t, graph.AugmentedPath(6))
+	p, err := core.BuildPlan(core.MethodBucketElimination, in.q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := assess(in.q, p, "bucketelimination", 0, 0, in.db)
+	if !v.Admitted {
+		t.Fatalf("no thresholds set, want admitted, got %+v", v)
+	}
+	// The augmented path is a tree: treewidth 1; bucket elimination's
+	// width is bounded by elimination width + 1 (Theorems 1–2).
+	if v.ElimWidth != 1 {
+		t.Errorf("ElimWidth = %d, want 1 (augmented path is a tree)", v.ElimWidth)
+	}
+	if v.PlanWidth > v.ElimWidth+1 {
+		t.Errorf("PlanWidth %d exceeds elimination width + 1 = %d", v.PlanWidth, v.ElimWidth+1)
+	}
+	if v.AGMLog2 <= 0 {
+		t.Errorf("AGMLog2 = %v, want positive for a nonempty join", v.AGMLog2)
+	}
+
+	// A width threshold below the plan width rejects.
+	tight := assess(in.q, p, "bucketelimination", v.PlanWidth-1, 0, in.db)
+	if tight.Admitted {
+		t.Errorf("threshold %d under plan width %d: want rejected", v.PlanWidth-1, v.PlanWidth)
+	}
+	// An AGM threshold below the bound rejects.
+	agmTight := assess(in.q, p, "bucketelimination", 0, v.AGMLog2/2, in.db)
+	if agmTight.Admitted {
+		t.Errorf("AGM threshold %v under bound %v: want rejected", v.AGMLog2/2, v.AGMLog2)
+	}
+}
+
+func TestAGMBound(t *testing.T) {
+	// A single-atom query's AGM bound is exactly its relation's size.
+	in := colorQuery(t, graph.Complete(2)) // one edge atom
+	got := agmLog2(in.q, in.db)
+	want := math.Log2(6) // 3-COLOR edge relation has 6 tuples
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("agmLog2(single atom) = %v, want %v", got, want)
+	}
+	// The bound is monotone in query size and sound: the true output of
+	// the full join can never exceed 2^bound. For the triangle, the full
+	// join (all proper 3-colorings) has 6 assignments; bound must be >=
+	// log2(6).
+	tri := colorQuery(t, graph.Complete(3))
+	b := agmLog2(tri.q, tri.db)
+	if b < math.Log2(6) {
+		t.Errorf("triangle AGM bound 2^%v below true join size 6", b)
+	}
+	// An empty relation proves the join empty: bound 0.
+	empty := colorQuery(t, graph.Complete(3))
+	empty.db = instance.ColorDatabase(1) // k=1: no proper edge pairs
+	if got := agmLog2(empty.q, empty.db); got != 0 {
+		t.Errorf("agmLog2 with empty relation = %v, want 0", got)
+	}
+}
+
+func TestLimiterShedsBeyondQueue(t *testing.T) {
+	l := newLimiter(1, 1)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second caller queues; third is shed immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() { queued <- l.acquire(ctx) }()
+	// Wait for the queue spot to be taken.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(l.queue) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.acquire(context.Background()); !errors.Is(err, engine.ErrOverloaded) {
+		t.Fatalf("third acquire: got %v, want ErrOverloaded", err)
+	}
+	// Releasing the slot admits the queued caller.
+	l.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	l.release()
+}
+
+func TestLimiterQueueWaitExpiry(t *testing.T) {
+	l := newLimiter(1, 1)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.acquire(ctx); !errors.Is(err, engine.ErrOverloaded) {
+		t.Fatalf("queue wait expiry: got %v, want ErrOverloaded", err)
+	}
+	l.release()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(2, time.Second, clock)
+
+	if !b.allowDirect() {
+		t.Fatal("closed breaker must allow the direct path")
+	}
+	// Infrastructure failures trip it at the threshold.
+	b.record(engine.ErrInternal)
+	if !b.allowDirect() {
+		t.Fatal("one failure under threshold 2 must not trip")
+	}
+	b.record(engine.ErrMemLimit)
+	if b.allowDirect() {
+		t.Fatal("two consecutive failures must trip the breaker")
+	}
+	if got := b.status(); got != "open" {
+		t.Fatalf("status = %q, want open", got)
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(2 * time.Second)
+	if !b.allowDirect() {
+		t.Fatal("cooldown elapsed: want one half-open probe")
+	}
+	if b.allowDirect() {
+		t.Fatal("second concurrent probe must be rejected while half-open")
+	}
+	// Probe fails: re-open for another cooldown.
+	b.record(engine.ErrInternal)
+	if b.allowDirect() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	// Probe succeeds after the next cooldown: breaker closes.
+	now = now.Add(2 * time.Second)
+	if !b.allowDirect() {
+		t.Fatal("want probe after second cooldown")
+	}
+	b.record(nil)
+	if !b.allowDirect() || b.status() != "closed" {
+		t.Fatalf("successful probe must close the breaker (status %q)", b.status())
+	}
+}
+
+func TestBreakerIgnoresWorkloadFailures(t *testing.T) {
+	b := newBreaker(1, time.Second, nil)
+	// Row caps, timeouts and cancellations are properties of the query,
+	// not the infrastructure: they never trip the breaker.
+	for _, err := range []error{engine.ErrRowLimit, engine.ErrTimeout, engine.ErrCanceled} {
+		b.record(err)
+		if !b.allowDirect() {
+			t.Fatalf("workload failure %v tripped the breaker", err)
+		}
+	}
+}

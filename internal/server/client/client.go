@@ -1,0 +1,248 @@
+// Package client is the retrying client for the projpushd protocol. It
+// distinguishes retryable outcomes — shed under load, server-side
+// timeouts, isolated internal faults, torn connections — from terminal
+// ones (parse errors, over-width rejections, resource verdicts), and
+// retries only the former under exponential backoff with jitter, so a
+// thundering herd of failed clients decorrelates instead of
+// resynchronizing on the struggling server.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"projpush/internal/engine"
+	"projpush/internal/server"
+)
+
+// StatusError is a typed non-OK server response. It aliases the engine's
+// sentinels under errors.Is where one applies: an over_width response
+// matches engine.ErrOverWidth, a shed or draining response matches
+// engine.ErrOverloaded, a timeout matches engine.ErrTimeout (and
+// therefore context.DeadlineExceeded).
+type StatusError struct {
+	Status server.Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %s: %s", e.Status, e.Msg)
+}
+
+// Is aliases wire statuses to the engine's sentinel errors.
+func (e *StatusError) Is(target error) bool {
+	switch e.Status {
+	case server.StatusOverWidth:
+		return target == engine.ErrOverWidth
+	case server.StatusShed, server.StatusDraining:
+		return target == engine.ErrOverloaded
+	case server.StatusTimeout:
+		return target == engine.ErrTimeout || errors.Is(engine.ErrTimeout, target)
+	case server.StatusInternal:
+		return target == engine.ErrInternal
+	case server.StatusCanceled:
+		return target == engine.ErrCanceled || errors.Is(engine.ErrCanceled, target)
+	}
+	return false
+}
+
+// Retryable reports whether an error warrants another attempt: network
+// failures (dial errors, torn frames, dropped connections) and the
+// retryable wire statuses do; terminal statuses and context expiry of
+// the caller's own context do not.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case server.StatusShed, server.StatusTimeout, server.StatusInternal, server.StatusDraining:
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Anything else at this layer is a transport failure.
+	return true
+}
+
+// Options configures a Client.
+type Options struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// AttemptTimeout bounds each request/response round trip (default
+	// 30s); the per-call context can always end it earlier.
+	AttemptTimeout time.Duration
+	// MaxRetries is the number of retries after the first attempt
+	// (default 4). Only retryable failures are retried.
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the exponential backoff between
+	// attempts (defaults 25ms and 2s); each wait is scaled by a uniform
+	// jitter in [0.5, 1.5).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the jitter RNG (0 uses a fixed default; drills want
+	// distinct seeds per client).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 30 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	return o
+}
+
+// Client issues requests with retries. Safe for concurrent use; each
+// attempt uses its own connection.
+type Client struct {
+	opt Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Attempts counts round trips issued (including retries), for
+	// drill instrumentation.
+	attempts int64
+}
+
+// New returns a client for the server at opt.Addr.
+func New(opt Options) *Client {
+	opt = opt.withDefaults()
+	return &Client{opt: opt, rng: rand.New(rand.NewSource(opt.Seed + 1))}
+}
+
+// Attempts returns the total round trips issued so far.
+func (c *Client) Attempts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
+}
+
+// Do sends one request, retrying retryable failures with backoff. On a
+// non-OK status it returns the response alongside a *StatusError, so
+// callers can inspect the verdict and stats of typed rejections.
+func (c *Client) Do(ctx context.Context, req *server.Request) (*server.Response, error) {
+	var lastResp *server.Response
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTrip(ctx, req)
+		if err == nil {
+			switch resp.Status {
+			case server.StatusOK, server.StatusDegraded:
+				return resp, nil
+			default:
+				err = &StatusError{Status: resp.Status, Msg: resp.Error}
+			}
+		}
+		lastResp, lastErr = resp, err
+		if attempt >= c.opt.MaxRetries || !Retryable(err) || ctx.Err() != nil {
+			return lastResp, lastErr
+		}
+		if werr := c.wait(ctx, attempt); werr != nil {
+			return lastResp, lastErr
+		}
+	}
+}
+
+// Query executes a query text (cqparse format) under the method
+// ("" uses the server default).
+func (c *Client) Query(ctx context.Context, query, method string) (*server.Response, error) {
+	return c.Do(ctx, &server.Request{Op: "query", Query: query, Method: method})
+}
+
+// Explain fetches the plan tree and admission verdict without executing.
+func (c *Client) Explain(ctx context.Context, query, method string) (*server.Response, error) {
+	return c.Do(ctx, &server.Request{Op: "explain", Query: query, Method: method})
+}
+
+// Health fetches the server's health counters (no retries beyond the
+// usual transport policy).
+func (c *Client) Health(ctx context.Context) (*server.Health, error) {
+	resp, err := c.Do(ctx, &server.Request{Op: "health"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Health == nil {
+		return nil, fmt.Errorf("client: health response without payload")
+	}
+	return resp.Health, nil
+}
+
+// Ready reports server readiness; false (with nil error) while draining.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{Op: "ready"})
+	if err != nil {
+		return false, err
+	}
+	return resp.Ready != nil && *resp.Ready, nil
+}
+
+// roundTrip performs one dial/send/receive cycle.
+func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
+	c.mu.Lock()
+	c.attempts++
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.opt.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.opt.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.opt.AttemptTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	if err := server.WriteFrame(conn, req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	var resp server.Response
+	if err := server.ReadFrame(conn, &resp); err != nil {
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// wait sleeps the jittered exponential backoff for the given attempt,
+// or returns early when ctx ends.
+func (c *Client) wait(ctx context.Context, attempt int) error {
+	backoff := c.opt.BaseBackoff << uint(attempt)
+	if backoff > c.opt.MaxBackoff || backoff <= 0 {
+		backoff = c.opt.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.mu.Unlock()
+	d := time.Duration(float64(backoff) * jitter)
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,210 @@
+// Package server is projpushd's serving layer: a long-running TCP query
+// service in front of the execution engine. Robustness is the product:
+// width-aware admission control (the paper's Theorems 1–2 give a static
+// predictor of intermediate blow-up, so hopeless queries are rejected
+// before a single tuple is materialized), load shedding behind a bounded
+// wait queue, per-method circuit breakers that route repeated failures
+// onto the degradation ladder, per-connection panic isolation, and a
+// graceful drain on shutdown.
+//
+// The wire protocol is deliberately dependency-free: each message is a
+// 4-byte big-endian length prefix followed by one JSON object, over a
+// plain TCP connection that may carry any number of request/response
+// pairs in sequence. See Request and Response for the message schema.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single protocol frame. Oversized frames fail the
+// read instead of buffering unboundedly, so a malicious or corrupted
+// length prefix cannot exhaust server memory.
+const MaxFrame = 16 << 20
+
+// Status classifies a response. Every abnormal outcome is typed — a
+// client never has to parse error strings to decide whether to retry.
+type Status string
+
+const (
+	// StatusOK: the query executed; Answer holds the result.
+	StatusOK Status = "ok"
+	// StatusDegraded: the query executed, but only after the degradation
+	// ladder rescued a failed attempt; Answer holds the (equivalent)
+	// result and Stats.Attempts the history.
+	StatusDegraded Status = "degraded"
+	// StatusShed: admission control dropped the request because every
+	// execution slot was busy and the wait queue was full or the queue
+	// wait expired. Retryable.
+	StatusShed Status = "shed"
+	// StatusOverWidth: width-aware admission rejected the query — its
+	// predicted intermediate arity or AGM output bound exceeds the
+	// server's thresholds. Terminal: a retry cannot change the width.
+	StatusOverWidth Status = "over_width"
+	// StatusTimeout: the per-request execution deadline expired
+	// mid-run. Retryable (a less loaded server may finish in time).
+	StatusTimeout Status = "timeout"
+	// StatusCanceled: the request's context was canceled. Terminal from
+	// the server's perspective (the caller asked the run to stop).
+	StatusCanceled Status = "canceled"
+	// StatusResourceLimit: the run exceeded the row cap or memory budget
+	// and the degradation ladder (if enabled) could not rescue it.
+	// Terminal: the same limits will fail the same way.
+	StatusResourceLimit Status = "resource_limit"
+	// StatusInternal: an execution worker panicked; the panic was
+	// isolated and the connection survives. Retryable.
+	StatusInternal Status = "internal"
+	// StatusParseError: the request's query text did not parse or
+	// validate against the database. Terminal.
+	StatusParseError Status = "parse_error"
+	// StatusDraining: the server is shutting down and no longer admits
+	// queries. Retryable (against a replica, or after restart).
+	StatusDraining Status = "draining"
+	// StatusError: any other failure (unknown op, unknown method, plan
+	// construction failure). Terminal.
+	StatusError Status = "error"
+)
+
+// Request is one client message.
+type Request struct {
+	// Op selects the endpoint: "query" executes, "explain" returns the
+	// plan tree and admission verdict without executing, "health"
+	// returns server counters, "ready" reports readiness (false while
+	// draining).
+	Op string `json:"op"`
+	// Query is the query text in the cqparse format: a query clause,
+	// optionally preceded by rel blocks that extend or shadow the
+	// server's database for this request.
+	Query string `json:"query,omitempty"`
+	// Method optionally overrides the server's default optimization
+	// method (straightforward, earlyprojection, reordering,
+	// bucketelimination).
+	Method string `json:"method,omitempty"`
+	// Timeout optionally tightens the per-request execution deadline
+	// (a Go duration string); it can never extend the server's cap.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// Answer is a query result.
+type Answer struct {
+	// Attrs is the result schema (query variable ids).
+	Attrs []int `json:"attrs"`
+	// Nonempty is the Boolean answer.
+	Nonempty bool `json:"nonempty"`
+	// Rows is the result cardinality.
+	Rows int `json:"rows"`
+	// Tuples is the full result in sorted order, for differential
+	// verification and small OLTP-style answers.
+	Tuples [][]int32 `json:"tuples,omitempty"`
+}
+
+// Verdict is the admission-control assessment of a query, computed from
+// schemas alone before any execution.
+type Verdict struct {
+	// Method is the optimization method the verdict is for.
+	Method string `json:"method"`
+	// PlanWidth is the predicted maximum intermediate arity of the
+	// chosen method's plan — the paper's central cost measure.
+	PlanWidth int `json:"plan_width"`
+	// ElimWidth is the MCS elimination width of the join graph: an
+	// upper bound w on treewidth, so w+1 bounds the arity achievable by
+	// the best structural method (Theorems 1–2).
+	ElimWidth int `json:"elim_width"`
+	// AGMLog2 is the log2 of the AGM output bound (Atserias–Grohe–Marx)
+	// under a greedy integral edge cover over the actual relation
+	// cardinalities: the full join's output can never exceed 2^AGMLog2
+	// rows.
+	AGMLog2 float64 `json:"agm_log2"`
+	// MaxWidth and MaxAGMLog2 echo the thresholds in force (0 = off).
+	MaxWidth   int     `json:"max_width,omitempty"`
+	MaxAGMLog2 float64 `json:"max_agm_log2,omitempty"`
+	// Admitted reports whether the query passed both thresholds.
+	Admitted bool `json:"admitted"`
+}
+
+// AttemptInfo is one degradation-ladder rung of an executed request.
+type AttemptInfo struct {
+	Method string `json:"method"`
+	Err    string `json:"err,omitempty"`
+}
+
+// RunStats is the executed request's instrumentation, mirroring
+// engine.Stats. An admission rejection carries no RunStats at all:
+// nothing ran, nothing was materialized.
+type RunStats struct {
+	MaxRows     int           `json:"max_rows"`
+	MaxArity    int           `json:"max_arity"`
+	Tuples      int64         `json:"tuples"`
+	Bytes       int64         `json:"bytes"`
+	Joins       int           `json:"joins"`
+	Projections int           `json:"projections"`
+	ElapsedUS   int64         `json:"elapsed_us"`
+	Attempts    []AttemptInfo `json:"attempts,omitempty"`
+}
+
+// Health is the health endpoint's payload.
+type Health struct {
+	// Ready is false while the server drains.
+	Ready bool `json:"ready"`
+	// InFlight is the number of requests currently executing.
+	InFlight int64 `json:"in_flight"`
+	// Served counts successfully answered queries (ok + degraded).
+	Served int64 `json:"served"`
+	// Degraded counts answers that needed the degradation ladder.
+	Degraded int64 `json:"degraded"`
+	// Shed, OverWidth and Failed count rejected and failed queries.
+	Shed      int64 `json:"shed"`
+	OverWidth int64 `json:"over_width"`
+	Failed    int64 `json:"failed"`
+	// Breakers maps each method that has seen traffic to its circuit
+	// breaker state ("closed", "open", "half-open").
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// Response is one server message.
+type Response struct {
+	Status  Status    `json:"status"`
+	Error   string    `json:"error,omitempty"`
+	Answer  *Answer   `json:"answer,omitempty"`
+	Verdict *Verdict  `json:"verdict,omitempty"`
+	Stats   *RunStats `json:"stats,omitempty"`
+	Explain string    `json:"explain,omitempty"`
+	Health  *Health   `json:"health,omitempty"`
+	Ready   *bool     `json:"ready,omitempty"`
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("server: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("server: frame length %d exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return json.Unmarshal(payload, v)
+}

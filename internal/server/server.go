@@ -1,0 +1,581 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/engine"
+	"projpush/internal/faultinject"
+	"projpush/internal/plan"
+	"projpush/internal/resilience"
+)
+
+// Config configures a Server. The zero value of every bound means
+// "use the default", documented per field.
+type Config struct {
+	// DB is the server-resident database queries are answered over.
+	// Requests may carry rel blocks that extend or shadow it per
+	// request.
+	DB cq.Database
+	// Method is the default optimization method (default
+	// bucketelimination, the paper's most robust).
+	Method core.Method
+	// MaxWidth rejects queries whose chosen plan's width (maximum
+	// intermediate arity) exceeds it (0 = no width threshold).
+	MaxWidth int
+	// MaxAGMLog2 rejects queries whose AGM output bound exceeds
+	// 2^MaxAGMLog2 rows (0 = no AGM threshold).
+	MaxAGMLog2 float64
+	// MaxConcurrent bounds concurrently executing requests (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; arrivals
+	// beyond slots+queue are shed immediately (default 2*MaxConcurrent).
+	MaxQueue int
+	// QueueWait bounds the time a request may wait for a slot before
+	// being shed (default 1s) — the tail-latency bound under overload.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request execution deadline (default
+	// 10s). Requests may tighten it, never extend it.
+	RequestTimeout time.Duration
+	// MaxRows and MaxBytes bound each execution (engine.Options).
+	MaxRows  int
+	MaxBytes int64
+	// Workers is the executor's worker count for the direct path
+	// (default 1, the sequential executor).
+	Workers int
+	// Resilient runs every degradable failure down the degradation
+	// ladder even with a closed breaker. With it off, the ladder is
+	// used only while a method's breaker is open.
+	Resilient bool
+	// BreakerThreshold trips a method's circuit breaker after this many
+	// consecutive infrastructure failures (ErrInternal/ErrMemLimit) on
+	// the direct path (default 3; <0 disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open trial (default 5s).
+	BreakerCooldown time.Duration
+	// Cache, when non-nil, is shared by every execution.
+	Cache *engine.Cache
+	// Log, when non-nil, receives one structured JSON line per request
+	// (fingerprint, admission verdict, status, attempts, bytes).
+	Log io.Writer
+
+	// now is the breaker clock, injectable in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Method == "" {
+		c.Method = core.MethodBucketElimination
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is a long-running query service over one database.
+type Server struct {
+	cfg Config
+	lim *limiter
+
+	ln       net.Listener
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	breakers map[string]*breaker
+
+	wg       sync.WaitGroup // connection handlers
+	inFlight atomic.Int64   // requests currently being handled
+
+	// counters for the health endpoint
+	served, degraded, shed, overWidth, failed atomic.Int64
+
+	logMu sync.Mutex
+}
+
+// New returns an unstarted server; call Listen then Serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		lim:      newLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
+		conns:    make(map[net.Conn]struct{}),
+		breakers: make(map[string]*breaker),
+	}
+}
+
+// Listen binds the server to addr ("127.0.0.1:0" picks a free port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (after Listen).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until the listener is closed (Shutdown). It
+// returns nil on a clean shutdown. Each connection gets its own handler
+// goroutine with panic isolation: a fault in one connection can never
+// take down the process or its sibling connections.
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		if faultinject.FailAlloc(faultinject.AcceptFail) {
+			c.Close()
+			continue
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown drains the server: readiness flips false first, the listener
+// closes, in-flight requests get until ctx's deadline to finish, then
+// every connection is force-closed and the handlers joined. It is safe
+// to call once; subsequent requests on surviving connections are
+// answered StatusDraining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Drain: wait for in-flight requests, bounded by ctx.
+	drained := ctx.Err() == nil
+	for drained && s.inFlight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			drained = false
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Force-close every connection; idle handlers blocked in ReadFrame
+	// unblock with an error and exit.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if !drained {
+		return fmt.Errorf("server: drain deadline expired with %d requests in flight", s.inFlight.Load())
+	}
+	return nil
+}
+
+// handleConn serves one connection's request/response loop.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		// Connection-level panic isolation: a handler bug kills this
+		// connection only, never the process.
+		if r := recover(); r != nil {
+			s.logLine(map[string]any{"event": "conn_panic", "remote": c.RemoteAddr().String(), "panic": fmt.Sprint(r)})
+		}
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	for {
+		var req Request
+		if err := ReadFrame(c, &req); err != nil {
+			return // EOF, torn frame, or force-close during drain
+		}
+		resp := s.handleRequest(&req, c.RemoteAddr().String())
+		if err := s.writeResponse(c, resp); err != nil {
+			return
+		}
+	}
+}
+
+// writeResponse writes one frame through the network fault-injection
+// points: a dropped connection abandons the response, a slow write
+// tears the frame in two around the configured latency.
+func (s *Server) writeResponse(c net.Conn, resp *Response) error {
+	if faultinject.FailAlloc(faultinject.ConnDrop) {
+		c.Close()
+		return fmt.Errorf("server: injected connection drop")
+	}
+	if delay, ok := faultinject.Latency(faultinject.SlowWrite); ok {
+		return WriteFrame(tornWriter{c: c, delay: delay}, resp)
+	}
+	return WriteFrame(c, resp)
+}
+
+// tornWriter splits each write in half around a delay, modelling a
+// congested or faulty network path.
+type tornWriter struct {
+	c     net.Conn
+	delay time.Duration
+}
+
+func (t tornWriter) Write(p []byte) (int, error) {
+	half := len(p) / 2
+	n, err := t.c.Write(p[:half])
+	if err != nil {
+		return n, err
+	}
+	if t.delay > 0 {
+		time.Sleep(t.delay)
+	}
+	m, err := t.c.Write(p[half:])
+	return n + m, err
+}
+
+// handleRequest dispatches one request with request-level panic
+// isolation: a panic is converted into a StatusInternal response and the
+// connection keeps serving.
+func (s *Server) handleRequest(req *Request, remote string) (resp *Response) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.failed.Add(1)
+			resp = &Response{Status: StatusInternal, Error: fmt.Sprintf("request handler panic: %v", r)}
+		}
+	}()
+	switch req.Op {
+	case "health":
+		return &Response{Status: StatusOK, Health: s.health()}
+	case "ready":
+		ready := !s.draining.Load()
+		return &Response{Status: StatusOK, Ready: &ready}
+	case "query", "explain":
+		return s.handleQuery(req, remote)
+	default:
+		return &Response{Status: StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// health snapshots the counters.
+func (s *Server) health() *Health {
+	h := &Health{
+		Ready:     !s.draining.Load(),
+		InFlight:  s.inFlight.Load(),
+		Served:    s.served.Load(),
+		Degraded:  s.degraded.Load(),
+		Shed:      s.shed.Load(),
+		OverWidth: s.overWidth.Load(),
+		Failed:    s.failed.Load(),
+	}
+	s.mu.Lock()
+	if len(s.breakers) > 0 {
+		h.Breakers = make(map[string]string, len(s.breakers))
+		for m, b := range s.breakers {
+			h.Breakers[m] = b.status()
+		}
+	}
+	s.mu.Unlock()
+	return h
+}
+
+// breakerFor returns the method's breaker, creating it on first use.
+func (s *Server) breakerFor(method string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[method]
+	if !ok {
+		b = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.now)
+		s.breakers[method] = b
+	}
+	return b
+}
+
+// handleQuery is the per-request lifecycle: parse, plan, admit, queue,
+// execute (direct or ladder), classify, log.
+func (s *Server) handleQuery(req *Request, remote string) *Response {
+	start := time.Now()
+	logEntry := map[string]any{
+		"op":     req.Op,
+		"remote": remote,
+	}
+	defer func() {
+		logEntry["elapsed_us"] = time.Since(start).Microseconds()
+		s.logLine(logEntry)
+	}()
+	finish := func(r *Response) *Response {
+		logEntry["status"] = string(r.Status)
+		if r.Error != "" {
+			logEntry["error"] = r.Error
+		}
+		return r
+	}
+
+	if s.draining.Load() {
+		s.shed.Add(1)
+		return finish(&Response{Status: StatusDraining, Error: "server is draining"})
+	}
+
+	// Parse the query text against the resident database.
+	file, err := cqparse.ParseWith(strings.NewReader(req.Query), s.cfg.DB)
+	if err != nil {
+		s.failed.Add(1)
+		return finish(&Response{Status: StatusParseError, Error: err.Error()})
+	}
+	q, db := file.Query, file.DB
+
+	// Resolve the method and build its plan (static, cheap).
+	method := s.cfg.Method
+	if req.Method != "" {
+		method = core.Method(req.Method)
+	}
+	if !validMethod(method) {
+		s.failed.Add(1)
+		return finish(&Response{Status: StatusError, Error: fmt.Sprintf("unknown method %q", method)})
+	}
+	p, err := core.BuildPlan(method, q, nil)
+	if err != nil {
+		s.failed.Add(1)
+		return finish(&Response{Status: StatusError, Error: "plan: " + err.Error()})
+	}
+	logEntry["method"] = string(method)
+	logEntry["fp"] = fingerprintID(p)
+
+	// Width-aware admission: reject before materializing anything.
+	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, db)
+	if !verdict.Admitted {
+		logEntry["verdict"] = "over_width"
+		logEntry["plan_width"] = verdict.PlanWidth
+		s.overWidth.Add(1)
+		return finish(&Response{
+			Status: StatusOverWidth,
+			Error: fmt.Sprintf("%v: plan width %d (elimination width %d, AGM log2 %.1f) over thresholds (width %d, AGM log2 %.1f)",
+				engine.ErrOverWidth, verdict.PlanWidth, verdict.ElimWidth, verdict.AGMLog2, verdict.MaxWidth, verdict.MaxAGMLog2),
+			Verdict: verdict,
+		})
+	}
+	logEntry["verdict"] = "admitted"
+
+	if req.Op == "explain" {
+		text, err := engine.Explain(p, db, engine.Options{}, false)
+		if err != nil {
+			s.failed.Add(1)
+			return finish(&Response{Status: StatusError, Error: err.Error()})
+		}
+		return finish(&Response{Status: StatusOK, Explain: text, Verdict: verdict})
+	}
+
+	// Concurrency gate: bounded queue, bounded wait, typed shedding.
+	queueCtx, cancelQueue := context.WithTimeout(context.Background(), s.cfg.QueueWait)
+	err = s.lim.acquire(queueCtx)
+	cancelQueue()
+	if err != nil {
+		logEntry["verdict"] = "shed"
+		s.shed.Add(1)
+		return finish(&Response{Status: StatusShed, Error: err.Error(), Verdict: verdict})
+	}
+	defer s.lim.release()
+
+	timeout := s.cfg.RequestTimeout
+	if req.Timeout != "" {
+		if d, perr := time.ParseDuration(req.Timeout); perr == nil && d > 0 && d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	opt := engine.Options{MaxRows: s.cfg.MaxRows, MaxBytes: s.cfg.MaxBytes, Cache: s.cfg.Cache}
+
+	// Execute: direct path unless this method's breaker is open (or the
+	// server runs fully resilient), in which case the degradation
+	// ladder re-plans with safer methods.
+	br := s.breakerFor(string(method))
+	direct := br.allowDirect()
+	var res *engine.Result
+	if s.cfg.Resilient || !direct {
+		res, err = engine.ExecResilient(ctx, p, resilience.DegradationLadder(q, nil), db, opt, s.cfg.Workers)
+		if direct {
+			br.record(directOutcome(res))
+		}
+	} else {
+		if s.cfg.Workers > 1 {
+			res, err = engine.ExecParallelContext(ctx, p, db, opt, s.cfg.Workers)
+		} else {
+			res, err = engine.ExecContext(ctx, p, db, opt)
+		}
+		br.record(err)
+	}
+
+	resp := &Response{Verdict: verdict}
+	if res != nil {
+		resp.Stats = runStats(&res.Stats)
+		logEntry["bytes"] = res.Stats.Bytes
+		logEntry["attempts"] = len(res.Stats.Attempts)
+	}
+	if err != nil {
+		resp.Status, resp.Error = classifyStatus(err), err.Error()
+		s.failed.Add(1)
+		return finish(resp)
+	}
+	resp.Status = StatusOK
+	if len(res.Stats.Attempts) > 1 {
+		resp.Status = StatusDegraded
+		s.degraded.Add(1)
+	}
+	s.served.Add(1)
+	resp.Answer = answerOf(res)
+	logEntry["rows"] = resp.Answer.Rows
+	return finish(resp)
+}
+
+// directOutcome recovers the direct path's own outcome from a resilient
+// run's attempt history, so breaker accounting is identical whether the
+// ladder ran or not.
+func directOutcome(res *engine.Result) error {
+	if res == nil || len(res.Stats.Attempts) == 0 {
+		return nil
+	}
+	first := res.Stats.Attempts[0]
+	if first.Err == "" {
+		return nil
+	}
+	switch {
+	case strings.Contains(first.Err, engine.ErrInternal.Error()):
+		return engine.ErrInternal
+	case strings.Contains(first.Err, engine.ErrMemLimit.Error()):
+		return engine.ErrMemLimit
+	}
+	return errors.New(first.Err)
+}
+
+// classifyStatus maps an engine failure to its wire status.
+func classifyStatus(err error) Status {
+	switch {
+	case errors.Is(err, engine.ErrTimeout):
+		return StatusTimeout
+	case errors.Is(err, engine.ErrCanceled):
+		return StatusCanceled
+	case errors.Is(err, engine.ErrRowLimit), errors.Is(err, engine.ErrMemLimit):
+		return StatusResourceLimit
+	case errors.Is(err, engine.ErrInternal):
+		return StatusInternal
+	default:
+		return StatusError
+	}
+}
+
+// answerOf renders a result relation in sorted order.
+func answerOf(res *engine.Result) *Answer {
+	rel := res.Rel
+	attrs := make([]int, len(rel.Attrs()))
+	for i, a := range rel.Attrs() {
+		attrs[i] = int(a)
+	}
+	sorted := rel.SortedTuples()
+	tuples := make([][]int32, len(sorted))
+	for i, t := range sorted {
+		row := make([]int32, len(t))
+		for j, v := range t {
+			row[j] = int32(v)
+		}
+		tuples[i] = row
+	}
+	return &Answer{Attrs: attrs, Nonempty: rel.Len() > 0, Rows: rel.Len(), Tuples: tuples}
+}
+
+// runStats converts engine stats for the wire.
+func runStats(st *engine.Stats) *RunStats {
+	rs := &RunStats{
+		MaxRows:     st.MaxRows,
+		MaxArity:    st.MaxArity,
+		Tuples:      st.Tuples,
+		Bytes:       st.Bytes,
+		Joins:       st.Joins,
+		Projections: st.Projections,
+		ElapsedUS:   st.Elapsed.Microseconds(),
+	}
+	for _, a := range st.Attempts {
+		rs.Attempts = append(rs.Attempts, AttemptInfo{Method: a.Method, Err: a.Err})
+	}
+	return rs
+}
+
+// fingerprintID hashes a plan's renaming-invariant fingerprint to a
+// short stable id for the request log.
+func fingerprintID(p plan.Node) string {
+	fp, _ := plan.Fingerprint(p)
+	h := fnv.New64a()
+	io.WriteString(h, fp)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func validMethod(m core.Method) bool {
+	for _, known := range core.Methods {
+		if m == known {
+			return true
+		}
+	}
+	return false
+}
+
+// logLine emits one JSON log line (best effort, serialized).
+func (s *Server) logLine(fields map[string]any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fields["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.Log.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cqparse"
+	"projpush/internal/engine"
+	"projpush/internal/faultinject"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+// queryText renders a graph's Boolean 3-COLOR query as a query-only
+// request (the server holds the edge database).
+func queryText(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cqparse.WriteQuery(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// startServer listens on a free port and serves until the test ends.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s := New(cfg)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve()
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		<-done
+	})
+	return s, s.Addr().String()
+}
+
+// roundTrip sends one request on a fresh connection.
+func roundTrip(t *testing.T, addr string, req *Request) *Response {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := WriteFrame(c, req); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	var resp Response
+	if err := ReadFrame(c, &resp); err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	return &resp
+}
+
+func TestQueryAnswerMatchesOracle(t *testing.T) {
+	g := graph.AugmentedPath(5)
+	in := colorQuery(t, g)
+	var log bytes.Buffer
+	_, addr := startServer(t, Config{DB: in.db, Log: &log})
+
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g)})
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %s (%s), want ok", resp.Status, resp.Error)
+	}
+	oracle, err := engine.EvalOracle(in.q, in.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer == nil || resp.Answer.Rows != oracle.Len() {
+		t.Fatalf("answer rows = %+v, oracle has %d", resp.Answer, oracle.Len())
+	}
+	want := oracle.SortedTuples()
+	for i, row := range resp.Answer.Tuples {
+		for j, v := range row {
+			if v != int32(want[i][j]) {
+				t.Fatalf("tuple[%d][%d] = %d, oracle %d", i, j, v, want[i][j])
+			}
+		}
+	}
+	if resp.Stats == nil || resp.Stats.Joins == 0 {
+		t.Errorf("executed query must carry run stats, got %+v", resp.Stats)
+	}
+
+	// The request log carries fingerprint, verdict and status.
+	line := log.String()
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &entry); err != nil {
+		t.Fatalf("log line %q: %v", line, err)
+	}
+	for _, key := range []string{"fp", "verdict", "status", "method", "elapsed_us"} {
+		if _, ok := entry[key]; !ok {
+			t.Errorf("log line missing %q: %v", key, entry)
+		}
+	}
+}
+
+func TestOverWidthRejectedWithoutMaterializing(t *testing.T) {
+	// K6 has treewidth 5: every method's plan width is 6, over the
+	// threshold of 3. Admission must reject before any execution.
+	g := graph.Complete(6)
+	in := colorQuery(t, g)
+	s, addr := startServer(t, Config{DB: in.db, MaxWidth: 3})
+
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g)})
+	if resp.Status != StatusOverWidth {
+		t.Fatalf("status = %s (%s), want over_width", resp.Status, resp.Error)
+	}
+	if resp.Verdict == nil || resp.Verdict.Admitted || resp.Verdict.PlanWidth <= 3 {
+		t.Fatalf("verdict = %+v, want rejected with plan width > 3", resp.Verdict)
+	}
+	// Nothing may have been materialized: no stats frame at all.
+	if resp.Stats != nil {
+		t.Fatalf("over-width rejection carried run stats %+v: an intermediate was materialized", resp.Stats)
+	}
+	if got := s.overWidth.Load(); got != 1 {
+		t.Errorf("overWidth counter = %d, want 1", got)
+	}
+}
+
+func TestParseAndMethodErrors(t *testing.T) {
+	in := colorQuery(t, graph.Ladder(3))
+	_, addr := startServer(t, Config{DB: in.db})
+
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: "query ans(x) :- nosuch(x, y)."})
+	if resp.Status != StatusParseError {
+		t.Errorf("unknown relation: status = %s, want parse_error", resp.Status)
+	}
+	resp = roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, graph.Ladder(3)), Method: "nosuchmethod"})
+	if resp.Status != StatusError {
+		t.Errorf("unknown method: status = %s, want error", resp.Status)
+	}
+	resp = roundTrip(t, addr, &Request{Op: "frobnicate"})
+	if resp.Status != StatusError {
+		t.Errorf("unknown op: status = %s, want error", resp.Status)
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	in := colorQuery(t, graph.Ladder(3))
+	_, addr := startServer(t, Config{DB: in.db})
+	resp := roundTrip(t, addr, &Request{Op: "explain", Query: queryText(t, graph.Ladder(3))})
+	if resp.Status != StatusOK || resp.Explain == "" {
+		t.Fatalf("explain: %+v", resp)
+	}
+	if resp.Verdict == nil || !resp.Verdict.Admitted {
+		t.Fatalf("explain verdict = %+v", resp.Verdict)
+	}
+	if resp.Answer != nil || resp.Stats != nil {
+		t.Errorf("explain must not execute: answer=%v stats=%v", resp.Answer, resp.Stats)
+	}
+}
+
+func TestDegradedAnswerViaLadder(t *testing.T) {
+	// The straightforward method blows a tight row cap on the augmented
+	// ladder; the ladder rescues the run with a projection-pushing
+	// method. The degraded answer must still match the oracle.
+	g := graph.AugmentedLadder(5)
+	in := colorQuery(t, g)
+	_, addr := startServer(t, Config{DB: in.db, MaxRows: 2000, Resilient: true})
+
+	resp := roundTrip(t, addr, &Request{
+		Op: "query", Query: queryText(t, g), Method: string(core.MethodStraightforward),
+	})
+	if resp.Status != StatusDegraded {
+		t.Fatalf("status = %s (%s), want degraded", resp.Status, resp.Error)
+	}
+	if resp.Stats == nil || len(resp.Stats.Attempts) < 2 {
+		t.Fatalf("degraded run must record its attempts, got %+v", resp.Stats)
+	}
+	if resp.Stats.Attempts[0].Err == "" {
+		t.Errorf("first attempt should record the failure, got %+v", resp.Stats.Attempts[0])
+	}
+	oracle, err := engine.EvalOracle(in.q, in.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer.Rows != oracle.Len() {
+		t.Fatalf("degraded answer has %d rows, oracle %d", resp.Answer.Rows, oracle.Len())
+	}
+}
+
+func TestShedUnderLoad(t *testing.T) {
+	// One slot, no queue, and a kernel latency that keeps the slot busy:
+	// concurrent requests must be shed with a typed response, fast.
+	if err := faultinject.Enable("kernel.latency=200ms:1", 7); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+	g := graph.AugmentedPath(3)
+	in := colorQuery(t, g)
+	_, addr := startServer(t, Config{DB: in.db, MaxConcurrent: 1, MaxQueue: -1, QueueWait: 10 * time.Millisecond})
+
+	text := queryText(t, g)
+	const n = 4
+	statuses := make([]Status, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i] = roundTrip(t, addr, &Request{Op: "query", Query: text}).Status
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for _, st := range statuses {
+		switch st {
+		case StatusOK:
+			ok++
+		case StatusShed:
+			shed++
+		default:
+			t.Errorf("unexpected status %s under overload", st)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("want both served and shed outcomes, got ok=%d shed=%d", ok, shed)
+	}
+}
+
+func TestBreakerRoutesToLadder(t *testing.T) {
+	// Every direct join panics; after BreakerThreshold failures the
+	// breaker opens and requests run on the ladder... but the ladder's
+	// rungs also panic under this spec, so instead inject only on the
+	// parallel path is not possible — use memory faults with a ladder
+	// that succeeds: join.alloc fires on early calls (direct attempt),
+	// later calls (ladder rungs) pass at low probability. Simplest
+	// deterministic check: threshold 1, a failing first request trips
+	// the breaker, and the next request is answered via the ladder even
+	// though Resilient is off.
+	if err := faultinject.Enable("join.alloc=1", 11); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.AugmentedPath(4)
+	in := colorQuery(t, g)
+	s, addr := startServer(t, Config{
+		DB: in.db, BreakerThreshold: 1, BreakerCooldown: time.Minute, MaxBytes: 1 << 30,
+	})
+	text := queryText(t, g)
+
+	// First request: direct path fails with ErrMemLimit (injected),
+	// ladder not engaged (Resilient off, breaker still closed).
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: text})
+	if resp.Status != StatusResourceLimit {
+		t.Fatalf("first request: status = %s (%s), want resource_limit", resp.Status, resp.Error)
+	}
+	// Breaker is now open. Disable faults so the ladder can succeed.
+	faultinject.Disable()
+	resp = roundTrip(t, addr, &Request{Op: "query", Query: text})
+	if resp.Status != StatusOK && resp.Status != StatusDegraded {
+		t.Fatalf("second request (breaker open): status = %s (%s), want answered via ladder", resp.Status, resp.Error)
+	}
+	if resp.Stats == nil || len(resp.Stats.Attempts) == 0 {
+		t.Fatalf("ladder-routed request must carry attempt history, got %+v", resp.Stats)
+	}
+	h := s.health()
+	if h.Breakers["bucketelimination"] != "open" {
+		t.Errorf("breaker state = %q, want open", h.Breakers["bucketelimination"])
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := graph.AugmentedPath(2)
+	in := colorQuery(t, g)
+	s := New(Config{DB: in.db})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+	addr := s.Addr().String()
+
+	// Conn A carries a slow in-flight query; conn B checks readiness
+	// mid-drain.
+	if err := faultinject.Enable("kernel.latency=150ms:1", 3); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+	connA, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	connB, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	for _, c := range []net.Conn{connA, connB} {
+		c.SetDeadline(time.Now().Add(10 * time.Second))
+	}
+	if err := WriteFrame(connA, &Request{Op: "query", Query: queryText(t, g)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the slow query start
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // draining flag is set before the wait
+
+	// Readiness flips first: an existing connection sees ready=false
+	// while the in-flight query still runs.
+	if err := WriteFrame(connB, &Request{Op: "ready"}); err == nil {
+		var ready Response
+		if err := ReadFrame(connB, &ready); err == nil {
+			if ready.Ready == nil || *ready.Ready {
+				t.Errorf("readiness during drain = %+v, want false", ready.Ready)
+			}
+		}
+	}
+
+	// The in-flight query drains to completion with its answer.
+	var resp Response
+	if err := ReadFrame(connA, &resp); err != nil {
+		t.Fatalf("in-flight request lost during drain: %v", err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("drained request status = %s (%s), want ok", resp.Status, resp.Error)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve returned %v after drain", err)
+	}
+	// New connections are refused.
+	if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		c.Close()
+		t.Error("dial succeeded after shutdown")
+	}
+	// No goroutines leaked.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked: %d before, %d after", base, n)
+	}
+}

@@ -211,6 +211,13 @@ var (
 	ErrRowLimit = engine.ErrRowLimit
 	// ErrMemLimit: materialized bytes exceeded ExecOptions.MaxBytes.
 	ErrMemLimit = engine.ErrMemLimit
+	// ErrOverWidth: the serving layer's width-aware admission control
+	// (internal/server, experiments.Config.MaxWidth) rejected the query
+	// before executing it. Terminal: retrying cannot shrink a plan.
+	ErrOverWidth = engine.ErrOverWidth
+	// ErrOverloaded: the request was shed under load (queue full or
+	// queue wait expired). Retryable after backoff.
+	ErrOverloaded = engine.ErrOverloaded
 	// ErrInternal: a panic inside an execution worker, isolated and
 	// surfaced as an error (with the stack in the message).
 	ErrInternal = engine.ErrInternal
