@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos bench bench-json fuzz experiments clean
+.PHONY: all build vet test chaos bench bench-json bench-yannakakis fuzz experiments clean
 
 all: build vet test
 
@@ -13,7 +13,7 @@ vet:
 
 test:
 	go test ./...
-	go test -race ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner ./internal/server/...
+	go test -race . ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner ./internal/server/...
 
 # The serving-layer acceptance drill: concurrent retrying clients vs a
 # server with network + engine faults injected, under the race detector.
@@ -43,6 +43,15 @@ bench-json:
 		-bench '^BenchmarkPlanner|^BenchmarkOrder' -benchmem \
 		| go run ./cmd/benchjson > BENCH_planner.json
 	@cat BENCH_planner.json
+	go test . -run '^$$' -bench '^BenchmarkYannakakis' -benchmem -benchtime 3x \
+		| go run ./cmd/benchjson > BENCH_yannakakis.json
+	@cat BENCH_yannakakis.json
+
+# The full-reducer-vs-plan-method series on acyclic selective workloads
+# (the stats-bytes metric in the text output is the peak Stats.Bytes
+# acceptance signal; B/op tracks it in the JSON).
+bench-yannakakis:
+	go test . -run '^$$' -bench '^BenchmarkYannakakis' -benchmem -benchtime 3x
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

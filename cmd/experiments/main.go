@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"projpush/internal/core"
 	"projpush/internal/engine"
 	"projpush/internal/experiments"
 	"projpush/internal/faultinject"
@@ -41,6 +43,7 @@ func main() {
 		resilient = flag.Bool("resilient", false, "retry resource-aborted runs down the degradation ladder (early projection, then bucket elimination) instead of annotating them as failures")
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,experiment.panic=0.1' (see internal/faultinject); for robustness drills")
 		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
+		methods   = flag.String("methods", "", "comma-separated method list overriding the paper's default grid (straightforward, earlyprojection, reordering, bucketelimination, yannakakis)")
 	)
 	flag.Parse()
 
@@ -67,6 +70,14 @@ func main() {
 		Seed: *seed, Reps: *reps, Timeout: *timeout, Workers: *workers,
 		MaxBytes: int64(*membudget) << 20, Resilient: *resilient,
 		MaxWidth: *maxwidth,
+	}
+	if *methods != "" {
+		ms, err := parseMethods(*methods)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -methods:", err)
+			os.Exit(1)
+		}
+		base.Methods = ms
 	}
 	if *cache || *cachemb > 0 {
 		base.Cache = engine.NewCache(int64(*cachemb) << 20)
@@ -146,6 +157,32 @@ func main() {
 			return experiments.SATScaling(cfg, 2, n, []float64{0.5, 1, 1.5, 2, 3})
 		})
 	}
+}
+
+func parseMethods(spec string) ([]core.Method, error) {
+	known := append(append([]core.Method(nil), core.Methods...), core.MethodYannakakis)
+	var out []core.Method
+	for _, name := range strings.Split(spec, ",") {
+		m := core.Method(strings.TrimSpace(name))
+		if m == "" {
+			continue
+		}
+		ok := false
+		for _, k := range known {
+			if m == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown method %q", m)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty method list")
+	}
+	return out, nil
 }
 
 func scaleInt(x int, s float64, min int) int {

@@ -39,7 +39,7 @@ func main() {
 		family    = flag.String("family", "random", "graph family: random, augpath, ladder, augladder, augcircladder, cycle, complete")
 		order     = flag.Int("order", 15, "graph order (vertices for random, family parameter otherwise)")
 		density   = flag.Float64("density", 3.0, "edge density m/n (random family only)")
-		method    = flag.String("method", string(core.MethodBucketElimination), "optimization method: straightforward, earlyprojection, reordering, bucketelimination, hybrid")
+		method    = flag.String("method", string(core.MethodBucketElimination), "optimization method: straightforward, earlyprojection, reordering, bucketelimination, yannakakis, hybrid")
 		all       = flag.Bool("all", false, "run every method and compare")
 		free      = flag.Float64("free", 0, "fraction of vertices kept free (0 = Boolean query)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -205,7 +205,13 @@ func main() {
 			continue
 		}
 		if *explain {
-			out, err := engine.Explain(p, db, opt, true)
+			var out string
+			var err error
+			if m == core.MethodYannakakis {
+				out, err = engine.ExplainYannakakis(q, db, opt, true)
+			} else {
+				out, err = engine.Explain(p, db, opt, true)
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -213,7 +219,7 @@ func main() {
 			continue
 		}
 		st := plan.Analyze(p)
-		res, err := execute(p, q, db, opt, *resilient, rng)
+		res, err := execute(m, p, q, db, opt, *resilient, rng)
 		if err != nil {
 			fmt.Printf("%-18s width=%-3d ERROR: %v\n", m, st.Width, err)
 			continue
@@ -228,15 +234,25 @@ func main() {
 	}
 }
 
-// execute runs one plan, degrading down the method ladder when resil is
-// set: a row-cap, memory-budget, or internal failure retries with early
-// projection and then bucket elimination (engine.ExecResilient), logging
-// the abandoned rungs to stderr so the summary line stays comparable.
-func execute(p plan.Node, q *cq.Query, db cq.Database, opt engine.Options, resil bool, rng *rand.Rand) (*engine.Result, error) {
-	if !resil {
+// execute runs one method, degrading down the method ladder when resil
+// is set: a row-cap, memory-budget, or internal failure retries with
+// early projection and then bucket elimination, logging the abandoned
+// rungs to stderr so the summary line stays comparable. The yannakakis
+// method executes the full reducer instead of the (surrogate) plan.
+func execute(m core.Method, p plan.Node, q *cq.Query, db cq.Database, opt engine.Options, resil bool, rng *rand.Rand) (*engine.Result, error) {
+	var res *engine.Result
+	var err error
+	switch {
+	case m == core.MethodYannakakis && resil:
+		res, err = engine.ExecResilientStrategy(context.Background(),
+			resilience.YannakakisRung(q), resilience.PlanLadder(q, rng), db, opt, 1)
+	case m == core.MethodYannakakis:
+		return engine.ExecYannakakis(q, db, opt)
+	case resil:
+		res, err = engine.ExecResilient(context.Background(), p, resilience.DegradationLadder(q, rng), db, opt, 1)
+	default:
 		return engine.Exec(p, db, opt)
 	}
-	res, err := engine.ExecResilient(context.Background(), p, resilience.DegradationLadder(q, rng), db, opt, 1)
 	if res != nil && len(res.Stats.Attempts) > 1 {
 		for _, a := range res.Stats.Attempts {
 			if a.Err != "" {
@@ -313,7 +329,7 @@ func runSuite(path string, method core.Method, all bool, opt engine.Options, res
 				fatal(fmt.Errorf("%s %s: %w", sp.Name, m, err))
 			}
 			st := plan.Analyze(p)
-			res, err := execute(p, q, db, opt, resil, rng)
+			res, err := execute(m, p, q, db, opt, resil, rng)
 			if err != nil {
 				fmt.Printf("%-28s %-18s width=%-3d TIMEOUT/%v\n", sp.Name, m, st.Width, err)
 				continue

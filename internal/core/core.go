@@ -45,6 +45,15 @@ const (
 	MethodBucketElimination Method = "bucketelimination"
 )
 
+// MethodYannakakis names the Yannakakis full-reducer execution strategy
+// (engine.ExecYannakakis): semijoin-sweep the MCS join tree, then
+// evaluate bag by bag. It is deliberately not in Methods — it is an
+// execution strategy, not a plan shape; BuildPlan returns the
+// tree-decomposition plan over the same join tree as its static surrogate
+// for width admission and EXPLAIN, but executing that plan does not
+// perform the reduction.
+const MethodYannakakis Method = "yannakakis"
+
 // Methods lists all structural methods in presentation order.
 var Methods = []Method{
 	MethodStraightforward,
@@ -66,6 +75,10 @@ func BuildPlan(m Method, q *cq.Query, rng *rand.Rand) (plan.Node, error) {
 		return Reordering(q, rng)
 	case MethodBucketElimination:
 		return BucketElimination(q, rng)
+	case MethodYannakakis:
+		// The static surrogate: same MCS join tree the full reducer
+		// sweeps, lowered to a plan (no semijoin reduction).
+		return TreeDecompositionPlan(q, OrderMCS, rng)
 	default:
 		return nil, fmt.Errorf("core: unknown method %q", m)
 	}

@@ -74,6 +74,15 @@ type Stats struct {
 	// Cache hits replay the memoized subtree's byte count, so cache-on
 	// and cache-off totals match.
 	Bytes int64
+	// MaterializedTuples counts tuples written into operator outputs by
+	// Join and Project (and the Yannakakis bag evaluation) — the
+	// materialization a full-reducer sweep exists to minimize. Cache
+	// hits replay the memoized subtree's count, like Bytes.
+	MaterializedTuples int64
+	// ReducedTuples counts tuples eliminated by semijoin reduction
+	// (the Yannakakis full-reducer sweeps). Zero for the plan
+	// executors, which never semijoin.
+	ReducedTuples int64
 	// Attempts records the degradation history of an ExecResilient run:
 	// one entry per plan tried, in order, the last being the one whose
 	// stats this struct carries. Nil for the plain entry points.
@@ -98,6 +107,8 @@ func (s *Stats) merge(o *Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.Bytes += o.Bytes
+	s.MaterializedTuples += o.MaterializedTuples
+	s.ReducedTuples += o.ReducedTuples
 }
 
 // Result is the outcome of executing a plan.
@@ -299,6 +310,7 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 		}
 		st.Joins++
 		st.Bytes += out.Bytes()
+		st.MaterializedTuples += int64(out.Len())
 		observe(st, out)
 		ex.record(n, out, false)
 		return out, nil
@@ -314,6 +326,7 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 		}
 		st.Projections++
 		st.Bytes += out.Bytes()
+		st.MaterializedTuples += int64(out.Len())
 		observe(st, out)
 		ex.record(n, out, false)
 		return out, nil

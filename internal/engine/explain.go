@@ -62,10 +62,69 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 			fmt.Fprintf(&b, " (budget %d)", opt.MaxBytes)
 		}
 		b.WriteString("\n")
+		fmt.Fprintf(&b, "tuples: materialized=%d reduced=%d\n",
+			ex.stats.MaterializedTuples, ex.stats.ReducedTuples)
 	}
 	if analyze && opt.Cache != nil {
 		fmt.Fprintf(&b, "cache: run hits=%d misses=%d; %s\n",
 			ex.stats.CacheHits, ex.stats.CacheMisses, opt.Cache.Counters())
+	}
+	return b.String(), nil
+}
+
+// ExplainYannakakis renders the full-reducer join tree for q: one line
+// per bag with its working and projected labels and the atoms it hosts.
+// When analyze is true the sweep executes under opt and each bag line is
+// annotated with its per-phase cardinalities — rows after binding, after
+// the bottom-up sweep (⋉↑), after the top-down sweep (⋉↓), and the
+// evaluated output — followed by the run's reduced-vs-materialized
+// totals.
+func ExplainYannakakis(q *cq.Query, db cq.Database, opt Options, analyze bool) (string, error) {
+	tree, err := BuildJoinTree(q, nil)
+	if err != nil {
+		return "", err
+	}
+	var root *ybag
+	var st Stats
+	if analyze {
+		res, r, err := execYannakakis(context.Background(), tree, db, opt)
+		if err != nil {
+			return "", err
+		}
+		root, st = r, res.Stats
+	} else {
+		root = buildBags(tree.Root, nil)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "yannakakis full reducer  width=%d\n", tree.Width())
+	var walk func(y *ybag, depth int)
+	walk = func(y *ybag, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		fmt.Fprintf(&b, "%sbag %s → π%s", indent, varList(y.node.Working), varList(y.node.Projected))
+		for _, a := range y.atoms {
+			fmt.Fprintf(&b, "  %s", a)
+		}
+		if analyze {
+			if y.bound >= 0 {
+				fmt.Fprintf(&b, "  rows=%d ⋉↑%d ⋉↓%d", y.bound, y.afterUp, y.afterDown)
+			}
+			if y.out >= 0 {
+				fmt.Fprintf(&b, " out=%d", y.out)
+			}
+		}
+		b.WriteString("\n")
+		for _, c := range y.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	if analyze {
+		fmt.Fprintf(&b, "reduced: %d tuples removed by semijoin sweeps\n", st.ReducedTuples)
+		fmt.Fprintf(&b, "materialized: %d tuples, %d bytes", st.MaterializedTuples, st.Bytes)
+		if opt.MaxBytes > 0 {
+			fmt.Fprintf(&b, " (budget %d)", opt.MaxBytes)
+		}
+		b.WriteString("\n")
 	}
 	return b.String(), nil
 }

@@ -18,14 +18,21 @@ import (
 // elimination stays polynomial, so a failure of the former is an
 // instruction to re-plan, not a property of the query.
 
-// Fallback is one rung of a degradation ladder: a plan construction to
-// try when the previous rung failed degradably.
+// Fallback is one rung of a degradation ladder: a plan construction (or
+// a plan-free execution strategy) to try when the previous rung failed
+// degradably.
 type Fallback struct {
 	// Name labels the rung in Stats.Attempts (typically the method name).
 	Name string
 	// Build constructs the rung's plan. It runs only if the rung is
 	// reached, so expensive plan construction is paid on demand.
 	Build func() (plan.Node, error)
+	// Run, when non-nil, executes the rung directly instead of building
+	// a plan — for strategies that are not plan-shaped, like the
+	// Yannakakis full reducer (ExecYannakakisContext). Build is ignored
+	// when Run is set. Run must return a non-nil Result even on
+	// failure, as the engine's entry points do.
+	Run func(ctx context.Context, db cq.Database, opt Options) (*Result, error)
 }
 
 // Attempt records one rung of an ExecResilient run.
@@ -63,39 +70,61 @@ func Degradable(err error) bool {
 func ExecResilient(ctx context.Context, n plan.Node, fallbacks []Fallback,
 	db cq.Database, opt Options, workers int) (*Result, error) {
 
+	given := Fallback{Name: "given", Build: func() (plan.Node, error) { return n, nil }}
+	return ExecResilientStrategy(ctx, given, fallbacks, db, opt, workers)
+}
+
+// ExecResilientStrategy is ExecResilient with an arbitrary first rung:
+// the server's Yannakakis routing leads with a Run-style rung
+// (resilience.YannakakisRung) and degrades to plan-based methods. Only
+// the first rung may use the parallel executor (and only when it is
+// plan-based); fallback rungs run sequentially, as in ExecResilient.
+func ExecResilientStrategy(ctx context.Context, first Fallback, fallbacks []Fallback,
+	db cq.Database, opt Options, workers int) (*Result, error) {
+
 	var attempts []Attempt
-	try := func(name string, p plan.Node) (*Result, error) {
-		var res *Result
-		var err error
-		if workers > 1 && len(attempts) == 0 {
-			res, err = ExecParallelContext(ctx, p, db, opt, workers)
+	// try executes one rung; ok is false when plan construction failed
+	// (the attempt is recorded with a "plan: " prefix and the caller
+	// keeps the previous rung's result and error).
+	try := func(fb Fallback, isFirst bool) (res *Result, err error, ok bool) {
+		if fb.Run != nil {
+			res, err = fb.Run(ctx, db, opt)
 		} else {
-			res, err = ExecContext(ctx, p, db, opt)
+			var p plan.Node
+			p, err = fb.Build()
+			if err != nil {
+				attempts = append(attempts, Attempt{Method: fb.Name, Err: "plan: " + err.Error()})
+				return nil, err, false
+			}
+			if isFirst && workers > 1 {
+				res, err = ExecParallelContext(ctx, p, db, opt, workers)
+			} else {
+				res, err = ExecContext(ctx, p, db, opt)
+			}
 		}
-		a := Attempt{
-			Method:  name,
-			Elapsed: res.Stats.Elapsed,
-			MaxRows: res.Stats.MaxRows,
-			Bytes:   res.Stats.Bytes,
+		a := Attempt{Method: fb.Name}
+		if res != nil {
+			a.Elapsed = res.Stats.Elapsed
+			a.MaxRows = res.Stats.MaxRows
+			a.Bytes = res.Stats.Bytes
 		}
 		if err != nil {
 			a.Err = err.Error()
 		}
 		attempts = append(attempts, a)
-		return res, err
+		return res, err, true
 	}
 
-	res, err := try("given", n)
+	res, err, _ := try(first, true)
 	for _, fb := range fallbacks {
 		if err == nil || !Degradable(err) {
 			break
 		}
-		p, berr := fb.Build()
-		if berr != nil {
-			attempts = append(attempts, Attempt{Method: fb.Name, Err: "plan: " + berr.Error()})
+		r, e, ok := try(fb, false)
+		if !ok {
 			continue
 		}
-		res, err = try(fb.Name, p)
+		res, err = r, e
 	}
 	if res != nil {
 		res.Stats.Attempts = attempts

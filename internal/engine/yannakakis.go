@@ -1,0 +1,392 @@
+// Yannakakis full-reducer execution (ROADMAP item 2).
+//
+// The plan executors materialize every intermediate a plan names, and on
+// low-width queries most of that work is wasted: once a join tree exists,
+// a bottom-up then top-down semijoin sweep deletes every tuple that
+// cannot contribute to the answer ("Algorithms for Optimizing Acyclic
+// Queries", arXiv 2509.14144 — the classic Yannakakis algorithm), after
+// which the bag-by-bag evaluation is output-bounded. This file implements
+// that strategy over the paper's own machinery: the MCS elimination order
+// (Section 5), the induced tree decomposition, and the join-expression
+// tree of Algorithm 3 (internal/jointree).
+//
+// Execution runs in four phases over the interior nodes of the join tree:
+//
+//  1. bind: each bag materializes the join of the atoms hosted at it
+//     (width-bounded by construction — this is the only joining that
+//     happens before reduction);
+//  2. bottom-up sweep: children before parents, each bag semijoin-reduces
+//     its parent (relation.SemijoinFilter — in place, no copying);
+//  3. top-down sweep: parents before children, each bag is reduced by its
+//     parent. After both sweeps the bags are fully reduced along every
+//     tree edge;
+//  4. evaluate: bottom-up, each bag joins its children's results and
+//     projects onto its interface with the parent (Node.Projected), the
+//     root projecting onto the target schema.
+//
+// Tuples deleted by phase 2/3 are counted in Stats.ReducedTuples; tuples
+// written by phases 1 and 4 in Stats.MaterializedTuples. Like the plan
+// executors, every kernel call is context-cancellable, deadline-bounded,
+// and charged against the shared MaxBytes budget; a panic anywhere in the
+// sweep is isolated and surfaces as ErrInternal.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/joingraph"
+	"projpush/internal/jointree"
+	"projpush/internal/relation"
+	"projpush/internal/treedec"
+)
+
+// DefaultYannakakisWidth is the default MCS-elimination-width threshold
+// below which the server and the degradation ladder prefer the Yannakakis
+// full reducer: acyclic queries have elimination width at most the atom
+// arity, and the full reducer's intermediates stay output-bounded while
+// the width (hence bag size) is small.
+const DefaultYannakakisWidth = 3
+
+// BuildJoinTree constructs the join-expression tree the full reducer
+// sweeps: MCS elimination order seeded with the target schema, the
+// induced tree decomposition, then Algorithm 3. rng seeds the MCS
+// tie-breaking; nil is deterministic.
+func BuildJoinTree(q *cq.Query, rng *rand.Rand) (*jointree.Tree, error) {
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("engine: query has no atoms")
+	}
+	jg := joingraph.Build(q)
+	elim := treedec.EliminationOrder(treedec.MCS(jg.G, jg.Vertices(q.Free), rng))
+	dec := treedec.FromOrder(jg.G, elim)
+	return jointree.FromDecomposition(q, jg, dec)
+}
+
+// MCSElimWidth returns the induced width of q's join graph under the
+// (deterministic) MCS elimination order — the static signal admission
+// control and the degradation ladder use to decide whether the full
+// reducer should run: width ≤ DefaultYannakakisWidth means the bags stay
+// small and the sweep's intermediates stay output-bounded.
+func MCSElimWidth(q *cq.Query) int {
+	jg := joingraph.Build(q)
+	elim := treedec.EliminationOrder(treedec.MCS(jg.G, jg.Vertices(q.Free), nil))
+	return treedec.InducedWidth(jg.G, elim)
+}
+
+// ybag is one interior node of the join tree during a sweep: the bag
+// relation (join of the atoms hosted here; nil when the bag hosts none)
+// plus the per-phase row counts EXPLAIN ANALYZE renders.
+type ybag struct {
+	node     *jointree.Node
+	parent   *ybag
+	children []*ybag
+	atoms    []*cq.Atom
+
+	rel *relation.Relation
+
+	// Row counts per phase: after bind, after the bottom-up sweep,
+	// after the top-down sweep, and the evaluated output. -1 = no bag
+	// relation (the node hosts no atoms).
+	bound, afterUp, afterDown, out int
+}
+
+// buildBags mirrors the interior skeleton of the join tree, splitting
+// each node's children into hosted atoms and interior subtrees. Interior
+// bags hosting no atoms have no relation for the sweeps to reduce — left
+// in place they would cut the reduction path between their children and
+// their parent — so buildBags splices them out, lifting their children to
+// the grandparent. Semijoin edges stay correct under any tree surgery
+// (each kernel call matches on the actual shared attributes); only the
+// root may remain atom-less, and eval handles it by joining the child
+// results directly.
+func buildBags(n *jointree.Node, parent *ybag) *ybag {
+	b := &ybag{node: n, parent: parent, bound: -1, afterUp: -1, afterDown: -1, out: -1}
+	for _, c := range n.Children {
+		if c.Atom != nil {
+			b.atoms = append(b.atoms, c.Atom)
+		} else {
+			cb := buildBags(c, b)
+			if len(cb.atoms) == 0 {
+				for _, gc := range cb.children {
+					gc.parent = b
+					b.children = append(b.children, gc)
+				}
+			} else {
+				b.children = append(b.children, cb)
+			}
+		}
+	}
+	return b
+}
+
+// preorder collects the bag tree in pre-order (parents before children).
+func preorder(b *ybag, out []*ybag) []*ybag {
+	out = append(out, b)
+	for _, c := range b.children {
+		out = preorder(c, out)
+	}
+	return out
+}
+
+// yexec is the full reducer's execution state: the same limits and stats
+// frame as the plan executors, threaded through one shared byte counter.
+type yexec struct {
+	db       cq.Database
+	ctx      context.Context
+	deadline time.Time
+	maxRows  int
+	maxBytes int64
+	bytes    atomic.Int64
+	stats    Stats
+}
+
+func (ex *yexec) lim() *relation.Limit {
+	return &relation.Limit{
+		MaxRows:  ex.maxRows,
+		Deadline: ex.deadline,
+		Work:     &ex.stats.Work,
+		Ctx:      ex.ctx,
+		MaxBytes: ex.maxBytes,
+		Bytes:    &ex.bytes,
+	}
+}
+
+// bind resolves one atom against the database as a zero-copy renamed
+// view, exactly like the plan executors' Scan.
+func (ex *yexec) bind(a *cq.Atom) (*relation.Relation, error) {
+	rel, ok := ex.db[a.Rel]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relation %q", a.Rel)
+	}
+	if rel.Arity() != len(a.Args) {
+		return nil, fmt.Errorf("engine: atom %s arity mismatch with relation (%d columns)",
+			a, rel.Arity())
+	}
+	m := make(map[relation.Attr]relation.Attr, rel.Arity())
+	for i, attr := range rel.Attrs() {
+		m[attr] = a.Args[i]
+	}
+	bound := relation.Rename(rel, m)
+	observe(&ex.stats, bound)
+	return bound, nil
+}
+
+// materialize computes the bag relation: the join of the atoms hosted at
+// the bag. Bags host few atoms and the join's schema is bounded by the
+// bag (width+1 variables), so this is the cheap, width-bounded part of
+// materialization; an atom-less root (the only atom-less bag buildBags
+// keeps) stays nil and is skipped by the sweeps.
+func (ex *yexec) materialize(b *ybag) error {
+	if len(b.atoms) == 0 {
+		return nil
+	}
+	cur, err := ex.bind(b.atoms[0])
+	if err != nil {
+		return err
+	}
+	for _, a := range b.atoms[1:] {
+		next, err := ex.bind(a)
+		if err != nil {
+			return err
+		}
+		out, err := relation.JoinLimited(cur, next, ex.lim())
+		if err != nil {
+			return err
+		}
+		ex.stats.Joins++
+		ex.stats.Bytes += out.Bytes()
+		ex.stats.MaterializedTuples += int64(out.Len())
+		observe(&ex.stats, out)
+		cur = out
+	}
+	b.rel = cur
+	b.bound = cur.Len()
+	return nil
+}
+
+// reduce semijoin-filters target's bag relation by source's, in place,
+// crediting the deleted tuples to Stats.ReducedTuples. Bags without a
+// relation neither reduce nor get reduced — correctness never depends on
+// a sweep edge, only the amount of reduction does.
+func (ex *yexec) reduce(target, source *ybag) error {
+	if target.rel == nil || source.rel == nil {
+		return nil
+	}
+	out, removed, err := relation.SemijoinFilter(target.rel, source.rel, ex.lim())
+	if err != nil {
+		return err
+	}
+	ex.stats.ReducedTuples += int64(removed)
+	target.rel = out
+	return nil
+}
+
+// eval computes the subtree result bottom-up: the bag relation joined
+// with every child's result, projected onto the node's interface with
+// its parent.
+func (ex *yexec) eval(b *ybag) (*relation.Relation, error) {
+	cur := b.rel
+	for _, c := range b.children {
+		cr, err := ex.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
+			cur = cr
+			continue
+		}
+		out, err := relation.JoinLimited(cur, cr, ex.lim())
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.Joins++
+		ex.stats.Bytes += out.Bytes()
+		ex.stats.MaterializedTuples += int64(out.Len())
+		observe(&ex.stats, out)
+		cur = out
+	}
+	if cur == nil {
+		// Validate guarantees interior nodes have children, so a bag
+		// with no atoms has interior children with results.
+		return nil, fmt.Errorf("engine: yannakakis bag with no relation")
+	}
+	if len(b.node.Projected) != len(cur.Attrs()) {
+		out, err := relation.ProjectLimited(cur, b.node.Projected, ex.lim())
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.Projections++
+		ex.stats.Bytes += out.Bytes()
+		ex.stats.MaterializedTuples += int64(out.Len())
+		observe(&ex.stats, out)
+		cur = out
+	}
+	b.out = cur.Len()
+	return cur, nil
+}
+
+// run executes the four phases over the bag tree, panic-isolated: a fault
+// anywhere inside the sweep surfaces as a *relation.PanicError, which
+// classifyErr maps to ErrInternal.
+func (ex *yexec) run(t *jointree.Tree) (root *ybag, rel *relation.Relation, err error) {
+	defer relation.RecoverPanic(&err)
+	root = buildBags(t.Root, nil)
+	order := preorder(root, nil)
+
+	// Phase 1: bind atoms and materialize the bag relations.
+	for _, b := range order {
+		if err := ex.materialize(b); err != nil {
+			return root, nil, err
+		}
+	}
+	// Phase 2: bottom-up sweep. Reverse pre-order processes every
+	// descendant of a node before the node itself, so when b reduces
+	// its parent, b's bag already reflects b's whole subtree.
+	for i := len(order) - 1; i >= 0; i-- {
+		if b := order[i]; b.parent != nil {
+			if err := ex.reduce(b.parent, b); err != nil {
+				return root, nil, err
+			}
+		}
+	}
+	for _, b := range order {
+		if b.rel != nil {
+			b.afterUp = b.rel.Len()
+		}
+	}
+	// Phase 3: top-down sweep, parents before children.
+	for _, b := range order {
+		if b.parent != nil {
+			if err := ex.reduce(b, b.parent); err != nil {
+				return root, nil, err
+			}
+		}
+	}
+	for _, b := range order {
+		if b.rel != nil {
+			b.afterDown = b.rel.Len()
+		}
+	}
+	// Phase 4: bag-by-bag evaluation up the tree.
+	out, err := ex.eval(root)
+	if err != nil {
+		return root, nil, err
+	}
+	// The root's schema is set-equal to the target schema (Validate);
+	// align the column order with the plan executors' final projection.
+	if !sameVarsOrdered(out.Attrs(), t.Query.Free) {
+		final, err := relation.ProjectLimited(out, t.Query.Free, ex.lim())
+		if err != nil {
+			return root, nil, err
+		}
+		ex.stats.Projections++
+		ex.stats.Bytes += final.Bytes()
+		ex.stats.MaterializedTuples += int64(final.Len())
+		observe(&ex.stats, final)
+		out = final
+	}
+	return root, out, nil
+}
+
+func sameVarsOrdered(a []relation.Attr, b []cq.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExecYannakakis evaluates q with the full-reducer strategy. See
+// ExecYannakakisContext.
+func ExecYannakakis(q *cq.Query, db cq.Database, opt Options) (*Result, error) {
+	return ExecYannakakisContext(context.Background(), q, db, opt)
+}
+
+// ExecYannakakisContext builds the MCS join tree for q and executes it
+// with the full-reducer sweep. Errors are classified exactly like the
+// plan executors' (ErrTimeout, ErrCanceled, ErrRowLimit, ErrMemLimit,
+// ErrInternal); the returned Result is always non-nil and carries the
+// partial stats of a failed run. The subplan cache (opt.Cache) is
+// ignored: reduction mutates its inputs, so there are no immutable
+// subtree results to share.
+func ExecYannakakisContext(ctx context.Context, q *cq.Query, db cq.Database, opt Options) (*Result, error) {
+	tree, err := BuildJoinTree(q, nil)
+	if err != nil {
+		return &Result{}, err
+	}
+	return ExecYannakakisTree(ctx, tree, db, opt)
+}
+
+// ExecYannakakisTree runs the full-reducer sweep over an already-built
+// join tree.
+func ExecYannakakisTree(ctx context.Context, t *jointree.Tree, db cq.Database, opt Options) (*Result, error) {
+	res, _, err := execYannakakis(ctx, t, db, opt)
+	return res, err
+}
+
+func execYannakakis(ctx context.Context, t *jointree.Tree, db cq.Database, opt Options) (*Result, *ybag, error) {
+	ex := &yexec{
+		db:       db,
+		ctx:      ctx,
+		maxRows:  opt.MaxRows,
+		maxBytes: opt.MaxBytes,
+	}
+	if opt.Timeout > 0 {
+		ex.deadline = time.Now().Add(opt.Timeout)
+	}
+	start := time.Now()
+	root, rel, err := ex.run(t)
+	ex.stats.Elapsed = time.Since(start)
+	if err != nil {
+		return &Result{Stats: ex.stats}, root, classifyErr(err, ex.stats.Elapsed)
+	}
+	return &Result{Rel: rel, Stats: ex.stats}, root, nil
+}

@@ -293,6 +293,9 @@ type outcome struct {
 // execution duration (plan construction included; it is negligible, as
 // the paper notes for the subquery-based methods) and the plan width.
 func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
+	if m == core.MethodYannakakis {
+		return measureYannakakis(q, db, rng, cfg)
+	}
 	start := time.Now()
 	p, err := core.BuildPlan(m, q, rng)
 	if err != nil {
@@ -309,6 +312,31 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 			resilience.DegradationLadder(q, rng), db, cfg.execOptions(), 1)
 	} else {
 		res, err = engine.Exec(p, db, cfg.execOptions())
+	}
+	return outcome{d: time.Since(start), w: w,
+		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}
+}
+
+// measureYannakakis runs the full-reducer execution strategy: the join
+// tree replaces the plan, its width is the admission quantity, and
+// resilient runs degrade to the plan-based ladder.
+func measureYannakakis(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
+	start := time.Now()
+	tree, err := engine.BuildJoinTree(q, rng)
+	if err != nil {
+		return outcome{err: err}
+	}
+	w := tree.Width()
+	if cfg.MaxWidth > 0 && w > cfg.MaxWidth {
+		return outcome{w: w, err: fmt.Errorf("%w: join-tree width %d over admission cap %d",
+			engine.ErrOverWidth, w, cfg.MaxWidth)}
+	}
+	var res *engine.Result
+	if cfg.Resilient {
+		res, err = engine.ExecResilientStrategy(context.Background(),
+			resilience.YannakakisRung(q), resilience.PlanLadder(q, rng), db, cfg.execOptions(), 1)
+	} else {
+		res, err = engine.ExecYannakakisTree(context.Background(), tree, db, cfg.execOptions())
 	}
 	return outcome{d: time.Since(start), w: w,
 		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}

@@ -30,6 +30,9 @@ const (
 	AllocJoin Point = iota
 	// AllocProject fails allocations in the projection kernel.
 	AllocProject
+	// AllocSemijoin fails allocations in the semijoin kernels
+	// (SemijoinLimited and the in-place SemijoinFilter).
+	AllocSemijoin
 	// LatencyKernel injects artificial latency at kernel entry, for
 	// exercising deadlines and cancellation windows.
 	LatencyKernel
@@ -60,6 +63,7 @@ const (
 var pointNames = [numPoints]string{
 	AllocJoin:             "join.alloc",
 	AllocProject:          "project.alloc",
+	AllocSemijoin:         "semijoin.alloc",
 	LatencyKernel:         "kernel.latency",
 	PanicJoinWorker:       "join.panic",
 	PanicSubtreeWorker:    "subtree.panic",

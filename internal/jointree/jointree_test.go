@@ -1,4 +1,4 @@
-package jointree
+package jointree_test
 
 import (
 	"math/rand"
@@ -9,13 +9,14 @@ import (
 	"projpush/internal/graph"
 	"projpush/internal/instance"
 	"projpush/internal/joingraph"
+	"projpush/internal/jointree"
 	"projpush/internal/plan"
 	"projpush/internal/treedec"
 )
 
 // buildTree constructs the join-expression tree of the 3-COLOR query of g
 // from the tree decomposition induced by the given elimination order.
-func buildTree(t *testing.T, g *graph.Graph, elim []int) (*Tree, *cq.Query, *joingraph.JoinGraph) {
+func buildTree(t *testing.T, g *graph.Graph, elim []int) (*jointree.Tree, *cq.Query, *joingraph.JoinGraph) {
 	t.Helper()
 	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
 	if err != nil {
@@ -29,7 +30,7 @@ func buildTree(t *testing.T, g *graph.Graph, elim []int) (*Tree, *cq.Query, *joi
 	if err := dec.Validate(jg.G); err != nil {
 		t.Fatal(err)
 	}
-	tree, err := FromDecomposition(q, jg, dec)
+	tree, err := jointree.FromDecomposition(q, jg, dec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestTheorem1Cycle(t *testing.T) {
 			t.Fatal(err)
 		}
 		dec := treedec.FromOrder(jg.G, elim)
-		tree, err := FromDecomposition(q, jg, dec)
+		tree, err := jointree.FromDecomposition(q, jg, dec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestTheorem1Cycle(t *testing.T) {
 				trial, w, tw+1, g)
 		}
 		// Algorithm 1: back to a decomposition.
-		back := ToDecomposition(tree, jg)
+		back := jointree.ToDecomposition(tree, jg)
 		if err := back.Validate(jg.G); err != nil {
 			t.Fatalf("trial %d: Algorithm 1 output invalid: %v", trial, err)
 		}
@@ -146,7 +147,7 @@ func TestNonBooleanPlan(t *testing.T) {
 	jg := joingraph.Build(q)
 	elim := treedec.EliminationOrder(treedec.MCS(jg.G, jg.Vertices(q.Free), nil))
 	dec := treedec.FromOrder(jg.G, elim)
-	tree, err := FromDecomposition(q, jg, dec)
+	tree, err := jointree.FromDecomposition(q, jg, dec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestWidthMonotoneInDecompositionQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := FromDecomposition(q, jg, treedec.FromOrder(jg.G, optElim))
+	opt, err := jointree.FromDecomposition(q, jg, treedec.FromOrder(jg.G, optElim))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestWidthMonotoneInDecompositionQuality(t *testing.T) {
 	for i := range idElim {
 		idElim[i] = i
 	}
-	bad, err := FromDecomposition(q, jg, treedec.FromOrder(jg.G, idElim))
+	bad, err := jointree.FromDecomposition(q, jg, treedec.FromOrder(jg.G, idElim))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestValidateCatchesCorruptedTrees(t *testing.T) {
 	tree.Root.Projected = orig
 
 	// Corrupt a leaf's working label.
-	var leaf *Node
+	var leaf *jointree.Node
 	for _, n := range tree.Nodes() {
 		if n.Atom != nil {
 			leaf = n
@@ -283,7 +284,7 @@ func TestTheorem1NonBoolean(t *testing.T) {
 			t.Fatal(err)
 		}
 		dec := treedec.FromOrder(jg.G, elim)
-		tree, err := FromDecomposition(q, jg, dec)
+		tree, err := jointree.FromDecomposition(q, jg, dec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,7 +294,7 @@ func TestTheorem1NonBoolean(t *testing.T) {
 		}
 		// The round trip still yields a valid decomposition: the free
 		// clique forces the target schema into one bag.
-		back := ToDecomposition(tree, jg)
+		back := jointree.ToDecomposition(tree, jg)
 		if err := back.Validate(jg.G); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -386,49 +386,12 @@ func SelectEq(r *Relation, a, b Attr) *Relation {
 
 // Semijoin returns the tuples of r that join with at least one tuple of o
 // (r ⋉ o). With no shared attributes, the result is r itself when o is
-// nonempty and empty otherwise.
+// nonempty and empty otherwise. It is SemijoinLimited (semijoin.go) with
+// no limits; it never fails.
 func Semijoin(r, o *Relation) *Relation {
-	shared := SharedAttrs(r, o)
-	out := New(r.attrs)
-	if len(shared) == 0 {
-		if o.Empty() {
-			return out
-		}
-		return r.Clone()
-	}
-	oKey := newKeyer(o, shared)
-	rKey := newKeyer(r, shared)
-	oPos := make([]int, len(shared))
-	rPos := make([]int, len(shared))
-	for i, a := range shared {
-		oPos[i] = o.pos[a]
-		rPos[i] = r.pos[a]
-	}
-	needVerify := !oKey.exact || !rKey.exact
-	oKeys := make([]uint64, o.n)
-	for i := range oKeys {
-		oKeys[i] = oKey.key(o.row(i))
-	}
-	table := newJoinTable(oKeys)
-	for i := 0; i < r.n; i++ {
-		t := r.row(i)
-		for e := table.first(rKey.key(t)); e != 0; e = table.next[e-1] {
-			if needVerify {
-				ot := o.row(int(table.rowOf[e-1]))
-				match := true
-				for j := range shared {
-					if ot[oPos[j]] != t[rPos[j]] {
-						match = false
-						break
-					}
-				}
-				if !match {
-					continue
-				}
-			}
-			out.Add(t)
-			break
-		}
+	out, err := SemijoinLimited(r, o, nil)
+	if err != nil {
+		panic("relation.Semijoin: unreachable error without limits: " + err.Error())
 	}
 	return out
 }

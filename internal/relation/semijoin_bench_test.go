@@ -1,0 +1,62 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Semijoin kernel microbenchmarks: the copying kernel (SemijoinLimited)
+// against the in-place filter (SemijoinFilter) across survivor rates.
+// The filter's advantage grows as the survivor rate rises — at 99% it
+// compacts almost nothing and at 100% it returns its receiver — while
+// the copying kernel always pays for a full output relation. `make
+// bench-json` pins the BenchmarkKernel* series in BENCH_relation.json.
+
+// semijoinInputs builds R(0,1) with `rows` tuples and S(1) holding the
+// fraction of the domain that makes ~hit of R's tuples survive R ⋉ S.
+func semijoinInputs(rows, domain int, hit float64) (*Relation, *Relation) {
+	rng := rand.New(rand.NewSource(7))
+	r := New([]Attr{0, 1})
+	for i := 0; i < rows; i++ {
+		r.Add(Tuple{Value(i), Value(rng.Intn(domain))})
+	}
+	s := New([]Attr{1})
+	keep := int(hit*float64(domain) + 0.5)
+	for _, v := range rng.Perm(domain)[:keep] {
+		s.Add(Tuple{Value(v)})
+	}
+	return r, s
+}
+
+func BenchmarkKernelSemijoin(b *testing.B) {
+	const rows, domain = 100_000, 1000
+	for _, hit := range []float64{0.01, 0.50, 0.99} {
+		r, s := semijoinInputs(rows, domain, hit)
+		b.Run(fmt.Sprintf("hit=%d%%/copy", int(hit*100)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := SemijoinLimited(r, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out
+			}
+		})
+		b.Run(fmt.Sprintf("hit=%d%%/filter", int(hit*100)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// The filter consumes its receiver; clone outside the
+				// timed region so only the kernel is measured.
+				b.StopTimer()
+				in := r.Clone()
+				b.StartTimer()
+				out, _, err := SemijoinFilter(in, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package relation
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// nestedLoopSemijoin is the trivially-correct oracle: keep each r-tuple
+// that agrees with some o-tuple on every shared attribute.
+func nestedLoopSemijoin(r, o *Relation) *Relation {
+	shared := SharedAttrs(r, o)
+	out := New(r.Attrs())
+	r.Each(func(rt Tuple) bool {
+		match := false
+		o.Each(func(ot Tuple) bool {
+			for _, a := range shared {
+				if rt[r.Pos(a)] != ot[o.Pos(a)] {
+					return true
+				}
+			}
+			match = true
+			return false
+		})
+		if match {
+			out.Add(rt)
+		}
+		return true
+	})
+	return out
+}
+
+func TestSemijoinKernelsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schemas := []struct{ r, o []Attr }{
+		{[]Attr{0, 1}, []Attr{1, 2}},
+		{[]Attr{0, 1, 2}, []Attr{1, 2}},
+		{[]Attr{0, 1}, []Attr{0, 1}},
+		{[]Attr{0, 1}, []Attr{2, 3}}, // disjoint
+	}
+	for trial := 0; trial < 60; trial++ {
+		sc := schemas[trial%len(schemas)]
+		r := randomRelation(rng, sc.r, rng.Intn(30), 4)
+		o := randomRelation(rng, sc.o, rng.Intn(30), 4)
+		want := nestedLoopSemijoin(r, o)
+
+		got, err := SemijoinLimited(r, o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: SemijoinLimited %v != oracle %v", trial, got, want)
+		}
+
+		// SemijoinFilter consumes its receiver: run it on a private clone.
+		in := r.Clone()
+		filtered, removed, err := SemijoinFilter(in, o, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !filtered.Equal(want) {
+			t.Fatalf("trial %d: SemijoinFilter %v != oracle %v", trial, filtered, want)
+		}
+		if removed != r.Len()-want.Len() {
+			t.Fatalf("trial %d: removed = %d, want %d", trial, removed, r.Len()-want.Len())
+		}
+	}
+}
+
+func TestSemijoinFilterAllSurviveIsIdentity(t *testing.T) {
+	r := edgeRelation(0, 1)
+	o := edgeRelation(1, 2) // every value matches: nothing removed
+	out, removed, err := SemijoinFilter(r, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("removed = %d, want 0", removed)
+	}
+	if out != r {
+		t.Fatal("all-survive filter must return the receiver without copying")
+	}
+}
+
+func TestSemijoinFilterSharedStorageCopies(t *testing.T) {
+	// Rename shares the arena; filtering one view must never disturb the
+	// sibling (an in-place compaction would).
+	base := edgeRelation(0, 1)
+	view := Rename(base, map[Attr]Attr{0: 3, 1: 4})
+	before := base.Clone()
+
+	single := New([]Attr{3})
+	single.Add(Tuple{2})
+	out, removed, err := SemijoinFilter(view, single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("selective filter removed nothing; test is vacuous")
+	}
+	if out == view {
+		t.Fatal("filter on shared storage must return a fresh relation")
+	}
+	if !base.Equal(before) {
+		t.Fatalf("sibling view corrupted: %v, want %v", base, before)
+	}
+	want, err := SemijoinLimited(view, single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatalf("shared-path filter %v != copying kernel %v", out, want)
+	}
+}
+
+func TestSemijoinFilterInPlaceRemainsUsable(t *testing.T) {
+	// After an in-place compaction the dedup index is rebuilt lazily;
+	// Contains, Add and a further filter must all behave.
+	rng := rand.New(rand.NewSource(9))
+	r := randomRelation(rng, []Attr{0, 1}, 40, 6)
+	sel := New([]Attr{0})
+	sel.Add(Tuple{1})
+	sel.Add(Tuple{2})
+	want := nestedLoopSemijoin(r, sel)
+
+	out, _, err := SemijoinFilter(r, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatalf("in-place filter %v != oracle %v", out, want)
+	}
+	out.Each(func(tu Tuple) bool {
+		if !out.Contains(tu) {
+			t.Fatalf("surviving tuple %v not found by Contains", tu)
+		}
+		return true
+	})
+	n := out.Len()
+	out.Add(Tuple{Value(99), Value(99)})
+	if out.Len() != n+1 || !out.Contains(Tuple{99, 99}) {
+		t.Fatal("Add after in-place filter failed")
+	}
+	if out.Add(Tuple{99, 99}) {
+		t.Fatal("dedup lost after in-place filter: duplicate accepted")
+	}
+}
+
+func TestSemijoinFilterEmptyCases(t *testing.T) {
+	r := edgeRelation(0, 1)
+	empty := New([]Attr{1})
+	out, removed, err := SemijoinFilter(r.Clone(), empty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 || removed != r.Len() {
+		t.Fatalf("filter by empty: len=%d removed=%d, want 0 and %d", out.Len(), removed, r.Len())
+	}
+
+	er := New([]Attr{0, 1})
+	out, removed, err = SemijoinFilter(er, edgeRelation(1, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 || removed != 0 {
+		t.Fatal("empty receiver must stay empty with nothing removed")
+	}
+
+	// Disjoint schemas: a nonempty other keeps everything, an empty
+	// other keeps nothing (Cartesian semantics).
+	non := New([]Attr{7})
+	non.Add(Tuple{0})
+	out, removed, err = SemijoinFilter(r.Clone(), non, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != r.Len() || removed != 0 {
+		t.Fatal("disjoint nonempty other must keep all tuples")
+	}
+	out, removed, err = SemijoinFilter(r.Clone(), New([]Attr{7}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 || removed != r.Len() {
+		t.Fatal("disjoint empty other must drop all tuples")
+	}
+}
+
+func TestSemijoinKernelsHonorCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := randomRelation(rng, []Attr{0, 1}, 20000, 50)
+	o := randomRelation(rng, []Attr{1, 2}, 20000, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SemijoinLimited(r, o, &Limit{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SemijoinLimited under canceled ctx: err = %v", err)
+	}
+	if _, _, err := SemijoinFilter(r.Clone(), o, &Limit{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SemijoinFilter under canceled ctx: err = %v", err)
+	}
+}
+
+func TestSemijoinLimitedChargesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := randomRelation(rng, []Attr{0, 1}, 5000, 20)
+	o := randomRelation(rng, []Attr{1, 2}, 5000, 20)
+	lim := &Limit{MaxBytes: 64}
+	if _, err := SemijoinLimited(r, o, lim); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("tiny byte budget: err = %v, want ErrMemBudget", err)
+	}
+}

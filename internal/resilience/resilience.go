@@ -5,6 +5,7 @@
 package resilience
 
 import (
+	"context"
 	"math/rand"
 
 	"projpush/internal/core"
@@ -14,17 +15,44 @@ import (
 )
 
 // DegradationLadder returns the fallback ladder for engine.ExecResilient:
-// the paper's methods ordered from cheapest re-plan to most robust. A
-// plan that blows the row cap or memory budget is almost always a
-// projection-pushing failure — the straightforward method's intermediates
-// are exponential exactly where early projection (Section 4) and bucket
-// elimination (Section 5) stay polynomial in the treewidth — so retrying
-// down this ladder turns a resource abort into the answer the safer
-// method would have produced all along.
+// when the query is narrow (MCS elimination width at most
+// engine.DefaultYannakakisWidth — acyclic queries always qualify), the
+// Yannakakis full reducer leads, because its semijoin sweeps delete
+// non-contributing tuples before anything is materialized and so survive
+// exactly the resource aborts that trigger the ladder; then the paper's
+// methods ordered from cheapest re-plan to most robust. A plan that blows
+// the row cap or memory budget is almost always a projection-pushing
+// failure — the straightforward method's intermediates are exponential
+// exactly where early projection (Section 4) and bucket elimination
+// (Section 5) stay polynomial in the treewidth — so retrying down this
+// ladder turns a resource abort into the answer the safer method would
+// have produced all along.
 //
 // rng seeds the bucket-elimination tie-breaking (nil is deterministic);
 // plans are constructed lazily, only if their rung is reached.
 func DegradationLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {
+	var ladder []engine.Fallback
+	if engine.MCSElimWidth(q) <= engine.DefaultYannakakisWidth {
+		ladder = append(ladder, YannakakisRung(q))
+	}
+	return append(ladder, PlanLadder(q, rng)...)
+}
+
+// YannakakisRung is the full-reducer rung: a Run-style fallback that
+// executes q with engine.ExecYannakakisContext. The server's narrow-query
+// routing also uses it as the first rung of ExecResilientStrategy.
+func YannakakisRung(q *cq.Query) engine.Fallback {
+	return engine.Fallback{
+		Name: string(core.MethodYannakakis),
+		Run: func(ctx context.Context, db cq.Database, opt engine.Options) (*engine.Result, error) {
+			return engine.ExecYannakakisContext(ctx, q, db, opt)
+		},
+	}
+}
+
+// PlanLadder is the plan-based part of the ladder: early projection, then
+// bucket elimination.
+func PlanLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {
 	return []engine.Fallback{
 		{
 			Name:  string(core.MethodEarlyProjection),

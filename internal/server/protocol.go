@@ -81,7 +81,8 @@ type Request struct {
 	Query string `json:"query,omitempty"`
 	// Method optionally overrides the server's default optimization
 	// method (straightforward, earlyprojection, reordering,
-	// bucketelimination).
+	// bucketelimination, yannakakis). When empty, narrow queries may be
+	// routed to the Yannakakis full reducer (Config.YannakakisWidth).
 	Method string `json:"method,omitempty"`
 	// Timeout optionally tightens the per-request execution deadline
 	// (a Go duration string); it can never extend the server's cap.
@@ -135,14 +136,19 @@ type AttemptInfo struct {
 // engine.Stats. An admission rejection carries no RunStats at all:
 // nothing ran, nothing was materialized.
 type RunStats struct {
-	MaxRows     int           `json:"max_rows"`
-	MaxArity    int           `json:"max_arity"`
-	Tuples      int64         `json:"tuples"`
-	Bytes       int64         `json:"bytes"`
-	Joins       int           `json:"joins"`
-	Projections int           `json:"projections"`
-	ElapsedUS   int64         `json:"elapsed_us"`
-	Attempts    []AttemptInfo `json:"attempts,omitempty"`
+	MaxRows     int   `json:"max_rows"`
+	MaxArity    int   `json:"max_arity"`
+	Tuples      int64 `json:"tuples"`
+	Bytes       int64 `json:"bytes"`
+	Joins       int   `json:"joins"`
+	Projections int   `json:"projections"`
+	// Materialized counts tuples written by joins, projections and bag
+	// evaluation; Reduced counts tuples deleted by the Yannakakis
+	// semijoin sweeps (zero for plan executors).
+	Materialized int64         `json:"materialized,omitempty"`
+	Reduced      int64         `json:"reduced,omitempty"`
+	ElapsedUS    int64         `json:"elapsed_us"`
+	Attempts     []AttemptInfo `json:"attempts,omitempty"`
 }
 
 // Health is the health endpoint's payload.

@@ -55,6 +55,12 @@ type Config struct {
 	// Workers is the executor's worker count for the direct path
 	// (default 1, the sequential executor).
 	Workers int
+	// YannakakisWidth routes requests that did not name a method to the
+	// Yannakakis full reducer when their MCS elimination width is at most
+	// this bound (default engine.DefaultYannakakisWidth; <0 disables the
+	// routing). Acyclic queries have elimination width 1 and always
+	// qualify under the default.
+	YannakakisWidth int
 	// Resilient runs every degradable failure down the degradation
 	// ladder even with a closed breaker. With it off, the ladder is
 	// used only while a method's breaker is open.
@@ -94,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.YannakakisWidth == 0 {
+		c.YannakakisWidth = engine.DefaultYannakakisWidth
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
@@ -403,8 +412,22 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	}
 	logEntry["verdict"] = "admitted"
 
+	// Narrow-query routing: requests that did not name a method run the
+	// Yannakakis full reducer when the elimination width is small — the
+	// semijoin sweeps make its peak memory proportional to the reduced
+	// inputs, not to any intermediate join.
+	if req.Method == "" && s.cfg.YannakakisWidth > 0 && verdict.ElimWidth <= s.cfg.YannakakisWidth {
+		method = core.MethodYannakakis
+		logEntry["method"] = string(method)
+	}
+
 	if req.Op == "explain" {
-		text, err := engine.Explain(p, db, engine.Options{}, false)
+		var text string
+		if method == core.MethodYannakakis {
+			text, err = engine.ExplainYannakakis(q, db, engine.Options{}, false)
+		} else {
+			text, err = engine.Explain(p, db, engine.Options{}, false)
+		}
 		if err != nil {
 			s.failed.Add(1)
 			return finish(&Response{Status: StatusError, Error: err.Error()})
@@ -439,12 +462,23 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	br := s.breakerFor(string(method))
 	direct := br.allowDirect()
 	var res *engine.Result
-	if s.cfg.Resilient || !direct {
+	switch {
+	case method == core.MethodYannakakis && (s.cfg.Resilient || !direct):
+		// Full reducer first, degrading to the plan-based ladder.
+		res, err = engine.ExecResilientStrategy(ctx, resilience.YannakakisRung(q),
+			resilience.PlanLadder(q, nil), db, opt, s.cfg.Workers)
+		if direct {
+			br.record(directOutcome(res))
+		}
+	case method == core.MethodYannakakis:
+		res, err = engine.ExecYannakakisContext(ctx, q, db, opt)
+		br.record(err)
+	case s.cfg.Resilient || !direct:
 		res, err = engine.ExecResilient(ctx, p, resilience.DegradationLadder(q, nil), db, opt, s.cfg.Workers)
 		if direct {
 			br.record(directOutcome(res))
 		}
-	} else {
+	default:
 		if s.cfg.Workers > 1 {
 			res, err = engine.ExecParallelContext(ctx, p, db, opt, s.cfg.Workers)
 		} else {
@@ -533,13 +567,15 @@ func answerOf(res *engine.Result) *Answer {
 // runStats converts engine stats for the wire.
 func runStats(st *engine.Stats) *RunStats {
 	rs := &RunStats{
-		MaxRows:     st.MaxRows,
-		MaxArity:    st.MaxArity,
-		Tuples:      st.Tuples,
-		Bytes:       st.Bytes,
-		Joins:       st.Joins,
-		Projections: st.Projections,
-		ElapsedUS:   st.Elapsed.Microseconds(),
+		MaxRows:      st.MaxRows,
+		MaxArity:     st.MaxArity,
+		Tuples:       st.Tuples,
+		Bytes:        st.Bytes,
+		Joins:        st.Joins,
+		Projections:  st.Projections,
+		Materialized: st.MaterializedTuples,
+		Reduced:      st.ReducedTuples,
+		ElapsedUS:    st.Elapsed.Microseconds(),
 	}
 	for _, a := range st.Attempts {
 		rs.Attempts = append(rs.Attempts, AttemptInfo{Method: a.Method, Err: a.Err})
@@ -557,6 +593,9 @@ func fingerprintID(p plan.Node) string {
 }
 
 func validMethod(m core.Method) bool {
+	if m == core.MethodYannakakis {
+		return true
+	}
 	for _, known := range core.Methods {
 		if m == known {
 			return true

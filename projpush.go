@@ -93,6 +93,10 @@ const (
 	EarlyProjection   = core.MethodEarlyProjection
 	Reordering        = core.MethodReordering
 	BucketElimination = core.MethodBucketElimination
+	// MethodYannakakis is the full-reducer execution strategy
+	// (ExecuteYannakakis); not listed in Methods since it is not a plan
+	// shape.
+	MethodYannakakis = core.MethodYannakakis
 )
 
 // Methods lists all optimization methods.
@@ -253,10 +257,11 @@ type Fallback = engine.Fallback
 // Attempt records one rung tried by ExecuteResilient (Stats.Attempts).
 type Attempt = engine.Attempt
 
-// DegradationLadder is the standard fallback ladder for a query: early
-// projection, then bucket elimination — the paper's methods ordered from
-// cheapest re-plan to most robust. rng drives bucket elimination's
-// tie-breaking; nil is deterministic.
+// DegradationLadder is the standard fallback ladder for a query: the
+// Yannakakis full reducer (narrow queries only), then early projection,
+// then bucket elimination — ordered from cheapest re-plan to most
+// robust. rng drives bucket elimination's tie-breaking; nil is
+// deterministic.
 func DegradationLadder(q *Query, rng *rand.Rand) []Fallback {
 	return resilience.DegradationLadder(q, rng)
 }
@@ -327,8 +332,29 @@ func BucketEliminationWeighted(q *Query, w Weights) (Plan, error) {
 func IsAcyclic(q *Query) bool { return acyclic.IsAcyclic(q) }
 
 // Yannakakis evaluates an acyclic query with full semijoin reduction and
-// linear-size intermediate results; it fails on cyclic queries.
+// linear-size intermediate results; it fails on cyclic queries. It is
+// the reference evaluator; ExecuteYannakakis is the governed engine
+// version (limits, cancellation, stats) that also handles low-width
+// cyclic queries through a tree decomposition.
 func Yannakakis(q *Query, db Database) (*Relation, error) { return acyclic.Evaluate(q, db) }
+
+// ExecuteYannakakis runs the query with the engine's Yannakakis full
+// reducer: the MCS join tree is semijoin-swept bottom-up and top-down so
+// every surviving tuple contributes to the answer, then evaluated bag by
+// bag. Works for any query whose join tree the decomposition machinery
+// produces; peak memory is proportional to the reduced inputs on
+// acyclic queries. Result.Stats.ReducedTuples counts the tuples the
+// sweeps removed.
+func ExecuteYannakakis(ctx context.Context, q *Query, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecYannakakisContext(ctx, q, db, opt)
+}
+
+// ExplainYannakakis renders the full-reducer join tree; with analyze
+// true it executes the sweep and annotates per-bag cardinalities and the
+// reduced-vs-materialized totals.
+func ExplainYannakakis(q *Query, db Database, opt ExecOptions, analyze bool) (string, error) {
+	return engine.ExplainYannakakis(q, db, opt, analyze)
+}
 
 // MiniBucketResult is the outcome of an approximate mini-bucket run.
 type MiniBucketResult = minibucket.Result

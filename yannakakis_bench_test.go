@@ -1,0 +1,151 @@
+package projpush
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/relation"
+)
+
+// Yannakakis-vs-bucket-elimination benchmarks on acyclic Figure-6–9-style
+// workloads with selective data — the regime the full reducer exists for.
+// On 3-COLOR the edge relation is complete over the colors and semijoins
+// delete nothing, so these workloads use per-atom random relations with a
+// selective atom: the plan methods materialize unreduced intermediates,
+// the sweep deletes the non-contributing tuples first. `make bench-json`
+// pins the series in BENCH_yannakakis.json; the stats-bytes metric is the
+// peak Stats.Bytes acceptance signal (B/op tracks it in the JSON).
+
+var ybenchOpts = engine.Options{Timeout: 30 * time.Second, MaxRows: 20_000_000}
+
+// runYMethod executes q b.N times under the method, reporting the
+// engine's materialized-bytes and peak-rows instrumentation.
+func runYMethod(b *testing.B, m core.Method, q *cq.Query, db cq.Database) {
+	b.Helper()
+	var bytes int64
+	var maxRows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res *engine.Result
+		var err error
+		if m == core.MethodYannakakis {
+			res, err = engine.ExecYannakakis(q, db, ybenchOpts)
+		} else {
+			p, perr := core.BuildPlan(m, q, nil)
+			if perr != nil {
+				b.Fatal(perr)
+			}
+			res, err = engine.Exec(p, db, ybenchOpts)
+		}
+		if err != nil {
+			b.Fatalf("%s aborted: %v", m, err)
+		}
+		bytes = res.Stats.Bytes
+		if res.Stats.MaxRows > maxRows {
+			maxRows = res.Stats.MaxRows
+		}
+	}
+	b.ReportMetric(float64(bytes), "stats-bytes")
+	b.ReportMetric(float64(maxRows), "maxrows")
+}
+
+func yMethods(b *testing.B, q *cq.Query, db cq.Database) {
+	for _, m := range []core.Method{core.MethodYannakakis, core.MethodBucketElimination, core.MethodEarlyProjection} {
+		m := m
+		b.Run(string(m), func(b *testing.B) { runYMethod(b, m, q, db) })
+	}
+}
+
+// randomRel builds a binary relation with rows random tuples, columns
+// drawn from the two domains.
+func randomRel(rng *rand.Rand, rows, domA, domB int) *relation.Relation {
+	r := relation.New([]relation.Attr{0, 1})
+	for i := 0; i < rows; i++ {
+		r.Add(relation.Tuple{relation.Value(rng.Intn(domA)), relation.Value(rng.Intn(domB))})
+	}
+	return r
+}
+
+// BenchmarkYannakakisChain is the Figure-6 path shape with a selective
+// head at the free end: bucket elimination eliminates from the far end,
+// so every middle bucket joins a nearly unreduced relation and the
+// 10-tuple head prunes only the very last join, while the top-down sweep
+// pushes the head's bindings across the whole chain before any join runs.
+// The domain matches the row count so selectivity propagates hop to hop
+// instead of saturating.
+func BenchmarkYannakakisChain(b *testing.B) {
+	const atoms, rows, dom = 8, 6000, 4000
+	rng := rand.New(rand.NewSource(3))
+	db := cq.Database{}
+	q := &cq.Query{Free: []cq.Var{0, 1}}
+	for i := 0; i < atoms; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rel := randomRel(rng, rows, dom, dom)
+		if i == 0 {
+			rel = randomRel(rng, 10, dom, dom) // the selective head
+		}
+		db[name] = rel
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: name, Args: []cq.Var{cq.Var(i), cq.Var(i + 1)}})
+	}
+	yMethods(b, q, db)
+}
+
+// BenchmarkYannakakisSpider is a two-level star (center x0, arms
+// x0—y_i—z_i) with one selective outer arm: bucket elimination
+// materializes each inner relation nearly in full when eliminating the
+// y_i (the selective arm's pruning reaches the other arms only at the
+// very last join), while the top-down sweep shrinks every arm to the few
+// surviving center values before any join runs.
+func BenchmarkYannakakisSpider(b *testing.B) {
+	const arms, rows, dom = 5, 5000, 2000
+	rng := rand.New(rand.NewSource(5))
+	db := cq.Database{}
+	q := &cq.Query{Free: []cq.Var{0}}
+	for i := 0; i < arms; i++ {
+		inner, outer := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		y, z := cq.Var(1+2*i), cq.Var(2+2*i)
+		db[inner] = randomRel(rng, rows, dom, dom)
+		if i == 0 {
+			db[outer] = randomRel(rng, 8, dom, dom) // the selective arm
+		} else {
+			db[outer] = randomRel(rng, rows, dom, dom)
+		}
+		q.Atoms = append(q.Atoms,
+			cq.Atom{Rel: inner, Args: []cq.Var{0, y}},
+			cq.Atom{Rel: outer, Args: []cq.Var{y, z}})
+	}
+	yMethods(b, q, db)
+}
+
+// BenchmarkYannakakisAugPath is the Figure-6 augmented path with
+// selective dangling edges: every path vertex carries a dangling atom
+// whose relation admits only a few path-vertex values, so the sweeps
+// shrink each path relation long before any join runs.
+func BenchmarkYannakakisAugPath(b *testing.B) {
+	const order, rows, dom = 10, 4000, 80
+	g := graph.AugmentedPath(order)
+	rng := rand.New(rand.NewSource(7))
+	db := cq.Database{}
+	q := &cq.Query{Free: []cq.Var{0, 1}}
+	for i, e := range g.Edges {
+		name := fmt.Sprintf("e%d", i)
+		dangling := e[1] >= order // dangling partners are numbered after the path
+		if dangling {
+			r := relation.New([]relation.Attr{0, 1})
+			for j := 0; j < 12; j++ {
+				r.Add(relation.Tuple{relation.Value(rng.Intn(dom)), relation.Value(rng.Intn(dom))})
+			}
+			db[name] = r
+		} else {
+			db[name] = randomRel(rng, rows, dom, dom)
+		}
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: name, Args: []cq.Var{cq.Var(e[0]), cq.Var(e[1])}})
+	}
+	yMethods(b, q, db)
+}
