@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos bench bench-json bench-yannakakis fuzz experiments clean
+.PHONY: all build vet test chaos bench bench-json bench-yannakakis bench-stream fuzz experiments clean
 
 all: build vet test
 
@@ -46,12 +46,21 @@ bench-json:
 	go test . -run '^$$' -bench '^BenchmarkYannakakis' -benchmem -benchtime 3x \
 		| go run ./cmd/benchjson > BENCH_yannakakis.json
 	@cat BENCH_yannakakis.json
+	go test . -run '^$$' -bench '^BenchmarkStream' -benchmem -benchtime 3x \
+		| go run ./cmd/benchjson > BENCH_stream.json
+	@cat BENCH_stream.json
 
 # The full-reducer-vs-plan-method series on acyclic selective workloads
 # (the stats-bytes metric in the text output is the peak Stats.Bytes
 # acceptance signal; B/op tracks it in the JSON).
 bench-yannakakis:
 	go test . -run '^$$' -bench '^BenchmarkYannakakis' -benchmem -benchtime 3x
+
+# The streaming-vs-materializing peak-memory series on the same selective
+# workloads (peak-bytes is the acceptance signal: stream at least 5x
+# under the iterator on chain and spider at equal-or-better latency).
+bench-stream:
+	go test . -run '^$$' -bench '^BenchmarkStream' -benchmem -benchtime 3x
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"projpush/internal/cqparse"
@@ -54,6 +55,14 @@ func main() {
 	var attempts int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	// inFlight tracks requests currently inside c.Query; peakInFlight is
+	// its high-water mark — the concurrency the server actually saw, as
+	// opposed to the -clients ceiling. aggBytes and aggPeakBytes sum the
+	// server-reported per-request Bytes and PeakBytes over successful
+	// answers: the total materialization the run cost the server.
+	var inFlight, peakInFlight int64
+	var aggBytes, aggPeakBytes int64
+	var statsN int64
 	start := time.Now()
 	for ci := 0; ci < *clients; ci++ {
 		wg.Add(1)
@@ -69,8 +78,21 @@ func main() {
 			for r := 0; r < *requests; r++ {
 				q := queries[rng.Intn(len(queries))]
 				t0 := time.Now()
+				now := atomic.AddInt64(&inFlight, 1)
+				for {
+					peak := atomic.LoadInt64(&peakInFlight)
+					if now <= peak || atomic.CompareAndSwapInt64(&peakInFlight, peak, now) {
+						break
+					}
+				}
 				resp, err := c.Query(context.Background(), q, *method)
+				atomic.AddInt64(&inFlight, -1)
 				lat := time.Since(t0)
+				if resp != nil && resp.Stats != nil {
+					atomic.AddInt64(&aggBytes, resp.Stats.Bytes)
+					atomic.AddInt64(&aggPeakBytes, resp.Stats.PeakBytes)
+					atomic.AddInt64(&statsN, 1)
+				}
 				status := "transport_error"
 				if resp != nil {
 					status = string(resp.Status)
@@ -117,6 +139,9 @@ func main() {
 	}
 	fmt.Printf("latency p50=%v p95=%v max=%v\n",
 		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+	fmt.Printf("concurrency peak=%d in flight (of %d clients)\n", peakInFlight, *clients)
+	fmt.Printf("server bytes: total=%d peak-live=%d across %d answered requests\n",
+		aggBytes, aggPeakBytes, statsN)
 }
 
 // buildQueries returns the request texts: the query file verbatim, or a

@@ -37,6 +37,8 @@ func main() {
 		method      = flag.String("method", string(core.MethodBucketElimination), "default optimization method")
 		maxWidth    = flag.Int("maxwidth", 0, "admission threshold on predicted plan width (0 = off)")
 		maxAGM      = flag.Float64("maxagm", 0, "admission threshold on the AGM output bound, in log2 rows (0 = off)")
+		maxPeak     = flag.Int("maxpeak", 0, "admission threshold on predicted streaming peak bytes, in MiB (0 = off)")
+		streamWidth = flag.Int("streamwidth", 0, "route method-less queries up to this elimination width to the streaming engine (0 = engine default, <0 = off)")
 		concurrency = flag.Int("concurrency", 4, "concurrently executing requests")
 		queue       = flag.Int("queue", 0, "bounded wait queue ahead of the executors (0 = 2x concurrency)")
 		queueWait   = flag.Duration("queuewait", time.Second, "max time a request may queue before being shed")
@@ -68,20 +70,22 @@ func main() {
 	}
 
 	cfg := server.Config{
-		DB:               db,
-		Method:           core.Method(*method),
-		MaxWidth:         *maxWidth,
-		MaxAGMLog2:       *maxAGM,
-		MaxConcurrent:    *concurrency,
-		MaxQueue:         *queue,
-		QueueWait:        *queueWait,
-		RequestTimeout:   *timeout,
-		MaxRows:          *maxRows,
-		MaxBytes:         int64(*membudget) << 20,
-		Workers:          *workers,
-		Resilient:        *resilient,
-		BreakerThreshold: *brkN,
-		BreakerCooldown:  *brkCool,
+		DB:                db,
+		Method:            core.Method(*method),
+		MaxWidth:          *maxWidth,
+		MaxAGMLog2:        *maxAGM,
+		MaxPredictedBytes: int64(*maxPeak) << 20,
+		StreamWidth:       *streamWidth,
+		MaxConcurrent:     *concurrency,
+		MaxQueue:          *queue,
+		QueueWait:         *queueWait,
+		RequestTimeout:    *timeout,
+		MaxRows:           *maxRows,
+		MaxBytes:          int64(*membudget) << 20,
+		Workers:           *workers,
+		Resilient:         *resilient,
+		BreakerThreshold:  *brkN,
+		BreakerCooldown:   *brkCool,
 	}
 	if *cachemb > 0 {
 		cfg.Cache = engine.NewCache(int64(*cachemb) << 20)

@@ -251,3 +251,47 @@ func TestFacadeResourceGovernor(t *testing.T) {
 		t.Fatal("augmented circular ladder is 3-colorable")
 	}
 }
+
+func TestFacadeStream(t *testing.T) {
+	g := AugmentedLadder(4)
+	q, err := ColorQuery(g, BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ColorDatabase(3)
+
+	res, err := Run(MethodStream, q, db, ExecOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(BucketElimination, q, db, ExecOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rel.Equal(ref.Rel) {
+		t.Fatal("streaming and bucket-elimination answers disagree")
+	}
+	// Streaming stats report peak live bytes, not a cumulative total.
+	if res.Stats.PeakBytes <= 0 || res.Stats.Bytes != res.Stats.PeakBytes {
+		t.Fatalf("stream stats Bytes=%d PeakBytes=%d, want equal positive peaks",
+			res.Stats.Bytes, res.Stats.PeakBytes)
+	}
+
+	p, err := BuildPlan(MethodStream, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExplainStream(p, db, ExecOptions{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "stream pipeline") || !strings.Contains(out, "rows=") {
+		t.Fatalf("ExplainStream analyze output:\n%s", out)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteStreamContext(ctx, p, db, ExecOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("ExecuteStreamContext pre-canceled: err = %v, want ErrCanceled", err)
+	}
+}

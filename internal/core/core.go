@@ -54,6 +54,15 @@ const (
 // perform the reduction.
 const MethodYannakakis Method = "yannakakis"
 
+// MethodStream names the pipelined streaming execution strategy
+// (engine.ExecStream): semijoin pushdown over the base relations, fused
+// projection, and late materialization with live-byte accounting. Like
+// MethodYannakakis it is an execution strategy, not a plan shape, so it is
+// not in Methods; BuildPlan returns the early-projection plan as its
+// static surrogate — the streaming engine lowers exactly that plan, with
+// the pushdown and fusion applied at execution time.
+const MethodStream Method = "stream"
+
 // Methods lists all structural methods in presentation order.
 var Methods = []Method{
 	MethodStraightforward,
@@ -79,6 +88,10 @@ func BuildPlan(m Method, q *cq.Query, rng *rand.Rand) (plan.Node, error) {
 		// The static surrogate: same MCS join tree the full reducer
 		// sweeps, lowered to a plan (no semijoin reduction).
 		return TreeDecompositionPlan(q, OrderMCS, rng)
+	case MethodStream:
+		// The static surrogate: the early-projection plan the streaming
+		// engine lowers (pushdown and fusion happen at execution time).
+		return EarlyProjection(q)
 	default:
 		return nil, fmt.Errorf("core: unknown method %q", m)
 	}

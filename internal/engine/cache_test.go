@@ -56,7 +56,8 @@ func TestCacheHitAcrossRenamedPlans(t *testing.T) {
 	// The replayed instrumentation must match the cold run exactly.
 	f, s := first.Stats, second.Stats
 	if f.MaxRows != s.MaxRows || f.MaxArity != s.MaxArity || f.Tuples != s.Tuples ||
-		f.Work != s.Work || f.Joins != s.Joins || f.Projections != s.Projections {
+		f.Work != s.Work || f.Joins != s.Joins || f.Projections != s.Projections ||
+		f.Bytes != s.Bytes || f.PeakBytes != s.PeakBytes {
 		t.Fatalf("replayed stats differ:\ncold %+v\nwarm %+v", f, s)
 	}
 }

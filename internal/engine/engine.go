@@ -72,8 +72,16 @@ type Stats struct {
 	// Bytes is the total bytes of relation storage materialized by Join
 	// and Project operators (arena plus dedup table of each output).
 	// Cache hits replay the memoized subtree's byte count, so cache-on
-	// and cache-off totals match.
+	// and cache-off totals match. The streaming executors (ExecStream,
+	// ExecIterator) report their peak of live bytes here instead — for
+	// them this equals PeakBytes.
 	Bytes int64
+	// PeakBytes is the high-water mark of live relation storage. The
+	// materializing executors release nothing mid-run, so for them it
+	// equals Bytes (and cache hits replay it identically); the streaming
+	// executors release operator state on close, so their peak is what
+	// admission should budget against.
+	PeakBytes int64
 	// MaterializedTuples counts tuples written into operator outputs by
 	// Join and Project (and the Yannakakis bag evaluation) — the
 	// materialization a full-reducer sweep exists to minimize. Cache
@@ -107,6 +115,7 @@ func (s *Stats) merge(o *Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.Bytes += o.Bytes
+	s.PeakBytes += o.PeakBytes
 	s.MaterializedTuples += o.MaterializedTuples
 	s.ReducedTuples += o.ReducedTuples
 }
@@ -310,6 +319,7 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 		}
 		st.Joins++
 		st.Bytes += out.Bytes()
+		st.PeakBytes += out.Bytes()
 		st.MaterializedTuples += int64(out.Len())
 		observe(st, out)
 		ex.record(n, out, false)
@@ -326,6 +336,7 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 		}
 		st.Projections++
 		st.Bytes += out.Bytes()
+		st.PeakBytes += out.Bytes()
 		st.MaterializedTuples += int64(out.Len())
 		observe(st, out)
 		ex.record(n, out, false)

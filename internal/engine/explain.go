@@ -57,7 +57,7 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 	}
 	walk(p, 0)
 	if analyze {
-		fmt.Fprintf(&b, "memory: %d bytes materialized", ex.stats.Bytes)
+		fmt.Fprintf(&b, "memory: %d bytes materialized, peak %d live", ex.stats.Bytes, ex.stats.PeakBytes)
 		if opt.MaxBytes > 0 {
 			fmt.Fprintf(&b, " (budget %d)", opt.MaxBytes)
 		}

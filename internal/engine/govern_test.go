@@ -189,6 +189,38 @@ func TestStatsBytesCacheReplay(t *testing.T) {
 		t.Fatalf("Stats.Bytes diverges: bare=%d cold=%d warm=%d",
 			bare.Stats.Bytes, cold.Stats.Bytes, warm.Stats.Bytes)
 	}
+	if cold.Stats.PeakBytes != bare.Stats.PeakBytes || warm.Stats.PeakBytes != bare.Stats.PeakBytes {
+		t.Fatalf("Stats.PeakBytes diverges: bare=%d cold=%d warm=%d",
+			bare.Stats.PeakBytes, cold.Stats.PeakBytes, warm.Stats.PeakBytes)
+	}
+
+	// The EXPLAIN ANALYZE memory and tuple trailers are rendered from the
+	// replayed counters, so a fully warmed cache must print the same
+	// lines as a cache-off run (the tree differs: hits are marked).
+	offOut, err := engine.Explain(p, db, engine.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onOut, err := engine.Explain(p, db, engine.Options{Cache: cache}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"memory:", "tuples:"} {
+		offLine, onLine := lineWithPrefix(offOut, prefix), lineWithPrefix(onOut, prefix)
+		if offLine == "" || offLine != onLine {
+			t.Fatalf("EXPLAIN ANALYZE %q line diverges under cache replay:\noff: %s\non:  %s",
+				prefix, offLine, onLine)
+		}
+	}
+}
+
+func lineWithPrefix(s, prefix string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	return ""
 }
 
 // TestSubtreePanicIsolation injects panics into the parallel executor's
@@ -250,7 +282,9 @@ func TestExecResilientDegradation(t *testing.T) {
 		t.Fatalf("calibration: bucket elimination does not fit the budget %d: %v", budget, err)
 	}
 
-	if err := faultinject.Enable("join.panic=1,subtree.panic=1", 23); err != nil {
+	// semijoin.alloc=1 knocks out the streaming rung's first pushdown
+	// sweep, so the run degrades through every rung of the ladder.
+	if err := faultinject.Enable("join.panic=1,subtree.panic=1,semijoin.alloc=1", 23); err != nil {
 		t.Fatal(err)
 	}
 	opt := engine.Options{MaxBytes: budget}
@@ -262,17 +296,20 @@ func TestExecResilientDegradation(t *testing.T) {
 	}
 
 	at := res.Stats.Attempts
-	if len(at) != 3 {
-		t.Fatalf("attempts = %+v, want 3 (given, earlyprojection, bucketelimination)", at)
+	if len(at) != 4 {
+		t.Fatalf("attempts = %+v, want 4 (given, stream, earlyprojection, bucketelimination)", at)
 	}
 	if at[0].Method != "given" || at[0].Err == "" {
 		t.Fatalf("first attempt = %+v, want a failed 'given' run", at[0])
 	}
-	if at[1].Method != string(core.MethodEarlyProjection) || !errorsContains(at[1].Err, "memory") {
-		t.Fatalf("second attempt = %+v, want early projection failing on the byte budget", at[1])
+	if at[1].Method != string(core.MethodStream) || !errorsContains(at[1].Err, "memory") {
+		t.Fatalf("second attempt = %+v, want the stream rung failing on the injected allocation fault", at[1])
 	}
-	if last := at[2]; last.Method != string(core.MethodBucketElimination) || last.Err != "" {
-		t.Fatalf("last attempt = %+v, want bucket elimination succeeding", at[2])
+	if at[2].Method != string(core.MethodEarlyProjection) || !errorsContains(at[2].Err, "memory") {
+		t.Fatalf("third attempt = %+v, want early projection failing on the byte budget", at[2])
+	}
+	if last := at[3]; last.Method != string(core.MethodBucketElimination) || last.Err != "" {
+		t.Fatalf("last attempt = %+v, want bucket elimination succeeding", at[3])
 	}
 
 	oracle, err := engine.EvalOracle(q, db)

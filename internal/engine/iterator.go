@@ -38,15 +38,23 @@ type iterator interface {
 	// Next returns the next tuple, or nil at end of stream. The
 	// returned tuple is only valid until the next call.
 	Next() (relation.Tuple, error)
+	// Close releases the operator's resident state back to the byte
+	// budget and closes its inputs. It is idempotent.
+	Close()
 }
 
 // execContext carries limits and instrumentation shared by a pipeline.
+// The byte budget bounds *live* bytes: operators release their resident
+// state on Close, and Stats.Bytes reports the high-water mark (peak), not
+// the cumulative allocation — a long pipeline of small transient
+// intermediates no longer trips ErrMemLimit when live memory is tiny.
 type execContext struct {
 	cctx     context.Context
 	deadline time.Time
 	maxRows  int
 	maxBytes int64
-	bytes    int64 // cumulative bytes materialized (single-goroutine engine)
+	live     int64 // resident bytes across live operators
+	peak     int64 // high-water mark of live
 	stats    *Stats
 	ticks    int
 }
@@ -67,19 +75,30 @@ func (c *execContext) tick() error {
 }
 
 // chargeMem charges the growth of one operator's resident state (now
-// bytes, previously *last) against the run's byte budget. State sizes
-// only grow, so the delta path is branch-free in the common case.
+// bytes, previously *last) against the run's live-byte budget. State
+// sizes only grow while an operator is open, so the delta path is
+// branch-free in the common case; Close hands the charge back via
+// release.
 func (c *execContext) chargeMem(now int64, last *int64) error {
 	delta := now - *last
 	if delta == 0 {
 		return nil
 	}
 	*last = now
-	c.bytes += delta
-	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+	c.live += delta
+	if c.live > c.peak {
+		c.peak = c.live
+	}
+	if c.maxBytes > 0 && c.live > c.maxBytes {
 		return relation.ErrMemBudget
 	}
 	return nil
+}
+
+// release returns an operator's entire resident charge to the budget.
+func (c *execContext) release(last *int64) {
+	c.live -= *last
+	*last = 0
 }
 
 // scanIter streams a base relation with columns bound to atom variables.
@@ -100,6 +119,8 @@ func (s *scanIter) Next() (relation.Tuple, error) {
 	return t, nil
 }
 
+func (s *scanIter) Close() {}
+
 // hashJoinIter builds a hash table over the right input, then streams the
 // left input, probing and emitting combined tuples.
 type hashJoinIter struct {
@@ -114,6 +135,7 @@ type hashJoinIter struct {
 
 	table      *relation.StreamTable
 	built      bool
+	closed     bool
 	tableBytes int64          // last-seen table footprint, for budget deltas
 	cur        relation.Tuple // current left tuple (buffer, reused)
 	matches    relation.StreamMatches
@@ -176,6 +198,9 @@ func (j *hashJoinIter) build() error {
 			return err
 		}
 	}
+	// The build side is fully materialized: close the right subtree so
+	// nested builds and dedup states go back to the budget now.
+	j.right.Close()
 	j.built = true
 	return nil
 }
@@ -204,6 +229,9 @@ func (j *hashJoinIter) Next() (relation.Tuple, error) {
 			return nil, err
 		}
 		if t == nil {
+			// Probe input exhausted: nothing will be emitted again, so
+			// the build table goes back to the budget immediately.
+			j.Close()
 			return nil, nil
 		}
 		if err := j.ctx.tick(); err != nil {
@@ -212,6 +240,17 @@ func (j *hashJoinIter) Next() (relation.Tuple, error) {
 		j.cur = append(j.cur[:0], t...)
 		j.matches = j.table.Probe(j.cur, j.sharedLeft)
 	}
+}
+
+func (j *hashJoinIter) Close() {
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.ctx.release(&j.tableBytes)
+	j.cur = nil
+	j.left.Close()
+	j.right.Close()
 }
 
 // distinctProjectIter projects its input onto cols and deduplicates —
@@ -226,6 +265,7 @@ type distinctProjectIter struct {
 	seen      *relation.Relation
 	seenBytes int64 // last-seen dedup-state footprint, for budget deltas
 	out       relation.Tuple
+	closed    bool
 }
 
 func newDistinctProjectIter(ctx *execContext, in iterator, cols []cq.Var) (*distinctProjectIter, error) {
@@ -265,6 +305,7 @@ func (d *distinctProjectIter) Next() (relation.Tuple, error) {
 			return nil, err
 		}
 		if t == nil {
+			d.in.Close()
 			return nil, nil
 		}
 		if err := d.ctx.tick(); err != nil {
@@ -290,6 +331,16 @@ func (d *distinctProjectIter) Next() (relation.Tuple, error) {
 		}
 		return d.out, nil
 	}
+}
+
+func (d *distinctProjectIter) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.ctx.release(&d.seenBytes)
+	d.seen = nil
+	d.in.Close()
 }
 
 // buildIterator lowers a plan to an iterator pipeline.
@@ -354,11 +405,13 @@ func ExecIteratorContext(cctx context.Context, n plan.Node, db cq.Database, opt 
 	if err != nil {
 		return nil, err
 	}
+	defer it.Close()
 	out := relation.New(append([]cq.Var(nil), it.Schema()...))
 	var outBytes int64
 	fail := func(err error) (*Result, error) {
 		stats.Elapsed = time.Since(start)
-		stats.Bytes = ctx.bytes
+		stats.Bytes = ctx.peak
+		stats.PeakBytes = ctx.peak
 		return &Result{Stats: stats}, classifyErr(err, stats.Elapsed)
 	}
 	for {
@@ -377,8 +430,10 @@ func ExecIteratorContext(cctx context.Context, n plan.Node, db cq.Database, opt 
 			return fail(fmt.Errorf("%w: final result", relation.ErrRowLimit))
 		}
 	}
+	it.Close()
 	stats.Elapsed = time.Since(start)
-	stats.Bytes = ctx.bytes
+	stats.Bytes = ctx.peak
+	stats.PeakBytes = ctx.peak
 	if out.Arity() > stats.MaxArity {
 		stats.MaxArity = out.Arity()
 	}

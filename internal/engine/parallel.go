@@ -130,10 +130,12 @@ func (fr *pframe) observe(r *relation.Relation, kind byte, work int64) {
 	case 'j':
 		fr.stats.Joins++
 		fr.stats.Bytes += r.Bytes()
+		fr.stats.PeakBytes += r.Bytes()
 		fr.stats.MaterializedTuples += int64(r.Len())
 	case 'p':
 		fr.stats.Projections++
 		fr.stats.Bytes += r.Bytes()
+		fr.stats.PeakBytes += r.Bytes()
 		fr.stats.MaterializedTuples += int64(r.Len())
 	}
 }

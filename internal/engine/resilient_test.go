@@ -76,7 +76,7 @@ func TestLadderExhaustion(t *testing.T) {
 	if res == nil {
 		t.Fatal("exhausted ladder must still return the last attempt's result")
 	}
-	wantRungs := []string{"given", string(core.MethodYannakakis), string(core.MethodEarlyProjection), string(core.MethodBucketElimination)}
+	wantRungs := []string{"given", string(core.MethodYannakakis), string(core.MethodStream), string(core.MethodEarlyProjection), string(core.MethodBucketElimination)}
 	if len(res.Stats.Attempts) != len(wantRungs) {
 		t.Fatalf("Attempts = %d, want %d: %+v", len(res.Stats.Attempts), len(wantRungs), res.Stats.Attempts)
 	}

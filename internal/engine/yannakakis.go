@@ -199,6 +199,7 @@ func (ex *yexec) materialize(b *ybag) error {
 		}
 		ex.stats.Joins++
 		ex.stats.Bytes += out.Bytes()
+		ex.stats.PeakBytes += out.Bytes()
 		ex.stats.MaterializedTuples += int64(out.Len())
 		observe(&ex.stats, out)
 		cur = out
@@ -245,6 +246,7 @@ func (ex *yexec) eval(b *ybag) (*relation.Relation, error) {
 		}
 		ex.stats.Joins++
 		ex.stats.Bytes += out.Bytes()
+		ex.stats.PeakBytes += out.Bytes()
 		ex.stats.MaterializedTuples += int64(out.Len())
 		observe(&ex.stats, out)
 		cur = out
@@ -261,6 +263,7 @@ func (ex *yexec) eval(b *ybag) (*relation.Relation, error) {
 		}
 		ex.stats.Projections++
 		ex.stats.Bytes += out.Bytes()
+		ex.stats.PeakBytes += out.Bytes()
 		ex.stats.MaterializedTuples += int64(out.Len())
 		observe(&ex.stats, out)
 		cur = out
@@ -325,6 +328,7 @@ func (ex *yexec) run(t *jointree.Tree) (root *ybag, rel *relation.Relation, err 
 		}
 		ex.stats.Projections++
 		ex.stats.Bytes += final.Bytes()
+		ex.stats.PeakBytes += final.Bytes()
 		ex.stats.MaterializedTuples += int64(final.Len())
 		observe(&ex.stats, final)
 		out = final

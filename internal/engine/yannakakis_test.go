@@ -329,6 +329,9 @@ func TestCacheReplaysNewCounters(t *testing.T) {
 	if on.Stats.Bytes != off.Stats.Bytes {
 		t.Fatalf("cache-on Bytes = %d, cache-off = %d", on.Stats.Bytes, off.Stats.Bytes)
 	}
+	if on.Stats.PeakBytes != off.Stats.PeakBytes {
+		t.Fatalf("cache-on PeakBytes = %d, cache-off = %d", on.Stats.PeakBytes, off.Stats.PeakBytes)
+	}
 }
 
 // TestExplainYannakakis checks both renderings: the static tree and the

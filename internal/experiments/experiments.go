@@ -296,6 +296,9 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 	if m == core.MethodYannakakis {
 		return measureYannakakis(q, db, rng, cfg)
 	}
+	if m == core.MethodStream {
+		return measureStream(q, db, rng, cfg)
+	}
 	start := time.Now()
 	p, err := core.BuildPlan(m, q, rng)
 	if err != nil {
@@ -340,6 +343,36 @@ func measureYannakakis(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) 
 	}
 	return outcome{d: time.Since(start), w: w,
 		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}
+}
+
+// measureStream runs the pipelined streaming executor: the plan shape
+// is early projection's, so the width column stays comparable, but
+// execution fuses projections into the operators, pushes semijoin
+// filters below the hash-join builds, and materializes only at pipeline
+// breakers. Resilient runs degrade down the plan-based ladder.
+func measureStream(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
+	start := time.Now()
+	p, err := core.BuildPlan(core.MethodStream, q, rng)
+	if err != nil {
+		return outcome{err: err}
+	}
+	w := plan.Analyze(p).Width
+	if cfg.MaxWidth > 0 && w > cfg.MaxWidth {
+		return outcome{w: w, err: fmt.Errorf("%w: plan width %d over admission cap %d",
+			engine.ErrOverWidth, w, cfg.MaxWidth)}
+	}
+	var res *engine.Result
+	if cfg.Resilient {
+		res, err = engine.ExecResilientStrategy(context.Background(),
+			resilience.StreamRung(q), resilience.PlanLadder(q, rng), db, cfg.execOptions(), 1)
+	} else {
+		res, err = engine.ExecStream(p, db, cfg.execOptions())
+	}
+	o := outcome{d: time.Since(start), w: w, err: err}
+	if res != nil {
+		o.hits, o.misses = res.Stats.CacheHits, res.Stats.CacheMisses
+	}
+	return o
 }
 
 // measureNaive runs the naive method end to end: cost-based planning

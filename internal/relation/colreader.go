@@ -1,0 +1,47 @@
+package relation
+
+// ColumnReader is a zero-copy column-subset cursor over a relation's
+// arena: Next yields the selected columns of each stored row into a
+// reusable buffer, without materializing the projection. It is the fused
+// scan+project primitive of the pipelined executor — a scan that emits
+// only the columns its consumers need reads the arena through one of
+// these instead of building a projected relation first.
+type ColumnReader struct {
+	r   *Relation
+	idx []int // selected column indexes, in output order
+	pos int
+	buf Tuple
+}
+
+// NewColumnReader returns a cursor over the attrs columns of r, in the
+// given order. It panics if an attribute is absent: the engine computes
+// needed-column sets from the plan, so a miss is a lowering bug.
+func NewColumnReader(r *Relation, attrs []Attr) *ColumnReader {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		p, ok := r.pos[a]
+		if !ok {
+			panic("relation.ColumnReader: attribute not in schema")
+		}
+		idx[i] = p
+	}
+	return &ColumnReader{r: r, idx: idx, buf: make(Tuple, len(attrs))}
+}
+
+// Next returns the selected columns of the next row, or nil at end of
+// stream. The returned tuple is the cursor's reusable buffer: it is only
+// valid until the next call, and callers that retain it must copy.
+func (c *ColumnReader) Next() Tuple {
+	if c.pos >= c.r.n {
+		return nil
+	}
+	row := c.r.row(c.pos)
+	c.pos++
+	for i, p := range c.idx {
+		c.buf[i] = row[p]
+	}
+	return c.buf
+}
+
+// Len returns the number of rows the cursor will yield in total.
+func (c *ColumnReader) Len() int { return c.r.n }

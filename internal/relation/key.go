@@ -37,6 +37,19 @@ func newKeyer(r *Relation, shared []Attr) keyer {
 	return keyer{pos: pos, exact: exact}
 }
 
+// alignKeyers forces two keyers over the same shared attributes onto one
+// key function. Exactness is a per-relation property (byte-range column
+// min/max), so one side of a join can pack while the other hashes — but a
+// packed key and an FNV key for the same value vector differ, and probing
+// a packed-key table with hashed keys silently misses every match (verify
+// guards false positives, not false negatives). When the sides disagree,
+// both fall back to hashing.
+func alignKeyers(a, b *keyer) {
+	if a.exact != b.exact {
+		a.exact, b.exact = false, false
+	}
+}
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211

@@ -165,6 +165,7 @@ func makeJoinSpec(r, o *Relation) joinSpec {
 
 	s.bKey = newKeyer(s.build, s.shared)
 	s.pKey = newKeyer(s.probe, s.shared)
+	alignKeyers(&s.bKey, &s.pKey)
 	// When keys can collide across distinct shared-value vectors (the
 	// generic hasher), verify equality on shared columns explicitly.
 	s.needVerify = !s.bKey.exact || !s.pKey.exact

@@ -32,6 +32,7 @@ func newSemijoinProbe(r, o *Relation, shared []Attr) *semijoinProbe {
 		rPos: make([]int, len(shared)),
 	}
 	oKey := newKeyer(o, shared)
+	alignKeyers(&oKey, &p.rKey)
 	p.needVerify = !oKey.exact || !p.rKey.exact
 	for i, a := range shared {
 		p.oPos[i] = o.pos[a]

@@ -210,3 +210,44 @@ func TestSemijoinLimitedChargesBytes(t *testing.T) {
 		t.Fatalf("tiny byte budget: err = %v, want ErrMemBudget", err)
 	}
 }
+
+// TestSemijoinMixedKeyWidths pins the keyer-alignment regression: when one
+// side's shared columns are all byte-range (packed exact keys) and the
+// other's are not (FNV keys), the probe must not look up packed keys in an
+// FNV table — that misses every match and silently empties the result.
+func TestSemijoinMixedKeyWidths(t *testing.T) {
+	small := New([]Attr{0, 1})
+	small.Add(Tuple{3, 7})
+	small.Add(Tuple{200, 9})
+	big := New([]Attr{1, 2})
+	big.Add(Tuple{7, 1000})
+	big.Add(Tuple{9, 77})
+	big.Add(Tuple{1000, 1000}) // pushes big's column 1 out of byte range
+
+	want := nestedLoopSemijoin(small, big)
+	if want.Len() != 2 {
+		t.Fatalf("oracle sanity: got %d rows, want 2", want.Len())
+	}
+	got, err := SemijoinLimited(small, big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("SemijoinLimited with mixed key widths: %v, want %v", got, want)
+	}
+	filtered, removed, err := SemijoinFilter(small.Clone(), big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filtered.Equal(want) || removed != 0 {
+		t.Fatalf("SemijoinFilter with mixed key widths: %v (removed %d), want %v (removed 0)",
+			filtered, removed, want)
+	}
+	joined, err := JoinLimited(small, big, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 2 {
+		t.Fatalf("JoinLimited with mixed key widths: %d rows, want 2", joined.Len())
+	}
+}

@@ -53,8 +53,16 @@ func (st *StreamTable) Bytes() int64 {
 	return b
 }
 
+// emptyRow is the canonical zero-arity row. Row must not derive it by
+// slicing the arena: with no columns the arena stays nil, and a nil row
+// would read as "no match" to StreamMatches.Next.
+var emptyRow = make(Tuple, 0)
+
 // Row returns stored row i. The caller must not modify it.
 func (st *StreamTable) Row(i int) Tuple {
+	if st.arity == 0 {
+		return emptyRow
+	}
 	return st.data[i*st.arity : (i+1)*st.arity]
 }
 

@@ -110,3 +110,22 @@ func TestStreamTableEmptyAndMisuse(t *testing.T) {
 	}()
 	st.Insert(Tuple{1, 2})
 }
+
+// TestStreamTableZeroArity pins the arity-0 regression: a Boolean
+// subresult builds rows with no columns, and matches must still surface
+// as non-nil empty tuples rather than reading as table exhaustion.
+func TestStreamTableZeroArity(t *testing.T) {
+	st := NewStreamTable(0, nil)
+	st.Insert(Tuple{})
+	m := st.Probe(Tuple{5, 6}, nil)
+	got := 0
+	for tup := m.Next(); tup != nil; tup = m.Next() {
+		if len(tup) != 0 {
+			t.Fatalf("zero-arity match has %d columns", len(tup))
+		}
+		got++
+	}
+	if got != 1 {
+		t.Fatalf("zero-arity probe matched %d rows, want 1", got)
+	}
+}

@@ -30,11 +30,17 @@ import (
 //
 // rng seeds the bucket-elimination tie-breaking (nil is deterministic);
 // plans are constructed lazily, only if their rung is reached.
+// Between the full reducer and the plan methods sits the streaming rung:
+// the pipelined engine's semijoin pushdown and live-byte accounting make
+// it the natural retry when a materializing plan blew the memory budget
+// but the query is not narrow enough (or the reducer itself failed) for
+// Yannakakis.
 func DegradationLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {
 	var ladder []engine.Fallback
 	if engine.MCSElimWidth(q) <= engine.DefaultYannakakisWidth {
 		ladder = append(ladder, YannakakisRung(q))
 	}
+	ladder = append(ladder, StreamRung(q))
 	return append(ladder, PlanLadder(q, rng)...)
 }
 
@@ -46,6 +52,24 @@ func YannakakisRung(q *cq.Query) engine.Fallback {
 		Name: string(core.MethodYannakakis),
 		Run: func(ctx context.Context, db cq.Database, opt engine.Options) (*engine.Result, error) {
 			return engine.ExecYannakakisContext(ctx, q, db, opt)
+		},
+	}
+}
+
+// StreamRung is the pipelined-engine rung: a Run-style fallback that
+// executes q's early-projection plan with engine.ExecStreamContext —
+// semijoin pushdown, fused projections, and a live-byte (rather than
+// cumulative) memory budget. The server's mid-width routing uses it as
+// the first rung of ExecResilientStrategy.
+func StreamRung(q *cq.Query) engine.Fallback {
+	return engine.Fallback{
+		Name: string(core.MethodStream),
+		Run: func(ctx context.Context, db cq.Database, opt engine.Options) (*engine.Result, error) {
+			p, err := core.BuildPlan(core.MethodStream, q, nil)
+			if err != nil {
+				return nil, err
+			}
+			return engine.ExecStreamContext(ctx, p, db, opt)
 		},
 	}
 }

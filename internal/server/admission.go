@@ -22,27 +22,50 @@ import (
 // admitting everything and aborting mid-explosion.
 
 // assess computes the admission verdict for a planned query: the chosen
-// plan's width, the join graph's MCS elimination width, and the AGM
-// output bound, checked against the server's thresholds.
-func assess(q *cq.Query, p plan.Node, method string, maxWidth int, maxAGMLog2 float64, db cq.Database) *Verdict {
+// plan's width, the join graph's MCS elimination width, the AGM output
+// bound, and the predicted peak live bytes of a streaming run, checked
+// against the server's thresholds.
+func assess(q *cq.Query, p plan.Node, method string, maxWidth int, maxAGMLog2 float64, maxPredicted int64, db cq.Database) *Verdict {
 	v := &Verdict{
-		Method:     method,
-		PlanWidth:  plan.Analyze(p).Width,
-		MaxWidth:   maxWidth,
-		MaxAGMLog2: maxAGMLog2,
-		Admitted:   true,
+		Method:            method,
+		PlanWidth:         plan.Analyze(p).Width,
+		MaxWidth:          maxWidth,
+		MaxAGMLog2:        maxAGMLog2,
+		MaxPredictedBytes: maxPredicted,
+		Admitted:          true,
 	}
 	if jg, elim, err := core.EliminationOrder(q, core.OrderMCS, nil); err == nil {
 		v.ElimWidth = treedec.InducedWidth(jg.G, elim)
 	}
 	v.AGMLog2 = agmLog2(q, db)
+	v.PredictedPeakBytes = predictedPeakBytes(q, db)
 	if maxWidth > 0 && v.PlanWidth > maxWidth {
 		v.Admitted = false
 	}
 	if maxAGMLog2 > 0 && v.AGMLog2 > maxAGMLog2 {
 		v.Admitted = false
 	}
+	if maxPredicted > 0 && v.PredictedPeakBytes > maxPredicted {
+		v.Admitted = false
+	}
 	return v
+}
+
+// predictedPeakBytes bounds a streaming run's peak live bytes from the
+// catalog alone: each pipeline breaker (hash build, DISTINCT state)
+// stores at most the needed columns of one pre-reduced base input, so
+// peak residency never exceeds the referenced relations' combined
+// footprint. Materializing executors can exceed this arbitrarily — their
+// intermediates are bounded by the AGM term, not the inputs — which is
+// exactly why byte-budget admission reasons about the streaming peak.
+func predictedPeakBytes(q *cq.Query, db cq.Database) int64 {
+	var total int64
+	for _, a := range q.Atoms {
+		if rel := db[a.Rel]; rel != nil {
+			total += rel.Bytes()
+		}
+	}
+	return total
 }
 
 // agmLog2 returns log2 of an AGM-style bound on the full join's output

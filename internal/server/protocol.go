@@ -81,8 +81,10 @@ type Request struct {
 	Query string `json:"query,omitempty"`
 	// Method optionally overrides the server's default optimization
 	// method (straightforward, earlyprojection, reordering,
-	// bucketelimination, yannakakis). When empty, narrow queries may be
-	// routed to the Yannakakis full reducer (Config.YannakakisWidth).
+	// bucketelimination, yannakakis, stream). When empty, narrow
+	// queries may be routed to the Yannakakis full reducer
+	// (Config.YannakakisWidth) and mid-width queries to the streaming
+	// engine (Config.StreamWidth).
 	Method string `json:"method,omitempty"`
 	// Timeout optionally tightens the per-request execution deadline
 	// (a Go duration string); it can never extend the server's cap.
@@ -119,10 +121,20 @@ type Verdict struct {
 	// cardinalities: the full join's output can never exceed 2^AGMLog2
 	// rows.
 	AGMLog2 float64 `json:"agm_log2"`
-	// MaxWidth and MaxAGMLog2 echo the thresholds in force (0 = off).
-	MaxWidth   int     `json:"max_width,omitempty"`
-	MaxAGMLog2 float64 `json:"max_agm_log2,omitempty"`
-	// Admitted reports whether the query passed both thresholds.
+	// PredictedPeakBytes is a static upper bound on the streaming
+	// engine's peak live bytes: the sum of the referenced base
+	// relations' footprints. Every pipeline breaker stores at most the
+	// needed columns of one base input (pre-reduced by pushdown), so a
+	// run can never hold more than all of them at once. This is the
+	// quantity byte-budget admission reasons about — cumulative
+	// materialization is unbounded by the inputs, peak residency is not.
+	PredictedPeakBytes int64 `json:"predicted_peak_bytes"`
+	// MaxWidth, MaxAGMLog2 and MaxPredictedBytes echo the thresholds in
+	// force (0 = off).
+	MaxWidth          int     `json:"max_width,omitempty"`
+	MaxAGMLog2        float64 `json:"max_agm_log2,omitempty"`
+	MaxPredictedBytes int64   `json:"max_predicted_bytes,omitempty"`
+	// Admitted reports whether the query passed every threshold.
 	Admitted bool `json:"admitted"`
 }
 
@@ -136,10 +148,14 @@ type AttemptInfo struct {
 // engine.Stats. An admission rejection carries no RunStats at all:
 // nothing ran, nothing was materialized.
 type RunStats struct {
-	MaxRows     int   `json:"max_rows"`
-	MaxArity    int   `json:"max_arity"`
-	Tuples      int64 `json:"tuples"`
-	Bytes       int64 `json:"bytes"`
+	MaxRows  int   `json:"max_rows"`
+	MaxArity int   `json:"max_arity"`
+	Tuples   int64 `json:"tuples"`
+	Bytes    int64 `json:"bytes"`
+	// PeakBytes is the high-water mark of live relation storage; for
+	// the streaming engine Bytes reports the same peak, for the
+	// materializing executors Bytes is the cumulative total.
+	PeakBytes   int64 `json:"peak_bytes"`
 	Joins       int   `json:"joins"`
 	Projections int   `json:"projections"`
 	// Materialized counts tuples written by joins, projections and bag

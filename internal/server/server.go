@@ -38,6 +38,11 @@ type Config struct {
 	// MaxAGMLog2 rejects queries whose AGM output bound exceeds
 	// 2^MaxAGMLog2 rows (0 = no AGM threshold).
 	MaxAGMLog2 float64
+	// MaxPredictedBytes rejects queries whose predicted peak live bytes
+	// (the referenced base relations' combined footprint — what a
+	// streaming run can hold resident at once) exceed it (0 = no
+	// threshold).
+	MaxPredictedBytes int64
 	// MaxConcurrent bounds concurrently executing requests (default 4).
 	MaxConcurrent int
 	// MaxQueue bounds requests waiting for an execution slot; arrivals
@@ -61,6 +66,14 @@ type Config struct {
 	// routing). Acyclic queries have elimination width 1 and always
 	// qualify under the default.
 	YannakakisWidth int
+	// StreamWidth routes requests that did not name a method and were too
+	// wide for the Yannakakis routing to the pipelined streaming engine
+	// when their MCS elimination width is at most this bound (default
+	// engine.DefaultStreamWidth; <0 disables the routing). The streaming
+	// engine's budget bounds peak live bytes rather than cumulative
+	// materialization, so mid-width queries fit budgets the materializing
+	// executors blow.
+	StreamWidth int
 	// Resilient runs every degradable failure down the degradation
 	// ladder even with a closed breaker. With it off, the ladder is
 	// used only while a method's breaker is open.
@@ -103,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.YannakakisWidth == 0 {
 		c.YannakakisWidth = engine.DefaultYannakakisWidth
+	}
+	if c.StreamWidth == 0 {
+		c.StreamWidth = engine.DefaultStreamWidth
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
@@ -398,7 +414,7 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	logEntry["fp"] = fingerprintID(p)
 
 	// Width-aware admission: reject before materializing anything.
-	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, db)
+	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, s.cfg.MaxPredictedBytes, db)
 	if !verdict.Admitted {
 		logEntry["verdict"] = "over_width"
 		logEntry["plan_width"] = verdict.PlanWidth
@@ -412,20 +428,34 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	}
 	logEntry["verdict"] = "admitted"
 
-	// Narrow-query routing: requests that did not name a method run the
-	// Yannakakis full reducer when the elimination width is small — the
-	// semijoin sweeps make its peak memory proportional to the reduced
-	// inputs, not to any intermediate join.
-	if req.Method == "" && s.cfg.YannakakisWidth > 0 && verdict.ElimWidth <= s.cfg.YannakakisWidth {
+	// Width-tiered routing for requests that did not name a method:
+	// narrow queries run the Yannakakis full reducer (peak memory
+	// proportional to the reduced inputs), mid-width queries run the
+	// streaming engine (peak live bytes bounded by the pipeline's
+	// breakers, with semijoin pushdown pre-reducing every build side).
+	switch {
+	case req.Method == "" && s.cfg.YannakakisWidth > 0 && verdict.ElimWidth <= s.cfg.YannakakisWidth:
 		method = core.MethodYannakakis
 		logEntry["method"] = string(method)
+		verdict.Method = string(method)
+	case req.Method == "" && s.cfg.StreamWidth > 0 && verdict.ElimWidth <= s.cfg.StreamWidth:
+		method = core.MethodStream
+		logEntry["method"] = string(method)
+		verdict.Method = string(method)
+		if p, err = core.BuildPlan(method, q, nil); err != nil {
+			s.failed.Add(1)
+			return finish(&Response{Status: StatusError, Error: "plan: " + err.Error()})
+		}
 	}
 
 	if req.Op == "explain" {
 		var text string
-		if method == core.MethodYannakakis {
+		switch method {
+		case core.MethodYannakakis:
 			text, err = engine.ExplainYannakakis(q, db, engine.Options{}, false)
-		} else {
+		case core.MethodStream:
+			text, err = engine.ExplainStream(p, db, engine.Options{}, false)
+		default:
 			text, err = engine.Explain(p, db, engine.Options{}, false)
 		}
 		if err != nil {
@@ -472,6 +502,16 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 		}
 	case method == core.MethodYannakakis:
 		res, err = engine.ExecYannakakisContext(ctx, q, db, opt)
+		br.record(err)
+	case method == core.MethodStream && (s.cfg.Resilient || !direct):
+		// Streaming engine first, degrading to the plan-based ladder.
+		res, err = engine.ExecResilientStrategy(ctx, resilience.StreamRung(q),
+			resilience.PlanLadder(q, nil), db, opt, s.cfg.Workers)
+		if direct {
+			br.record(directOutcome(res))
+		}
+	case method == core.MethodStream:
+		res, err = engine.ExecStreamContext(ctx, p, db, opt)
 		br.record(err)
 	case s.cfg.Resilient || !direct:
 		res, err = engine.ExecResilient(ctx, p, resilience.DegradationLadder(q, nil), db, opt, s.cfg.Workers)
@@ -571,6 +611,7 @@ func runStats(st *engine.Stats) *RunStats {
 		MaxArity:     st.MaxArity,
 		Tuples:       st.Tuples,
 		Bytes:        st.Bytes,
+		PeakBytes:    st.PeakBytes,
 		Joins:        st.Joins,
 		Projections:  st.Projections,
 		Materialized: st.MaterializedTuples,
@@ -593,7 +634,7 @@ func fingerprintID(p plan.Node) string {
 }
 
 func validMethod(m core.Method) bool {
-	if m == core.MethodYannakakis {
+	if m == core.MethodYannakakis || m == core.MethodStream {
 		return true
 	}
 	for _, known := range core.Methods {

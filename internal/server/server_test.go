@@ -366,3 +366,98 @@ func TestGracefulDrain(t *testing.T) {
 		t.Errorf("goroutines leaked: %d before, %d after", base, n)
 	}
 }
+
+func TestStreamMethodExplicit(t *testing.T) {
+	g := graph.AugmentedPath(5)
+	in := colorQuery(t, g)
+	_, addr := startServer(t, Config{DB: in.db})
+
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g), Method: "stream"})
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %s (%s), want ok", resp.Status, resp.Error)
+	}
+	oracle, err := engine.EvalOracle(in.q, in.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer == nil || resp.Answer.Nonempty != (oracle.Len() > 0) {
+		t.Fatalf("answer = %+v, oracle nonempty=%v", resp.Answer, oracle.Len() > 0)
+	}
+	// The streaming engine reports peak live bytes, and Bytes is that
+	// same peak (not a cumulative total).
+	if resp.Stats == nil || resp.Stats.PeakBytes <= 0 {
+		t.Fatalf("stream stats = %+v, want positive PeakBytes", resp.Stats)
+	}
+	if resp.Stats.Bytes != resp.Stats.PeakBytes {
+		t.Errorf("stream Bytes %d != PeakBytes %d", resp.Stats.Bytes, resp.Stats.PeakBytes)
+	}
+}
+
+func TestStreamRoutingMidWidth(t *testing.T) {
+	// K5 has elimination width 4: over the yannakakis cutoff (3), under
+	// the stream cutoff (6). A method-less request must route to the
+	// streaming engine.
+	g := graph.Complete(5)
+	in := colorQuery(t, g)
+	var log bytes.Buffer
+	_, addr := startServer(t, Config{DB: in.db, Log: &log})
+
+	resp := roundTrip(t, addr, &Request{Op: "explain", Query: queryText(t, g)})
+	if resp.Status != StatusOK {
+		t.Fatalf("explain status = %s (%s)", resp.Status, resp.Error)
+	}
+	if !strings.HasPrefix(resp.Explain, "stream pipeline") {
+		t.Fatalf("mid-width explain is not a stream pipeline:\n%s", resp.Explain)
+	}
+	if resp.Verdict == nil || resp.Verdict.Method != "stream" {
+		t.Fatalf("verdict = %+v, want method stream", resp.Verdict)
+	}
+
+	resp = roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g)})
+	if resp.Status != StatusOK {
+		t.Fatalf("query status = %s (%s)", resp.Status, resp.Error)
+	}
+	// K5 is not 3-colorable: the Boolean answer is empty.
+	if resp.Answer == nil || resp.Answer.Nonempty {
+		t.Fatalf("K5 3-COLOR answer = %+v, want empty", resp.Answer)
+	}
+	if !strings.Contains(log.String(), `"method":"stream"`) {
+		t.Errorf("request log does not record the stream method:\n%s", log.String())
+	}
+}
+
+func TestStreamRoutingDisabled(t *testing.T) {
+	// StreamWidth < 0 turns mid-width stream routing off: the K5 query
+	// falls through to the default plan method.
+	g := graph.Complete(5)
+	in := colorQuery(t, g)
+	_, addr := startServer(t, Config{DB: in.db, StreamWidth: -1})
+
+	resp := roundTrip(t, addr, &Request{Op: "explain", Query: queryText(t, g)})
+	if resp.Status != StatusOK {
+		t.Fatalf("explain status = %s (%s)", resp.Status, resp.Error)
+	}
+	if strings.HasPrefix(resp.Explain, "stream pipeline") {
+		t.Fatalf("stream routing disabled, yet explain shows a stream pipeline:\n%s", resp.Explain)
+	}
+}
+
+func TestPredictedPeakAdmission(t *testing.T) {
+	g := graph.AugmentedPath(4)
+	in := colorQuery(t, g)
+	_, addr := startServer(t, Config{DB: in.db, MaxPredictedBytes: 1})
+
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g)})
+	if resp.Status != StatusOverWidth {
+		t.Fatalf("status = %s (%s), want over_width", resp.Status, resp.Error)
+	}
+	if resp.Verdict == nil || resp.Verdict.PredictedPeakBytes <= 1 {
+		t.Fatalf("verdict = %+v, want PredictedPeakBytes > 1", resp.Verdict)
+	}
+	if resp.Verdict.MaxPredictedBytes != 1 {
+		t.Errorf("verdict does not echo MaxPredictedBytes: %+v", resp.Verdict)
+	}
+	if resp.Stats != nil {
+		t.Fatalf("byte-budget rejection carried run stats %+v", resp.Stats)
+	}
+}

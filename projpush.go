@@ -97,6 +97,11 @@ const (
 	// (ExecuteYannakakis); not listed in Methods since it is not a plan
 	// shape.
 	MethodYannakakis = core.MethodYannakakis
+	// MethodStream is the pipelined streaming execution strategy
+	// (ExecuteStream): early projection's plan shape, executed with fused
+	// projections, semijoin pushdown, and late materialization. Not
+	// listed in Methods since it is not a plan shape.
+	MethodStream = core.MethodStream
 )
 
 // Methods lists all optimization methods.
@@ -258,10 +263,10 @@ type Fallback = engine.Fallback
 type Attempt = engine.Attempt
 
 // DegradationLadder is the standard fallback ladder for a query: the
-// Yannakakis full reducer (narrow queries only), then early projection,
-// then bucket elimination — ordered from cheapest re-plan to most
-// robust. rng drives bucket elimination's tie-breaking; nil is
-// deterministic.
+// Yannakakis full reducer (narrow queries only), then the streaming
+// executor, then early projection, then bucket elimination — ordered
+// from lowest peak memory to most robust. rng drives bucket
+// elimination's tie-breaking; nil is deterministic.
 func DegradationLadder(q *Query, rng *rand.Rand) []Fallback {
 	return resilience.DegradationLadder(q, rng)
 }
@@ -276,10 +281,14 @@ func ExecuteResilient(ctx context.Context, p Plan, fallbacks []Fallback, db Data
 }
 
 // Run is the one-call path: build the method's plan and execute it.
+// MethodStream runs the pipelined streaming executor over its plan.
 func Run(m Method, q *Query, db Database, opt ExecOptions, rng *rand.Rand) (*Result, error) {
 	p, err := BuildPlan(m, q, rng)
 	if err != nil {
 		return nil, err
+	}
+	if m == MethodStream {
+		return ExecuteStream(p, db, opt)
 	}
 	return Execute(p, db, opt)
 }
@@ -354,6 +363,30 @@ func ExecuteYannakakis(ctx context.Context, q *Query, db Database, opt ExecOptio
 // reduced-vs-materialized totals.
 func ExplainYannakakis(q *Query, db Database, opt ExecOptions, analyze bool) (string, error) {
 	return engine.ExplainYannakakis(q, db, opt, analyze)
+}
+
+// ExecuteStream runs a plan on the pipelined streaming executor:
+// projections fuse into scans and probes, semijoin filters pre-reduce
+// every hash-join build side, and tuples materialize only at pipeline
+// breakers whose bytes are released when the operator closes. Bytes on
+// the returned stats is the peak of live storage (equal to PeakBytes),
+// not a cumulative total — on low-selectivity queries it is a small
+// fraction of the materializing executors' footprint.
+func ExecuteStream(p Plan, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecStream(p, db, opt)
+}
+
+// ExecuteStreamContext is ExecuteStream with caller-driven cancellation.
+func ExecuteStreamContext(ctx context.Context, p Plan, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecStreamContext(ctx, p, db, opt)
+}
+
+// ExplainStream renders the streaming operator pipeline; with analyze
+// true it executes and annotates every operator with rows emitted,
+// bytes held, and its peak residency, plus build and semijoin-reduction
+// counts.
+func ExplainStream(p Plan, db Database, opt ExecOptions, analyze bool) (string, error) {
+	return engine.ExplainStream(p, db, opt, analyze)
 }
 
 // MiniBucketResult is the outcome of an approximate mini-bucket run.
