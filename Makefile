@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos bench bench-json bench-yannakakis bench-stream fuzz experiments clean
+.PHONY: all build vet test chaos bench bench-json bench-yannakakis bench-stream bench-wcoj fuzz experiments clean
 
 all: build vet test
 
@@ -49,6 +49,9 @@ bench-json:
 	go test . -run '^$$' -bench '^BenchmarkStream' -benchmem -benchtime 3x \
 		| go run ./cmd/benchjson > BENCH_stream.json
 	@cat BENCH_stream.json
+	go test . -run '^$$' -bench '^BenchmarkWCOJ' -benchmem -benchtime 3x \
+		| go run ./cmd/benchjson > BENCH_wcoj.json
+	@cat BENCH_wcoj.json
 
 # The full-reducer-vs-plan-method series on acyclic selective workloads
 # (the stats-bytes metric in the text output is the peak Stats.Bytes
@@ -61,6 +64,12 @@ bench-yannakakis:
 # under the iterator on chain and spider at equal-or-better latency).
 bench-stream:
 	go test . -run '^$$' -bench '^BenchmarkStream' -benchmem -benchtime 3x
+
+# The worst-case-optimal-vs-binary-plan series on dense cyclic workloads
+# (triangle, 4-cycle, clique coloring; the acceptance signal is wcoj
+# latency or peak-bytes at least 5x under bucket elimination).
+bench-wcoj:
+	go test . -run '^$$' -bench '^BenchmarkWCOJ' -benchmem -benchtime 3x
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -43,7 +43,7 @@ func main() {
 		resilient = flag.Bool("resilient", false, "retry resource-aborted runs down the degradation ladder (early projection, then bucket elimination) instead of annotating them as failures")
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,experiment.panic=0.1' (see internal/faultinject); for robustness drills")
 		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
-		methods   = flag.String("methods", "", "comma-separated method list overriding the paper's default grid (straightforward, earlyprojection, reordering, bucketelimination, yannakakis, stream)")
+		methods   = flag.String("methods", "", "comma-separated method list overriding the paper's default grid (straightforward, earlyprojection, reordering, bucketelimination, yannakakis, stream, wcoj)")
 	)
 	flag.Parse()
 
@@ -160,7 +160,8 @@ func main() {
 }
 
 func parseMethods(spec string) ([]core.Method, error) {
-	known := append(append([]core.Method(nil), core.Methods...), core.MethodYannakakis, core.MethodStream)
+	known := append(append([]core.Method(nil), core.Methods...),
+		core.MethodYannakakis, core.MethodStream, core.MethodWCOJ)
 	var out []core.Method
 	for _, name := range strings.Split(spec, ",") {
 		m := core.Method(strings.TrimSpace(name))

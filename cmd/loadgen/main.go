@@ -36,6 +36,7 @@ func main() {
 		family    = flag.String("family", "augpath", "generated 3-COLOR family: augpath, ladder, augladder, cycle")
 		order     = flag.Int("order", 6, "family order of the generated query")
 		queryFile = flag.String("queryfile", "", "send this cqparse file verbatim instead of generating queries")
+		cyclic    = flag.Float64("cyclic", 0, "fraction of requests drawn from dense cyclic 3-COLOR shapes (triangle, clique, wheel) — the worst-case-optimal route's workload; 0 disables")
 		seed      = flag.Int64("seed", 1, "seed for client jitter and per-request family orders")
 		retries   = flag.Int("retries", 4, "max retries per request")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request attempt timeout")
@@ -45,6 +46,12 @@ func main() {
 	queries, err := buildQueries(*queryFile, *family, *order)
 	if err != nil {
 		fatal(err)
+	}
+	var cyclicQueries []string
+	if *cyclic > 0 {
+		if cyclicQueries, err = buildCyclicQueries(*order); err != nil {
+			fatal(err)
+		}
 	}
 
 	type result struct {
@@ -63,6 +70,12 @@ func main() {
 	var inFlight, peakInFlight int64
 	var aggBytes, aggPeakBytes int64
 	var statsN int64
+	// wcojRouted counts answers the server executed on the
+	// worst-case-optimal route, agmAdmitted the subset that only got in
+	// through the AGM-bound width override; aggSeeks/aggExtensions sum
+	// the leapfrog work those answers reported.
+	var wcojRouted, agmAdmitted int64
+	var aggSeeks, aggExtensions int64
 	start := time.Now()
 	for ci := 0; ci < *clients; ci++ {
 		wg.Add(1)
@@ -77,6 +90,9 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(ci)*7919))
 			for r := 0; r < *requests; r++ {
 				q := queries[rng.Intn(len(queries))]
+				if len(cyclicQueries) > 0 && rng.Float64() < *cyclic {
+					q = cyclicQueries[rng.Intn(len(cyclicQueries))]
+				}
 				t0 := time.Now()
 				now := atomic.AddInt64(&inFlight, 1)
 				for {
@@ -92,6 +108,14 @@ func main() {
 					atomic.AddInt64(&aggBytes, resp.Stats.Bytes)
 					atomic.AddInt64(&aggPeakBytes, resp.Stats.PeakBytes)
 					atomic.AddInt64(&statsN, 1)
+					atomic.AddInt64(&aggSeeks, resp.Stats.Seeks)
+					atomic.AddInt64(&aggExtensions, resp.Stats.Extensions)
+				}
+				if resp != nil && resp.Verdict != nil && resp.Verdict.Method == "wcoj" {
+					atomic.AddInt64(&wcojRouted, 1)
+					if resp.Verdict.AdmittedOnAGM {
+						atomic.AddInt64(&agmAdmitted, 1)
+					}
 				}
 				status := "transport_error"
 				if resp != nil {
@@ -142,6 +166,10 @@ func main() {
 	fmt.Printf("concurrency peak=%d in flight (of %d clients)\n", peakInFlight, *clients)
 	fmt.Printf("server bytes: total=%d peak-live=%d across %d answered requests\n",
 		aggBytes, aggPeakBytes, statsN)
+	if wcojRouted > 0 || aggSeeks > 0 {
+		fmt.Printf("wcoj route: %d answers (%d admitted on the AGM override), seeks=%d extensions=%d\n",
+			wcojRouted, agmAdmitted, aggSeeks, aggExtensions)
+	}
 }
 
 // buildQueries returns the request texts: the query file verbatim, or a
@@ -170,6 +198,38 @@ func buildQueries(path, family string, order int) ([]string, error) {
 		default:
 			return nil, fmt.Errorf("unknown family %q", family)
 		}
+		q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := cqparse.WriteQuery(&buf, q); err != nil {
+			return nil, err
+		}
+		queries = append(queries, buf.String())
+	}
+	return queries, nil
+}
+
+// buildCyclicQueries returns dense cyclic 3-COLOR request texts — the
+// triangle, a clique at the requested order (capped so the answer bound
+// stays sane), and a wheel — the shapes whose plan widths blow past
+// any admission cap while the AGM bound stays small, so a server with
+// the override on routes them to the worst-case-optimal executor.
+func buildCyclicQueries(order int) ([]string, error) {
+	k := order
+	if k > 6 {
+		k = 6
+	}
+	if k < 4 {
+		k = 4
+	}
+	w := order
+	if w < 5 {
+		w = 5
+	}
+	var queries []string
+	for _, g := range []*graph.Graph{graph.Cycle(3), graph.Complete(k), graph.Wheel(w)} {
 		q, err := instance.ColorQuery(g, instance.BooleanFree(g))
 		if err != nil {
 			return nil, err

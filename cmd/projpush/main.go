@@ -39,7 +39,7 @@ func main() {
 		family    = flag.String("family", "random", "graph family: random, augpath, ladder, augladder, augcircladder, cycle, complete")
 		order     = flag.Int("order", 15, "graph order (vertices for random, family parameter otherwise)")
 		density   = flag.Float64("density", 3.0, "edge density m/n (random family only)")
-		method    = flag.String("method", string(core.MethodBucketElimination), "optimization method: straightforward, earlyprojection, reordering, bucketelimination, yannakakis, stream, hybrid")
+		method    = flag.String("method", string(core.MethodBucketElimination), "optimization method: straightforward, earlyprojection, reordering, bucketelimination, yannakakis, stream, wcoj, hybrid")
 		all       = flag.Bool("all", false, "run every method and compare")
 		free      = flag.Float64("free", 0, "fraction of vertices kept free (0 = Boolean query)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -212,6 +212,8 @@ func main() {
 				out, err = engine.ExplainYannakakis(q, db, opt, true)
 			case core.MethodStream:
 				out, err = engine.ExplainStream(p, db, opt, true)
+			case core.MethodWCOJ:
+				out, err = engine.ExplainWCOJ(q, db, opt, true)
 			default:
 				out, err = engine.Explain(p, db, opt, true)
 			}
@@ -241,8 +243,9 @@ func main() {
 // is set: a row-cap, memory-budget, or internal failure retries with
 // early projection and then bucket elimination, logging the abandoned
 // rungs to stderr so the summary line stays comparable. The yannakakis
-// method executes the full reducer and the stream method the pipelined
-// executor instead of the (surrogate) plan.
+// method executes the full reducer, the stream method the pipelined
+// executor, and the wcoj method the worst-case-optimal multiway join,
+// instead of the (surrogate) plan.
 func execute(m core.Method, p plan.Node, q *cq.Query, db cq.Database, opt engine.Options, resil bool, rng *rand.Rand) (*engine.Result, error) {
 	var res *engine.Result
 	var err error
@@ -257,6 +260,11 @@ func execute(m core.Method, p plan.Node, q *cq.Query, db cq.Database, opt engine
 			resilience.StreamRung(q), resilience.PlanLadder(q, rng), db, opt, 1)
 	case m == core.MethodStream:
 		return engine.ExecStream(p, db, opt)
+	case m == core.MethodWCOJ && resil:
+		res, err = engine.ExecResilientStrategy(context.Background(),
+			resilience.WCOJRung(q), resilience.PlanLadder(q, rng), db, opt, 1)
+	case m == core.MethodWCOJ:
+		return engine.ExecWCOJ(q, db, opt)
 	case resil:
 		res, err = engine.ExecResilient(context.Background(), p, resilience.DegradationLadder(q, rng), db, opt, 1)
 	default:

@@ -39,6 +39,7 @@ func main() {
 		maxAGM      = flag.Float64("maxagm", 0, "admission threshold on the AGM output bound, in log2 rows (0 = off)")
 		maxPeak     = flag.Int("maxpeak", 0, "admission threshold on predicted streaming peak bytes, in MiB (0 = off)")
 		streamWidth = flag.Int("streamwidth", 0, "route method-less queries up to this elimination width to the streaming engine (0 = engine default, <0 = off)")
+		wcojAGM     = flag.Float64("wcojagm", 0, "admit method-less queries over the width cap when their AGM output bound is at most this many log2 rows, routing them to the worst-case-optimal executor (0 = engine default, <0 = off)")
 		concurrency = flag.Int("concurrency", 4, "concurrently executing requests")
 		queue       = flag.Int("queue", 0, "bounded wait queue ahead of the executors (0 = 2x concurrency)")
 		queueWait   = flag.Duration("queuewait", time.Second, "max time a request may queue before being shed")
@@ -76,6 +77,7 @@ func main() {
 		MaxAGMLog2:        *maxAGM,
 		MaxPredictedBytes: int64(*maxPeak) << 20,
 		StreamWidth:       *streamWidth,
+		WCOJAGMLog2:       *wcojAGM,
 		MaxConcurrent:     *concurrency,
 		MaxQueue:          *queue,
 		QueueWait:         *queueWait,

@@ -63,6 +63,18 @@ const MethodYannakakis Method = "yannakakis"
 // the pushdown and fusion applied at execution time.
 const MethodStream Method = "stream"
 
+// MethodWCOJ names the worst-case-optimal multiway join execution
+// strategy (engine.ExecWCOJ): one global variable order, sorted per-atom
+// indexes, and leapfrog intersection variable by variable, with total
+// work inside the AGM output bound. Like MethodYannakakis and
+// MethodStream it is an execution strategy, not a plan shape, so it is
+// not in Methods; BuildPlan returns the bucket-elimination plan as its
+// static surrogate — the same MCS variable order drives both, but the
+// surrogate's width wildly overstates what the multiway join
+// materializes on cyclic queries, which is exactly why the server admits
+// wcoj routes on the AGM bound instead.
+const MethodWCOJ Method = "wcoj"
+
 // Methods lists all structural methods in presentation order.
 var Methods = []Method{
 	MethodStraightforward,
@@ -92,6 +104,11 @@ func BuildPlan(m Method, q *cq.Query, rng *rand.Rand) (plan.Node, error) {
 		// The static surrogate: the early-projection plan the streaming
 		// engine lowers (pushdown and fusion happen at execution time).
 		return EarlyProjection(q)
+	case MethodWCOJ:
+		// The static surrogate: bucket elimination under the same MCS
+		// variable order the leapfrog join descends (no multiway
+		// intersection happens in the surrogate).
+		return BucketElimination(q, rng)
 	default:
 		return nil, fmt.Errorf("core: unknown method %q", m)
 	}

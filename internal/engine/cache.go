@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -223,6 +224,43 @@ func DatabaseFingerprint(db cq.Database) string {
 func cacheKey(dbFP string, n plan.Node) (string, []cq.Var) {
 	fp, vars := plan.Fingerprint(n)
 	return dbFP + "\x00" + fp, vars
+}
+
+// streamScanKeys derives the streaming engine's per-scan cache keys: one
+// key per base-relation occurrence, in the pushdown pre-pass's collect
+// (DFS) order. The reduced view of a scan depends on every reduction edge
+// of the plan, so the key embeds the whole plan's renaming-invariant
+// fingerprint; the scan position disambiguates occurrences, and DFS order
+// corresponds across isomorphic plans.
+func streamScanKeys(dbFP string, p plan.Node, n int) []string {
+	fp, _ := plan.Fingerprint(p)
+	prefix := dbFP + "\x00streamscan:" + fp + ":"
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = prefix + strconv.Itoa(i)
+	}
+	return keys
+}
+
+// scanToCanonical renames a scan's (reduced) view onto positional
+// attributes 0..arity-1, so the cached relation is invariant to the
+// query's variable naming.
+func scanToCanonical(rel *relation.Relation, args []cq.Var) *relation.Relation {
+	m := make(map[relation.Attr]relation.Attr, len(args))
+	for i, a := range args {
+		m[a] = relation.Attr(i)
+	}
+	return relation.Rename(rel, m)
+}
+
+// scanFromCanonical binds a cached canonical scan view to the hitting
+// atom's actual argument variables.
+func scanFromCanonical(rel *relation.Relation, args []cq.Var) *relation.Relation {
+	m := make(map[relation.Attr]relation.Attr, len(args))
+	for i, a := range args {
+		m[relation.Attr(i)] = a
+	}
+	return relation.Rename(rel, m)
 }
 
 // toCanonical renames a subtree result onto the canonical attributes of

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"projpush/internal/core"
+	"projpush/internal/cq"
 	"projpush/internal/instance"
 )
 
@@ -81,6 +82,72 @@ func TestDifferentialCacheOnOff(t *testing.T) {
 				check("parallel over sequential-built cache", crossPar, err)
 			})
 		}
+	}
+}
+
+// TestDifferentialStreamCacheOnOff runs the streaming engine uncached,
+// cache-enabled cold, and cache-enabled warm over workloads whose
+// pushdown sweeps genuinely remove tuples (the selective chain) and the
+// figure workloads, checking that the result relation and the reduction
+// instrumentation are identical in all three. The warm run must hit on
+// every base scan — its sweeps are skipped entirely — yet still report
+// the same ReducedTuples as the run that performed them.
+func TestDifferentialStreamCacheOnOff(t *testing.T) {
+	type workload struct {
+		name string
+		q    *cq.Query
+		db   cq.Database
+	}
+	var workloads []workload
+	cq5, cdb5 := selectiveChain(5, 400, 250, 9)
+	workloads = append(workloads, workload{"selective-chain", cq5, cdb5})
+	colorDB := instance.ColorDatabase(3)
+	for _, w := range figureWorkloads(t) {
+		q, err := instance.ColorQuery(w.g, instance.BooleanFree(w.g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, workload{w.name, q, colorDB})
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			p, err := core.BuildPlan(core.MethodStream, w.q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := ExecStream(p, w.db, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string, res *Result, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !ref.Rel.Equal(res.Rel) {
+					t.Fatalf("%s: relation differs (%d vs %d rows)",
+						label, res.Rel.Len(), ref.Rel.Len())
+				}
+				if ref.Stats.ReducedTuples != res.Stats.ReducedTuples {
+					t.Fatalf("%s: ReducedTuples = %d, uncached run %d",
+						label, res.Stats.ReducedTuples, ref.Stats.ReducedTuples)
+				}
+			}
+			scans := len(w.q.Atoms)
+			c := NewCache(0)
+			cold, err := ExecStream(p, w.db, Options{Cache: c})
+			check("cold", cold, err)
+			if cold.Stats.CacheMisses != int64(scans) || cold.Stats.CacheHits != 0 {
+				t.Fatalf("cold run: hits=%d misses=%d, want 0/%d",
+					cold.Stats.CacheHits, cold.Stats.CacheMisses, scans)
+			}
+			warm, err := ExecStream(p, w.db, Options{Cache: c})
+			check("warm", warm, err)
+			if warm.Stats.CacheHits != int64(scans) || warm.Stats.CacheMisses != 0 {
+				t.Fatalf("warm run: hits=%d misses=%d, want %d/0",
+					warm.Stats.CacheHits, warm.Stats.CacheMisses, scans)
+			}
+		})
 	}
 }
 

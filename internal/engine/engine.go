@@ -91,6 +91,11 @@ type Stats struct {
 	// (the Yannakakis full-reducer sweeps). Zero for the plan
 	// executors, which never semijoin.
 	ReducedTuples int64
+	// Seeks and Extensions instrument the worst-case-optimal executor
+	// (ExecWCOJ): Seeks counts galloping SeekGE/SeekGT calls across all
+	// variable levels, Extensions the values that survived a level's
+	// leapfrog intersection. Zero for every other executor.
+	Seeks, Extensions int64
 	// Attempts records the degradation history of an ExecResilient run:
 	// one entry per plan tried, in order, the last being the one whose
 	// stats this struct carries. Nil for the plain entry points.
@@ -118,6 +123,8 @@ func (s *Stats) merge(o *Stats) {
 	s.PeakBytes += o.PeakBytes
 	s.MaterializedTuples += o.MaterializedTuples
 	s.ReducedTuples += o.ReducedTuples
+	s.Seeks += o.Seeks
+	s.Extensions += o.Extensions
 }
 
 // Result is the outcome of executing a plan.

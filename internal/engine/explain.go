@@ -129,6 +129,57 @@ func ExplainYannakakis(q *cq.Query, db cq.Database, opt Options, analyze bool) (
 	return b.String(), nil
 }
 
+// ExplainWCOJ renders the worst-case-optimal executor's variable order
+// for q: one line per variable level with the atoms whose intersection
+// constrains it, levels past the free prefix marked ∃ (existence-checked
+// only — the executor's early projection). When analyze is true the join
+// executes under opt and each level is annotated with its seek and
+// extension counts, followed by the run's totals and the memory/tuples
+// trailers the other executors report.
+func ExplainWCOJ(q *cq.Query, db cq.Database, opt Options, analyze bool) (string, error) {
+	var ex *wexec
+	if analyze {
+		_, x, err := execWCOJ(context.Background(), q, db, opt)
+		if err != nil {
+			return "", err
+		}
+		ex = x
+	} else {
+		ex = newWexec(context.Background(), q, db, opt)
+		if err := ex.prepare(); err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wcoj leapfrog  vars=%d free=%d atoms=%d\n",
+		len(ex.vars), ex.freeCut, len(ex.atoms))
+	for d, lv := range ex.levels {
+		mark := ""
+		if d >= ex.freeCut {
+			mark = " ∃"
+		}
+		fmt.Fprintf(&b, "  level x%d%s ", lv.v, mark)
+		for _, a := range lv.atoms {
+			fmt.Fprintf(&b, " %s", a.atom)
+		}
+		if analyze {
+			fmt.Fprintf(&b, "  seeks=%d extensions=%d", lv.seeks, lv.extensions)
+		}
+		b.WriteString("\n")
+	}
+	if analyze {
+		fmt.Fprintf(&b, "seeks: total=%d extensions=%d\n", ex.stats.Seeks, ex.stats.Extensions)
+		fmt.Fprintf(&b, "memory: %d bytes materialized, peak %d live", ex.stats.Bytes, ex.stats.PeakBytes)
+		if opt.MaxBytes > 0 {
+			fmt.Fprintf(&b, " (budget %d)", opt.MaxBytes)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "tuples: materialized=%d reduced=%d\n",
+			ex.stats.MaterializedTuples, ex.stats.ReducedTuples)
+	}
+	return b.String(), nil
+}
+
 func varList(vs []cq.Var) string {
 	parts := make([]string, len(vs))
 	for i, v := range vs {

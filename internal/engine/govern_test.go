@@ -283,13 +283,15 @@ func TestExecResilientDegradation(t *testing.T) {
 	}
 
 	// semijoin.alloc=1 knocks out the streaming rung's first pushdown
-	// sweep, so the run degrades through every rung of the ladder.
+	// sweep, so the run degrades through every rung of the explicit
+	// stream → earlyprojection → bucketelimination ladder.
 	if err := faultinject.Enable("join.panic=1,subtree.panic=1,semijoin.alloc=1", 23); err != nil {
 		t.Fatal(err)
 	}
 	opt := engine.Options{MaxBytes: budget}
+	ladder := append([]engine.Fallback{resilience.StreamRung(q)}, resilience.PlanLadder(q, nil)...)
 	res, err := engine.ExecResilient(context.Background(), buildPlan(t, core.MethodStraightforward, q),
-		resilience.DegradationLadder(q, nil), db, opt, 4)
+		ladder, db, opt, 4)
 	if err != nil {
 		t.Fatalf("ExecResilient failed down the whole ladder: %v\nattempts: %+v",
 			err, res.Stats.Attempts)
@@ -319,6 +321,24 @@ func TestExecResilientDegradation(t *testing.T) {
 	if !res.Rel.Equal(oracle) {
 		t.Fatalf("degraded result differs from oracle (%d vs %d rows)",
 			res.Rel.Len(), oracle.Len())
+	}
+
+	// The default ladder for this wide query leads with the
+	// worst-case-optimal rung, which survives the injected faults and the
+	// byte budget outright: the run is rescued in one fallback instead of
+	// degrading through the materializing methods.
+	res2, err := engine.ExecResilient(context.Background(), buildPlan(t, core.MethodStraightforward, q),
+		resilience.DegradationLadder(q, nil), db, opt, 4)
+	if err != nil {
+		t.Fatalf("ExecResilient with default ladder: %v", err)
+	}
+	at2 := res2.Stats.Attempts
+	if len(at2) != 2 || at2[1].Method != string(core.MethodWCOJ) || at2[1].Err != "" {
+		t.Fatalf("default-ladder attempts = %+v, want [given, wcoj(success)]", at2)
+	}
+	if !res2.Rel.Equal(oracle) {
+		t.Fatalf("wcoj-rescued result differs from oracle (%d vs %d rows)",
+			res2.Rel.Len(), oracle.Len())
 	}
 }
 

@@ -30,9 +30,19 @@ package engine
 //     high-water mark of live bytes.
 //
 // Per-operator row/byte/peak counters feed ExplainStream's EXPLAIN
-// ANALYZE operator tree. The subplan cache (Options.Cache) is ignored:
-// like the iterator engine, this executor materializes no subtree results
-// to share.
+// ANALYZE operator tree.
+//
+// The subplan cache (Options.Cache) memoizes the pushdown pre-pass: the
+// engine materializes no subtree join results to share, but the
+// semijoin-reduced base scans it does produce are keyed by
+// database fingerprint ⊕ whole-plan fingerprint ⊕ scan position (the
+// reduced view of one scan depends on every edge of the plan, so the
+// whole-plan fingerprint — invariant to variable renaming — is the
+// finest sound key). A run that finds every scan of its plan cached
+// swaps the reduced views in and skips the sweeps entirely; any miss
+// re-runs the fixpoint and stores all scans. Per-scan reduced-tuple
+// counts ride along in the entry stats so cache-on and cache-off runs
+// report identical ReducedTuples.
 
 import (
 	"context"
@@ -934,7 +944,8 @@ func sharedVars(l, r []cq.Var) []cq.Var {
 // semijoin pushdown before execution, fused projections, and live-byte
 // memory accounting (Stats.Bytes and Stats.PeakBytes report the peak of
 // live bytes, not cumulative materialization). Results are identical to
-// Exec. The subplan cache (opt.Cache) is ignored.
+// Exec. The subplan cache (opt.Cache) memoizes the semijoin-reduced base
+// scans, so repeated plans skip the pushdown sweeps.
 func ExecStream(p plan.Node, db cq.Database, opt Options) (*Result, error) {
 	return ExecStreamContext(context.Background(), p, db, opt)
 }
@@ -974,8 +985,52 @@ func execStream(cctx context.Context, p plan.Node, db cq.Database, opt Options) 
 	if _, err := e.collect(p); err != nil {
 		return nil, nil, err // structural, not a run failure
 	}
-	if err := e.reduceAll(); err != nil {
-		return fail(nil, err)
+	// Cached pushdown: if every scan's reduced view is memoized for this
+	// (database, plan) pair, swap the views in and skip the sweeps.
+	var scanKeys []string
+	reduced := false
+	if opt.Cache != nil {
+		scanKeys = streamScanKeys(DatabaseFingerprint(db), p, len(e.scans))
+		views := make([]*relation.Relation, len(e.scans))
+		counts := make([]int64, len(e.scans))
+		hitAll := true
+		for i := range e.scans {
+			rel, st, hit := opt.Cache.get(scanKeys[i])
+			if !hit {
+				hitAll = false
+				break
+			}
+			views[i], counts[i] = rel, st.ReducedTuples
+		}
+		if hitAll {
+			for i, s := range e.scans {
+				s.view = scanFromCanonical(views[i], s.node.Atom.Args)
+				s.reduced = counts[i]
+				stats.ReducedTuples += counts[i]
+				if counts[i] > 0 {
+					// A reduced view owns a private arena; an unreduced one
+					// is still a zero-copy binding of the base relation.
+					if err := ctx.hold(s.view.Bytes(), &s.charged, nil); err != nil {
+						return fail(nil, err)
+					}
+				}
+			}
+			stats.CacheHits += int64(len(e.scans))
+			reduced = true
+		} else {
+			stats.CacheMisses += int64(len(e.scans))
+		}
+	}
+	if !reduced {
+		if err := e.reduceAll(); err != nil {
+			return fail(nil, err)
+		}
+		if opt.Cache != nil {
+			for i, s := range e.scans {
+				opt.Cache.put(scanKeys[i], scanToCanonical(s.view, s.node.Atom.Args),
+					Stats{ReducedTuples: s.reduced})
+			}
+		}
 	}
 	root, rootSt, err := e.lower(p, append([]cq.Var(nil), p.Attrs()...))
 	if err != nil {
@@ -1090,6 +1145,10 @@ func ExplainStream(p plan.Node, db cq.Database, opt Options, analyze bool) (stri
 		b.WriteString("\n")
 		fmt.Fprintf(&b, "tuples: materialized=%d reduced=%d\n",
 			st.MaterializedTuples, st.ReducedTuples)
+		if opt.Cache != nil {
+			fmt.Fprintf(&b, "cache: run hits=%d misses=%d; %s\n",
+				st.CacheHits, st.CacheMisses, opt.Cache.Counters())
+		}
 	}
 	return b.String(), nil
 }

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+// TestDifferentialWCOJFigureWorkloads runs the Figure-6–9 structured
+// workloads — Boolean and with a free-variable sample — through the
+// worst-case-optimal executor and checks the result against the
+// backtracking oracle.
+func TestDifferentialWCOJFigureWorkloads(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range figureWorkloads(t) {
+		for _, mode := range []string{"boolean", "free"} {
+			t.Run(fmt.Sprintf("%s/%s", w.name, mode), func(t *testing.T) {
+				free := instance.BooleanFree(w.g)
+				if mode == "free" {
+					free = instance.ChooseFree(instance.EdgeVertices(w.g), 0.4, rng)
+				}
+				q, err := instance.ColorQuery(w.g, free)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := ExecWCOJ(q, db, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := EvalOracle(q, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Rel.Equal(want) {
+					t.Fatalf("wcoj result differs from oracle (%d vs %d rows)",
+						res.Rel.Len(), want.Len())
+				}
+				if res.Stats.Seeks == 0 {
+					t.Error("leapfrog run recorded no seeks")
+				}
+				if res.Stats.Joins != 1 {
+					t.Errorf("Joins = %d, want 1 (one multiway join)", res.Stats.Joins)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialWCOJCyclicGraphs sweeps the cyclic shapes the
+// executor exists for — cliques, cycles, wheels, and random graphs at
+// several densities — under k-COLOR for k=3 and k=4, Boolean and
+// enumerating, against the oracle. Cliques above the chromatic number
+// pin the empty-answer path; k=4 makes several of them satisfiable.
+func TestDifferentialWCOJCyclicGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K4", graph.Complete(4)},
+		{"K5", graph.Complete(5)},
+		{"C5", graph.Cycle(5)},
+		{"C7", graph.Cycle(7)},
+		{"wheel6", graph.Wheel(6)},
+	}
+	for i := 0; i < 4; i++ {
+		g, err := graph.RandomDensity(7, 0.35+0.15*float64(i), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, struct {
+			name string
+			g    *graph.Graph
+		}{fmt.Sprintf("rand7-%d", i), g})
+	}
+	for _, k := range []int{3, 4} {
+		db := instance.ColorDatabase(k)
+		for _, w := range graphs {
+			for _, mode := range []string{"boolean", "free"} {
+				t.Run(fmt.Sprintf("k%d/%s/%s", k, w.name, mode), func(t *testing.T) {
+					free := instance.BooleanFree(w.g)
+					if mode == "free" {
+						free = instance.ChooseFree(instance.EdgeVertices(w.g), 0.5, rng)
+					}
+					q, err := instance.ColorQuery(w.g, free)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := ExecWCOJ(q, db, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := EvalOracle(q, db)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Rel.Equal(want) {
+						t.Fatalf("wcoj result differs from oracle (%d vs %d rows)",
+							res.Rel.Len(), want.Len())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWCOJLimits drives the executor into each governor wall: the row
+// cap, the byte budget, and the deadline, each surfacing as its typed
+// sentinel.
+func TestWCOJLimits(t *testing.T) {
+	g := graph.Cycle(9)
+	q, err := instance.ColorQuery(g, instance.EdgeVertices(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := instance.ColorDatabase(3)
+
+	if _, err := ExecWCOJ(q, db, Options{MaxRows: 5}); !errors.Is(err, ErrRowLimit) {
+		t.Errorf("MaxRows=5: err = %v, want ErrRowLimit", err)
+	}
+	if _, err := ExecWCOJ(q, db, Options{MaxBytes: 64}); !errors.Is(err, ErrMemLimit) {
+		t.Errorf("MaxBytes=64: err = %v, want ErrMemLimit", err)
+	}
+	if _, err := ExecWCOJ(q, db, Options{Timeout: time.Nanosecond}); !errors.Is(err, ErrTimeout) {
+		t.Errorf("1ns timeout: err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestWCOJCancellation cancels the executor before the run and
+// mid-intersection, expecting ErrCanceled (matching context.Canceled)
+// and no goroutine leak — the -race run in `make test` sweeps this.
+func TestWCOJCancellation(t *testing.T) {
+	// A full enumeration of the 3-colorings of C20 (about 10^6 rows)
+	// runs long enough for the mid-run cancel to land; the row cap is a
+	// backstop so a broken cancellation path fails typed instead of
+	// materializing the whole answer.
+	g := graph.Cycle(20)
+	q, err := instance.ColorQuery(g, instance.EdgeVertices(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := instance.ColorDatabase(3)
+	base := runtime.NumGoroutine()
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecWCOJContext(pre, q, db, Options{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: err = %v, want ErrCanceled", err)
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	timer := time.AfterFunc(3*time.Millisecond, cancelMid)
+	_, err = ExecWCOJContext(ctx, q, db, Options{MaxRows: 10_000_000})
+	timer.Stop()
+	cancelMid()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run: err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run: err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines leaked after cancellations: %d before, %d after", base, n)
+	}
+}
+
+// TestExplainWCOJ checks both renderings: the static variable order
+// (existence levels marked ∃, no counters) and the EXPLAIN ANALYZE form
+// with per-level seek/extension counts and the run trailers.
+func TestExplainWCOJ(t *testing.T) {
+	g := graph.Cycle(5)
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := instance.ColorDatabase(3)
+
+	static, err := ExplainWCOJ(q, db, Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(static, "wcoj leapfrog") || !strings.Contains(static, "∃") {
+		t.Fatalf("static explain missing header or ∃ marks:\n%s", static)
+	}
+	if strings.Contains(static, "seeks=") {
+		t.Fatalf("static explain must not carry counters:\n%s", static)
+	}
+
+	analyzed, err := ExplainWCOJ(q, db, Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seeks=", "extensions=", "seeks: total=", "memory:", "tuples:"} {
+		if !strings.Contains(analyzed, want) {
+			t.Fatalf("analyze explain missing %q:\n%s", want, analyzed)
+		}
+	}
+}

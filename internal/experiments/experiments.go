@@ -127,6 +127,11 @@ type Cell struct {
 	// CacheHits and CacheMisses total the subplan-cache traffic of this
 	// cell's executions (zero when Config.Cache is nil).
 	CacheHits, CacheMisses int64
+	// Seeks and Extensions total the leapfrog index-seek and
+	// variable-extension counts of this cell's executions; only the
+	// worst-case-optimal strategy produces them, so they stay zero for
+	// the plan-based methods.
+	Seeks, Extensions int64
 	// Failures counts failed repetitions by kind; nil when every
 	// repetition succeeded. Admission verdicts ("overwidth", "shed")
 	// mean the run was rejected before executing; the rest ("timeout",
@@ -283,10 +288,11 @@ func (c Config) execOptions() engine.Options {
 // outcome is one measurement: duration, plan width, cache traffic, and
 // the error (timeout / row cap) if the run was aborted.
 type outcome struct {
-	d            time.Duration
-	w            int
-	hits, misses int64
-	err          error
+	d                 time.Duration
+	w                 int
+	hits, misses      int64
+	seeks, extensions int64
+	err               error
 }
 
 // measure builds and executes one method on one query, returning the
@@ -298,6 +304,9 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 	}
 	if m == core.MethodStream {
 		return measureStream(q, db, rng, cfg)
+	}
+	if m == core.MethodWCOJ {
+		return measureWCOJ(q, db, rng, cfg)
 	}
 	start := time.Now()
 	p, err := core.BuildPlan(m, q, rng)
@@ -371,6 +380,39 @@ func measureStream(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outc
 	o := outcome{d: time.Since(start), w: w, err: err}
 	if res != nil {
 		o.hits, o.misses = res.Stats.CacheHits, res.Stats.CacheMisses
+	}
+	return o
+}
+
+// measureWCOJ runs the worst-case-optimal multiway join. The
+// bucket-elimination surrogate supplies the width column, so capped
+// sweeps stay comparable — but note the surrogate width is exactly the
+// quantity the leapfrog join beats on cyclic queries, which is why the
+// serving layer admits wcoj routes on the AGM bound instead; the
+// harness keeps MaxWidth a uniform plan-width cap. Resilient runs
+// degrade to the plan-based ladder.
+func measureWCOJ(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
+	start := time.Now()
+	p, err := core.BuildPlan(core.MethodWCOJ, q, rng)
+	if err != nil {
+		return outcome{err: err}
+	}
+	w := plan.Analyze(p).Width
+	if cfg.MaxWidth > 0 && w > cfg.MaxWidth {
+		return outcome{w: w, err: fmt.Errorf("%w: surrogate plan width %d over admission cap %d",
+			engine.ErrOverWidth, w, cfg.MaxWidth)}
+	}
+	var res *engine.Result
+	if cfg.Resilient {
+		res, err = engine.ExecResilientStrategy(context.Background(),
+			resilience.WCOJRung(q), resilience.PlanLadder(q, rng), db, cfg.execOptions(), 1)
+	} else {
+		res, err = engine.ExecWCOJ(q, db, cfg.execOptions())
+	}
+	o := outcome{d: time.Since(start), w: w, err: err}
+	if res != nil {
+		o.hits, o.misses = res.Stats.CacheHits, res.Stats.CacheMisses
+		o.seeks, o.extensions = res.Stats.Seeks, res.Stats.Extensions
 	}
 	return o
 }
@@ -514,6 +556,8 @@ func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Quer
 			}
 			cell.CacheHits += o.hits
 			cell.CacheMisses += o.misses
+			cell.Seeks += o.seeks
+			cell.Extensions += o.extensions
 			if o.err != nil {
 				if genErrs[rep] != nil {
 					cell.fail("generator")
@@ -767,15 +811,32 @@ func hasFailures(s *Series) bool {
 	return false
 }
 
+// hasSeeks reports whether any cell recorded leapfrog seek work — the
+// trigger for the CSV seek/extension columns, present only when the
+// sweep ran the worst-case-optimal strategy.
+func hasSeeks(s *Series) bool {
+	for _, r := range s.Rows {
+		for i := range r.Cells {
+			if r.Cells[i].Seeks > 0 || r.Cells[i].Extensions > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // CSV renders a series as comma-separated values: one row per x with a
 // median-seconds column per method (empty for timeouts) — the format for
 // external plotting tools. A sweep run with a subplan cache additionally
-// gets <method>_cache_hits and <method>_cache_misses columns, and a
-// sweep with any failed repetition gets <method>_rejected (turned away
-// at admission: over-width, shed) and <method>_aborted (failed
-// mid-execution) columns.
+// gets <method>_cache_hits and <method>_cache_misses columns, a sweep
+// with any failed repetition gets <method>_rejected (turned away at
+// admission: over-width, shed) and <method>_aborted (failed
+// mid-execution) columns, and a sweep that ran the worst-case-optimal
+// strategy gets <method>_seeks and <method>_extensions columns with its
+// leapfrog work counters.
 func CSV(s *Series) string {
 	failures := hasFailures(s)
+	seeks := hasSeeks(s)
 	var b strings.Builder
 	b.WriteString(s.XLabel)
 	if len(s.Rows) > 0 {
@@ -791,6 +852,11 @@ func CSV(s *Series) string {
 		if failures {
 			for _, c := range s.Rows[0].Cells {
 				fmt.Fprintf(&b, ",%s_rejected,%s_aborted", c.Method, c.Method)
+			}
+		}
+		if seeks {
+			for _, c := range s.Rows[0].Cells {
+				fmt.Fprintf(&b, ",%s_seeks,%s_extensions", c.Method, c.Method)
 			}
 		}
 	}
@@ -811,6 +877,11 @@ func CSV(s *Series) string {
 		if failures {
 			for i := range r.Cells {
 				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].rejected(), r.Cells[i].aborted())
+			}
+		}
+		if seeks {
+			for i := range r.Cells {
+				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].Seeks, r.Cells[i].Extensions)
 			}
 		}
 		b.WriteString("\n")

@@ -57,6 +57,31 @@ var ErrMemBudget = errors.New("relation: intermediate results exceed memory budg
 
 const deadlineCheckInterval = 4096
 
+// CheckInterval is the tuples-touched cadence at which kernels poll for
+// cancellation and deadline expiry. Engine-side loops that drive the
+// arena directly (the worst-case-optimal join) reuse it so every
+// executor responds to interrupts within the same bounded work.
+const CheckInterval = deadlineCheckInterval
+
+// Interrupted reports why an operation driving this limit must stop
+// early — context cancellation or deadline expiry — or nil to continue.
+// It is the exported face of the kernels' poll, for engine loops that
+// iterate the arena without going through a kernel.
+func (l *Limit) Interrupted() error { return l.interrupted() }
+
+// Charge adds n touched tuples to the work counter.
+func (l *Limit) Charge(n int64) { l.charge(n) }
+
+// ChargeMemGrowth charges the growth of out's resident footprint since
+// *last against the byte budget; callers keep one last-seen value per
+// output relation, so most rows cost a subtraction and a compare.
+func (l *Limit) ChargeMemGrowth(out *Relation, last *int64) error {
+	return l.chargeMem(out, last)
+}
+
+// OverRows reports whether a result of n rows exceeds MaxRows.
+func (l *Limit) OverRows(n int) bool { return l.overRows(n) }
+
 func (l *Limit) charge(n int64) {
 	if l != nil && l.Work != nil {
 		*l.Work += n

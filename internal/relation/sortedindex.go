@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"projpush/internal/faultinject"
+)
+
+// SortedIndex is a sorted row-id view over a relation's flat arena: the
+// rows of the relation ordered lexicographically by a caller-chosen
+// column sequence, with no tuple copies — the index stores one int32 row
+// id per tuple and reads values straight out of the arena. It is the
+// access path of the worst-case-optimal join executor: a leapfrog
+// intersection narrows a [lo,hi) row-id bracket one column (depth) at a
+// time, and within a bracket where depths 0..d-1 are constant, depth d is
+// sorted, so galloping SeekGE/SeekGT find the next candidate value and
+// the end of its run in O(log gap).
+//
+// Sorting reuses the arena's packed/FNV key split: while every indexed
+// column holds byte-range values (the paper's domains always do) and at
+// most eight columns are indexed, each row packs into one order-preserving
+// uint64 and the sort compares single machine words; otherwise it falls
+// back to column-wise compares. Ties (rows equal on every indexed column)
+// break by row id, so the order is deterministic either way.
+type SortedIndex struct {
+	rel  *Relation
+	cols []int   // arena column index per depth
+	rows []int32 // row ids, sorted lexicographically by cols
+}
+
+// NewSortedIndex builds a sorted index over r ordered by attrs. It is
+// NewSortedIndexLimited with no limits; it never fails on a valid schema.
+func NewSortedIndex(r *Relation, attrs []Attr) (*SortedIndex, error) {
+	return NewSortedIndexLimited(r, attrs, nil)
+}
+
+// NewSortedIndexLimited builds a sorted index over r ordered by attrs
+// (each of which must be in r's schema) under lim: the row-id array and
+// the sort's packed-key scratch are charged against the byte budget, and
+// the rows touched are charged as work.
+func NewSortedIndexLimited(r *Relation, attrs []Attr, lim *Limit) (*SortedIndex, error) {
+	if err := lim.interrupted(); err != nil {
+		return nil, err
+	}
+	faultinject.Sleep(faultinject.LatencyKernel)
+	if faultinject.FailAlloc(faultinject.AllocJoin) {
+		return nil, fmt.Errorf("%w: injected allocation failure", ErrMemBudget)
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.Pos(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation.NewSortedIndex: attribute %d not in schema", a)
+		}
+		cols[i] = j
+	}
+	ix := &SortedIndex{rel: r, cols: cols, rows: make([]int32, r.n)}
+	for i := range ix.rows {
+		ix.rows[i] = int32(i)
+	}
+	lim.charge(int64(r.n))
+	if err := lim.chargeBytes(ix.Bytes()); err != nil {
+		return nil, err
+	}
+
+	// Packed fast path: one order-preserving uint64 per row (more
+	// significant depth = more significant byte), single-word compares.
+	if len(cols) <= 8 && r.rangesPackable() {
+		if err := lim.chargeBytes(int64(r.n) * 8); err != nil {
+			return nil, err
+		}
+		keys := make([]uint64, r.n)
+		for i := 0; i < r.n; i++ {
+			t := r.row(i)
+			var key uint64
+			for _, c := range cols {
+				key = key<<8 | uint64(byte(t[c]))
+			}
+			keys[i] = key
+		}
+		sort.Slice(ix.rows, func(a, b int) bool {
+			ka, kb := keys[ix.rows[a]], keys[ix.rows[b]]
+			if ka != kb {
+				return ka < kb
+			}
+			return ix.rows[a] < ix.rows[b]
+		})
+		return ix, lim.interrupted()
+	}
+
+	sort.Slice(ix.rows, func(a, b int) bool {
+		ta, tb := r.row(int(ix.rows[a])), r.row(int(ix.rows[b]))
+		for _, c := range cols {
+			if ta[c] != tb[c] {
+				return ta[c] < tb[c]
+			}
+		}
+		return ix.rows[a] < ix.rows[b]
+	})
+	return ix, lim.interrupted()
+}
+
+// Len returns the number of indexed rows.
+func (ix *SortedIndex) Len() int { return len(ix.rows) }
+
+// Depths returns the number of indexed columns.
+func (ix *SortedIndex) Depths() int { return len(ix.cols) }
+
+// Bytes approximates the index's resident memory: the row-id array (the
+// arena it points into is accounted to its relation).
+func (ix *SortedIndex) Bytes() int64 { return int64(len(ix.rows)) * 4 }
+
+// Value returns the depth-d column value of the i-th row in sorted order.
+func (ix *SortedIndex) Value(i, d int) Value {
+	return ix.rel.data[int(ix.rows[i])*ix.rel.arity+ix.cols[d]]
+}
+
+// SeekGE returns the smallest position in [lo,hi) whose depth-d value is
+// >= v, or hi when none is. The bracket must be one where depths 0..d-1
+// are constant (so depth d is sorted within it). The search gallops from
+// lo — constant when the answer is adjacent, logarithmic in the gap —
+// which is what makes leapfrog intersection's total work proportional to
+// the smallest participating relation, not the largest.
+func (ix *SortedIndex) SeekGE(d, lo, hi int, v Value) int {
+	return ix.seek(d, lo, hi, v, false)
+}
+
+// SeekGT is SeekGE with a strict bound: the smallest position in [lo,hi)
+// whose depth-d value is > v. Using it to find the end of a value's run
+// avoids the v+1 overflow a SeekGE-based formulation hits at the top of
+// the Value range.
+func (ix *SortedIndex) SeekGT(d, lo, hi int, v Value) int {
+	return ix.seek(d, lo, hi, v, true)
+}
+
+func (ix *SortedIndex) seek(d, lo, hi int, v Value, strict bool) int {
+	ok := func(i int) bool {
+		u := ix.Value(i, d)
+		if strict {
+			return u > v
+		}
+		return u >= v
+	}
+	if lo >= hi {
+		return hi
+	}
+	if ok(lo) {
+		return lo
+	}
+	// Gallop: double the step until we overshoot (or run off the end),
+	// leaving a bracket (prev, bound] with ok(prev) false.
+	prev, bound := lo, hi
+	for step := 1; ; step <<= 1 {
+		i := lo + step
+		if i >= hi {
+			break
+		}
+		if ok(i) {
+			bound = i
+			break
+		}
+		prev = i
+	}
+	// Binary search (prev, bound]: first ok position.
+	return prev + 1 + sort.Search(bound-prev-1, func(k int) bool { return ok(prev + 1 + k) })
+}

@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomIndexed builds a random relation and a sorted index over a random
+// permutation of its attributes. maxVal > 255 exercises the column-compare
+// sort (the arena is not byte-packable); maxVal <= 255 the packed path.
+func randomIndexed(t *testing.T, rng *rand.Rand, n, arity int, maxVal int32) (*Relation, *SortedIndex, []Attr) {
+	t.Helper()
+	attrs := make([]Attr, arity)
+	for i := range attrs {
+		attrs[i] = Attr(i)
+	}
+	r := New(attrs)
+	buf := make(Tuple, arity)
+	for i := 0; i < n; i++ {
+		for j := range buf {
+			buf[j] = Value(rng.Int31n(maxVal + 1))
+		}
+		r.Add(buf)
+	}
+	order := make([]Attr, arity)
+	copy(order, attrs)
+	rng.Shuffle(arity, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	ix, err := NewSortedIndex(r, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, ix, order
+}
+
+// TestSortedIndexOrder checks that both sort paths (packed single-word
+// keys and column-wise compares) produce the same lexicographic order
+// with deterministic row-id tie-breaking.
+func TestSortedIndexOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, maxVal := range []int32{3, 255, 100_000} {
+		_, ix, _ := randomIndexed(t, rng, 500, 3, maxVal)
+		for i := 1; i < ix.Len(); i++ {
+			for d := 0; d < ix.Depths(); d++ {
+				a, b := ix.Value(i-1, d), ix.Value(i, d)
+				if a < b {
+					break
+				}
+				if a > b {
+					t.Fatalf("maxVal=%d: rows %d,%d out of order at depth %d: %d > %d",
+						maxVal, i-1, i, d, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSortedIndexSeekProperty drives SeekGE and SeekGT against a linear
+// scan over random brackets: for every bracket where the prefix depths
+// are constant, the galloping seek must return exactly the first
+// position the scan finds. Domains beyond 255 force the FNV/unpacked
+// arena and the column-compare sort, so both key regimes are swept.
+func TestSortedIndexSeekProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct {
+		n, arity int
+		maxVal   int32
+	}{
+		{0, 2, 10},      // empty relation
+		{1, 1, 5},       // single row
+		{400, 2, 6},     // dense duplicates, packed keys
+		{400, 3, 255},   // packed boundary
+		{400, 3, 70000}, // unpacked arena, column compares
+	} {
+		_, ix, _ := randomIndexed(t, rng, tc.n, tc.arity, tc.maxVal)
+		linear := func(d, lo, hi int, v Value, strict bool) int {
+			for i := lo; i < hi; i++ {
+				u := ix.Value(i, d)
+				if (strict && u > v) || (!strict && u >= v) {
+					return i
+				}
+			}
+			return hi
+		}
+		// Depth-0 brackets are the whole index; deeper brackets are runs
+		// of constant prefix, found by walking the sorted order.
+		type bracket struct{ d, lo, hi int }
+		brackets := []bracket{{0, 0, ix.Len()}}
+		for d := 1; d < ix.Depths(); d++ {
+			lo := 0
+			for lo < ix.Len() {
+				hi := lo + 1
+				for hi < ix.Len() {
+					same := true
+					for pd := 0; pd < d; pd++ {
+						if ix.Value(hi, pd) != ix.Value(lo, pd) {
+							same = false
+							break
+						}
+					}
+					if !same {
+						break
+					}
+					hi++
+				}
+				brackets = append(brackets, bracket{d, lo, hi})
+				lo = hi
+			}
+		}
+		for _, br := range brackets {
+			probes := []Value{0, 1, Value(tc.maxVal), Value(tc.maxVal) + 1, 1<<31 - 1}
+			for k := 0; k < 16; k++ {
+				probes = append(probes, Value(rng.Int31n(tc.maxVal+1)))
+			}
+			if br.hi > br.lo {
+				probes = append(probes, ix.Value(br.lo, br.d), ix.Value(br.hi-1, br.d))
+			}
+			for _, v := range probes {
+				if got, want := ix.SeekGE(br.d, br.lo, br.hi, v), linear(br.d, br.lo, br.hi, v, false); got != want {
+					t.Fatalf("n=%d maxVal=%d SeekGE(d=%d,[%d,%d),%d) = %d, linear scan %d",
+						tc.n, tc.maxVal, br.d, br.lo, br.hi, v, got, want)
+				}
+				if got, want := ix.SeekGT(br.d, br.lo, br.hi, v), linear(br.d, br.lo, br.hi, v, true); got != want {
+					t.Fatalf("n=%d maxVal=%d SeekGT(d=%d,[%d,%d),%d) = %d, linear scan %d",
+						tc.n, tc.maxVal, br.d, br.lo, br.hi, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSortedIndexSeekGTAtMaxValue pins the overflow case SeekGT exists
+// for: finding the end of a run whose value is the maximum representable
+// Value, where a SeekGE(v+1) formulation would wrap.
+func TestSortedIndexSeekGTAtMaxValue(t *testing.T) {
+	const top = Value(1<<31 - 1)
+	r := New([]Attr{0})
+	for _, v := range []Value{1, top, top, 5} {
+		r.Add(Tuple{v})
+	}
+	ix, err := NewSortedIndex(r, []Attr{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.SeekGT(0, 0, ix.Len(), top); got != ix.Len() {
+		t.Fatalf("SeekGT(max) = %d, want %d (end)", got, ix.Len())
+	}
+	if got := ix.SeekGE(0, 0, ix.Len(), top); got != 2 {
+		t.Fatalf("SeekGE(max) = %d, want 2 (start of the max run)", got)
+	}
+}
+
+// TestSortedIndexLimits checks the limit plumbing: a byte budget below
+// the row-id array fails the build with ErrMemBudget, and work is
+// charged per indexed row.
+func TestSortedIndexLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, _, order := randomIndexed(t, rng, 1000, 2, 50)
+	var work int64
+	lim := &Limit{Work: &work, MaxBytes: 16}
+	if _, err := NewSortedIndexLimited(r, order, lim); err == nil {
+		t.Fatal("16-byte budget admitted a 1000-row index")
+	}
+	work = 0
+	if _, err := NewSortedIndexLimited(r, order, &Limit{Work: &work}); err != nil {
+		t.Fatal(err)
+	}
+	if work < int64(r.Len()) {
+		t.Fatalf("work charged = %d, want >= %d rows", work, r.Len())
+	}
+	if _, err := NewSortedIndex(r, []Attr{99}); err == nil {
+		t.Fatal("indexing a missing attribute must fail")
+	}
+}

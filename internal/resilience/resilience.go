@@ -35,10 +35,17 @@ import (
 // it the natural retry when a materializing plan blew the memory budget
 // but the query is not narrow enough (or the reducer itself failed) for
 // Yannakakis.
+// Wide queries lead with the worst-case-optimal rung instead: when the
+// MCS width is over the Yannakakis threshold the query is (or behaves
+// like) a cyclic one, every join-tree method risks an intermediate
+// polynomially over the output, and the leapfrog multiway join is the
+// only executor whose work is bounded by the AGM output bound.
 func DegradationLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {
 	var ladder []engine.Fallback
 	if engine.MCSElimWidth(q) <= engine.DefaultYannakakisWidth {
 		ladder = append(ladder, YannakakisRung(q))
+	} else {
+		ladder = append(ladder, WCOJRung(q))
 	}
 	ladder = append(ladder, StreamRung(q))
 	return append(ladder, PlanLadder(q, rng)...)
@@ -70,6 +77,20 @@ func StreamRung(q *cq.Query) engine.Fallback {
 				return nil, err
 			}
 			return engine.ExecStreamContext(ctx, p, db, opt)
+		},
+	}
+}
+
+// WCOJRung is the worst-case-optimal rung: a Run-style fallback that
+// executes q as one leapfrog multiway join with engine.ExecWCOJContext.
+// The server's AGM-bounded routing uses it as the first rung of
+// ExecResilientStrategy for cyclic queries, and DegradationLadder leads
+// with it when the query is too wide for the full reducer.
+func WCOJRung(q *cq.Query) engine.Fallback {
+	return engine.Fallback{
+		Name: string(core.MethodWCOJ),
+		Run: func(ctx context.Context, db cq.Database, opt engine.Options) (*engine.Result, error) {
+			return engine.ExecWCOJContext(ctx, q, db, opt)
 		},
 	}
 }

@@ -25,13 +25,22 @@ import (
 // plan's width, the join graph's MCS elimination width, the AGM output
 // bound, and the predicted peak live bytes of a streaming run, checked
 // against the server's thresholds.
-func assess(q *cq.Query, p plan.Node, method string, maxWidth int, maxAGMLog2 float64, maxPredicted int64, db cq.Database) *Verdict {
+//
+// wcojAGM, when positive, enables the worst-case-optimal override: a
+// query whose only violation is the width threshold is admitted anyway
+// (Verdict.AdmittedOnAGM) when its AGM output bound is within 2^wcojAGM
+// rows, because the caller will route it to the leapfrog multiway join,
+// whose work is bounded by the output bound rather than the plan width.
+// The override never excuses an AGM or predicted-bytes violation: those
+// bound exactly what the multiway join produces and holds resident.
+func assess(q *cq.Query, p plan.Node, method string, maxWidth int, maxAGMLog2 float64, maxPredicted int64, wcojAGM float64, db cq.Database) *Verdict {
 	v := &Verdict{
 		Method:            method,
 		PlanWidth:         plan.Analyze(p).Width,
 		MaxWidth:          maxWidth,
 		MaxAGMLog2:        maxAGMLog2,
 		MaxPredictedBytes: maxPredicted,
+		WCOJAGMLog2:       wcojAGM,
 		Admitted:          true,
 	}
 	if jg, elim, err := core.EliminationOrder(q, core.OrderMCS, nil); err == nil {
@@ -39,14 +48,15 @@ func assess(q *cq.Query, p plan.Node, method string, maxWidth int, maxAGMLog2 fl
 	}
 	v.AGMLog2 = agmLog2(q, db)
 	v.PredictedPeakBytes = predictedPeakBytes(q, db)
-	if maxWidth > 0 && v.PlanWidth > maxWidth {
+	overWidth := maxWidth > 0 && v.PlanWidth > maxWidth
+	overAGM := maxAGMLog2 > 0 && v.AGMLog2 > maxAGMLog2
+	overPredicted := maxPredicted > 0 && v.PredictedPeakBytes > maxPredicted
+	if overWidth || overAGM || overPredicted {
 		v.Admitted = false
 	}
-	if maxAGMLog2 > 0 && v.AGMLog2 > maxAGMLog2 {
-		v.Admitted = false
-	}
-	if maxPredicted > 0 && v.PredictedPeakBytes > maxPredicted {
-		v.Admitted = false
+	if overWidth && !overAGM && !overPredicted && wcojAGM > 0 && v.AGMLog2 <= wcojAGM {
+		v.Admitted = true
+		v.AdmittedOnAGM = true
 	}
 	return v
 }

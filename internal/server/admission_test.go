@@ -35,7 +35,7 @@ func TestAssessWidths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v := assess(in.q, p, "bucketelimination", 0, 0, 0, in.db)
+	v := assess(in.q, p, "bucketelimination", 0, 0, 0, 0, in.db)
 	if !v.Admitted {
 		t.Fatalf("no thresholds set, want admitted, got %+v", v)
 	}
@@ -52,12 +52,12 @@ func TestAssessWidths(t *testing.T) {
 	}
 
 	// A width threshold below the plan width rejects.
-	tight := assess(in.q, p, "bucketelimination", v.PlanWidth-1, 0, 0, in.db)
+	tight := assess(in.q, p, "bucketelimination", v.PlanWidth-1, 0, 0, 0, in.db)
 	if tight.Admitted {
 		t.Errorf("threshold %d under plan width %d: want rejected", v.PlanWidth-1, v.PlanWidth)
 	}
 	// An AGM threshold below the bound rejects.
-	agmTight := assess(in.q, p, "bucketelimination", 0, v.AGMLog2/2, 0, in.db)
+	agmTight := assess(in.q, p, "bucketelimination", 0, v.AGMLog2/2, 0, 0, in.db)
 	if agmTight.Admitted {
 		t.Errorf("AGM threshold %v under bound %v: want rejected", v.AGMLog2/2, v.AGMLog2)
 	}

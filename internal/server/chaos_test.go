@@ -124,8 +124,11 @@ func TestChaosDrill(t *testing.T) {
 	srv := server.New(server.Config{
 		DB: db,
 		// Free variables push the drill queries' plan width to 4
-		// (they must survive every intermediate); K6 needs 6.
+		// (they must survive every intermediate); K6 needs 6. The
+		// worst-case-optimal override is disabled so the wide probes
+		// exercise the rejection path this drill verifies.
 		MaxWidth:         5,
+		WCOJAGMLog2:      -1,
 		MaxConcurrent:    2,
 		MaxQueue:         2,
 		QueueWait:        50 * time.Millisecond,

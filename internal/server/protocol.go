@@ -81,10 +81,12 @@ type Request struct {
 	Query string `json:"query,omitempty"`
 	// Method optionally overrides the server's default optimization
 	// method (straightforward, earlyprojection, reordering,
-	// bucketelimination, yannakakis, stream). When empty, narrow
+	// bucketelimination, yannakakis, stream, wcoj). When empty, narrow
 	// queries may be routed to the Yannakakis full reducer
-	// (Config.YannakakisWidth) and mid-width queries to the streaming
-	// engine (Config.StreamWidth).
+	// (Config.YannakakisWidth), mid-width queries to the streaming
+	// engine (Config.StreamWidth), and cyclic queries with a small AGM
+	// output bound to the worst-case-optimal executor
+	// (Config.WCOJAGMLog2).
 	Method string `json:"method,omitempty"`
 	// Timeout optionally tightens the per-request execution deadline
 	// (a Go duration string); it can never extend the server's cap.
@@ -134,8 +136,18 @@ type Verdict struct {
 	MaxWidth          int     `json:"max_width,omitempty"`
 	MaxAGMLog2        float64 `json:"max_agm_log2,omitempty"`
 	MaxPredictedBytes int64   `json:"max_predicted_bytes,omitempty"`
+	// WCOJAGMLog2 echoes the worst-case-optimal override threshold in
+	// force (0 = off; see AdmittedOnAGM).
+	WCOJAGMLog2 float64 `json:"wcoj_agm_log2,omitempty"`
 	// Admitted reports whether the query passed every threshold.
 	Admitted bool `json:"admitted"`
+	// AdmittedOnAGM reports that the query failed the width threshold
+	// but was admitted anyway because its AGM output bound is within
+	// WCOJAGMLog2 and the worst-case-optimal executor — whose total work
+	// is bounded by that output bound, not by the plan width — will run
+	// it. Width is the wrong admission quantity for a multiway join;
+	// the output bound is the right one.
+	AdmittedOnAGM bool `json:"admitted_on_agm,omitempty"`
 }
 
 // AttemptInfo is one degradation-ladder rung of an executed request.
@@ -161,10 +173,14 @@ type RunStats struct {
 	// Materialized counts tuples written by joins, projections and bag
 	// evaluation; Reduced counts tuples deleted by the Yannakakis
 	// semijoin sweeps (zero for plan executors).
-	Materialized int64         `json:"materialized,omitempty"`
-	Reduced      int64         `json:"reduced,omitempty"`
-	ElapsedUS    int64         `json:"elapsed_us"`
-	Attempts     []AttemptInfo `json:"attempts,omitempty"`
+	Materialized int64 `json:"materialized,omitempty"`
+	Reduced      int64 `json:"reduced,omitempty"`
+	// Seeks and Extensions instrument the worst-case-optimal executor's
+	// leapfrog intersections (zero for every other route).
+	Seeks      int64         `json:"seeks,omitempty"`
+	Extensions int64         `json:"extensions,omitempty"`
+	ElapsedUS  int64         `json:"elapsed_us"`
+	Attempts   []AttemptInfo `json:"attempts,omitempty"`
 }
 
 // Health is the health endpoint's payload.

@@ -74,6 +74,16 @@ type Config struct {
 	// materialization, so mid-width queries fit budgets the materializing
 	// executors blow.
 	StreamWidth int
+	// WCOJAGMLog2 routes requests that did not name a method and were too
+	// wide for both width tiers to the worst-case-optimal executor when
+	// their AGM output bound is within 2^WCOJAGMLog2 rows (default
+	// engine.DefaultWCOJAGMLog2; <0 disables the routing). It also
+	// relaxes admission: a query rejected only by MaxWidth is admitted
+	// and routed to wcoj when its AGM bound qualifies, because the
+	// multiway join's work is bounded by the output bound, not the plan
+	// width — cyclic queries the server used to reject with ErrOverWidth
+	// now answer.
+	WCOJAGMLog2 float64
 	// Resilient runs every degradable failure down the degradation
 	// ladder even with a closed breaker. With it off, the ladder is
 	// used only while a method's breaker is open.
@@ -119,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamWidth == 0 {
 		c.StreamWidth = engine.DefaultStreamWidth
+	}
+	if c.WCOJAGMLog2 == 0 {
+		c.WCOJAGMLog2 = engine.DefaultWCOJAGMLog2
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
@@ -413,8 +426,16 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	logEntry["method"] = string(method)
 	logEntry["fp"] = fingerprintID(p)
 
-	// Width-aware admission: reject before materializing anything.
-	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, s.cfg.MaxPredictedBytes, db)
+	// Width-aware admission: reject before materializing anything. The
+	// worst-case-optimal override applies only when the wcoj executor
+	// would actually run — a methodless request (routed below) or an
+	// explicit wcoj one — since for any other method the plan width, not
+	// the output bound, governs the intermediates.
+	wcojAGM := s.cfg.WCOJAGMLog2
+	if wcojAGM < 0 || (req.Method != "" && method != core.MethodWCOJ) {
+		wcojAGM = 0
+	}
+	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, s.cfg.MaxPredictedBytes, wcojAGM, db)
 	if !verdict.Admitted {
 		logEntry["verdict"] = "over_width"
 		logEntry["plan_width"] = verdict.PlanWidth
@@ -427,6 +448,12 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 		})
 	}
 	logEntry["verdict"] = "admitted"
+	if verdict.AdmittedOnAGM {
+		// The width cap said no and the AGM bound overrode it — the
+		// one admission the log must distinguish from a plain admit.
+		logEntry["verdict"] = "admitted_on_agm"
+		logEntry["agm_log2"] = verdict.AGMLog2
+	}
 
 	// Width-tiered routing for requests that did not name a method:
 	// narrow queries run the Yannakakis full reducer (peak memory
@@ -434,6 +461,12 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	// streaming engine (peak live bytes bounded by the pipeline's
 	// breakers, with semijoin pushdown pre-reducing every build side).
 	switch {
+	case req.Method == "" && verdict.AdmittedOnAGM:
+		// The query is over-width but its output bound is small: only
+		// the worst-case-optimal executor can honor that admission.
+		method = core.MethodWCOJ
+		logEntry["method"] = string(method)
+		verdict.Method = string(method)
 	case req.Method == "" && s.cfg.YannakakisWidth > 0 && verdict.ElimWidth <= s.cfg.YannakakisWidth:
 		method = core.MethodYannakakis
 		logEntry["method"] = string(method)
@@ -446,6 +479,12 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 			s.failed.Add(1)
 			return finish(&Response{Status: StatusError, Error: "plan: " + err.Error()})
 		}
+	case req.Method == "" && s.cfg.WCOJAGMLog2 > 0 && verdict.AGMLog2 <= s.cfg.WCOJAGMLog2:
+		// Too wide for both width tiers but the AGM bound is small —
+		// the cyclic-query shape the leapfrog join exists for.
+		method = core.MethodWCOJ
+		logEntry["method"] = string(method)
+		verdict.Method = string(method)
 	}
 
 	if req.Op == "explain" {
@@ -455,6 +494,8 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 			text, err = engine.ExplainYannakakis(q, db, engine.Options{}, false)
 		case core.MethodStream:
 			text, err = engine.ExplainStream(p, db, engine.Options{}, false)
+		case core.MethodWCOJ:
+			text, err = engine.ExplainWCOJ(q, db, engine.Options{}, false)
 		default:
 			text, err = engine.Explain(p, db, engine.Options{}, false)
 		}
@@ -512,6 +553,18 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 		}
 	case method == core.MethodStream:
 		res, err = engine.ExecStreamContext(ctx, p, db, opt)
+		br.record(err)
+	case method == core.MethodWCOJ && (s.cfg.Resilient || !direct):
+		// Leapfrog multiway join first, degrading to the plan-based
+		// ladder (whose bucket-elimination plan is the width-optimal
+		// materializing fallback).
+		res, err = engine.ExecResilientStrategy(ctx, resilience.WCOJRung(q),
+			resilience.PlanLadder(q, nil), db, opt, s.cfg.Workers)
+		if direct {
+			br.record(directOutcome(res))
+		}
+	case method == core.MethodWCOJ:
+		res, err = engine.ExecWCOJContext(ctx, q, db, opt)
 		br.record(err)
 	case s.cfg.Resilient || !direct:
 		res, err = engine.ExecResilient(ctx, p, resilience.DegradationLadder(q, nil), db, opt, s.cfg.Workers)
@@ -616,6 +669,8 @@ func runStats(st *engine.Stats) *RunStats {
 		Projections:  st.Projections,
 		Materialized: st.MaterializedTuples,
 		Reduced:      st.ReducedTuples,
+		Seeks:        st.Seeks,
+		Extensions:   st.Extensions,
 		ElapsedUS:    st.Elapsed.Microseconds(),
 	}
 	for _, a := range st.Attempts {
@@ -634,7 +689,7 @@ func fingerprintID(p plan.Node) string {
 }
 
 func validMethod(m core.Method) bool {
-	if m == core.MethodYannakakis || m == core.MethodStream {
+	if m == core.MethodYannakakis || m == core.MethodStream || m == core.MethodWCOJ {
 		return true
 	}
 	for _, known := range core.Methods {

@@ -118,10 +118,13 @@ func TestQueryAnswerMatchesOracle(t *testing.T) {
 
 func TestOverWidthRejectedWithoutMaterializing(t *testing.T) {
 	// K6 has treewidth 5: every method's plan width is 6, over the
-	// threshold of 3. Admission must reject before any execution.
+	// threshold of 3. Admission must reject before any execution. The
+	// worst-case-optimal override is disabled: this test pins the pure
+	// rejection path (see TestAGMOverrideAdmitsWideQuery for the
+	// admit-and-answer path).
 	g := graph.Complete(6)
 	in := colorQuery(t, g)
-	s, addr := startServer(t, Config{DB: in.db, MaxWidth: 3})
+	s, addr := startServer(t, Config{DB: in.db, MaxWidth: 3, WCOJAGMLog2: -1})
 
 	resp := roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g)})
 	if resp.Status != StatusOverWidth {
@@ -136,6 +139,61 @@ func TestOverWidthRejectedWithoutMaterializing(t *testing.T) {
 	}
 	if got := s.overWidth.Load(); got != 1 {
 		t.Errorf("overWidth counter = %d, want 1", got)
+	}
+}
+
+func TestAGMOverrideAdmitsWideQuery(t *testing.T) {
+	// K6 3-COLOR is over MaxWidth=3 for every plan method, but its AGM
+	// output bound is tiny (a 3-edge cover of 6 variables charges
+	// 3·log2(6) ≈ 7.75 bits). With the worst-case-optimal override at
+	// its default, the same request the previous test saw rejected is
+	// now admitted, routed to the wcoj executor, and answered — the
+	// answer (empty: K6 is not 3-colorable) matching the oracle.
+	g := graph.Complete(6)
+	in := colorQuery(t, g)
+	_, addr := startServer(t, Config{DB: in.db, MaxWidth: 3})
+
+	resp := roundTrip(t, addr, &Request{Op: "query", Query: queryText(t, g)})
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %s (%s), want ok", resp.Status, resp.Error)
+	}
+	if resp.Verdict == nil || !resp.Verdict.Admitted || !resp.Verdict.AdmittedOnAGM {
+		t.Fatalf("verdict = %+v, want AdmittedOnAGM", resp.Verdict)
+	}
+	if resp.Verdict.Method != string(core.MethodWCOJ) {
+		t.Errorf("routed method = %q, want wcoj", resp.Verdict.Method)
+	}
+	oracle, err := engine.EvalOracle(in.q, in.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer == nil || resp.Answer.Nonempty != (oracle.Len() > 0) {
+		t.Fatalf("answer = %+v, oracle has %d rows (K6 is not 3-colorable)", resp.Answer, oracle.Len())
+	}
+	if resp.Stats == nil || resp.Stats.Seeks == 0 {
+		t.Errorf("wcoj run must report leapfrog seeks, got %+v", resp.Stats)
+	}
+
+	// A nonempty wide instance answers too: C5 3-COLOR under MaxWidth=2
+	// (its plan width is 3) with both width tiers disabled.
+	g2 := graph.Cycle(5)
+	in2 := colorQuery(t, g2)
+	_, addr2 := startServer(t, Config{DB: in2.db, MaxWidth: 2, YannakakisWidth: -1, StreamWidth: -1})
+	resp2 := roundTrip(t, addr2, &Request{Op: "query", Query: queryText(t, g2)})
+	if resp2.Status != StatusOK {
+		t.Fatalf("C5 status = %s (%s), want ok", resp2.Status, resp2.Error)
+	}
+	if resp2.Answer == nil || !resp2.Answer.Nonempty {
+		t.Fatalf("C5 is 3-colorable, got answer %+v", resp2.Answer)
+	}
+
+	// An explicit non-wcoj method request keeps the rejection: the
+	// override only applies when the wcoj executor will run.
+	resp3 := roundTrip(t, addr, &Request{
+		Op: "query", Query: queryText(t, g), Method: string(core.MethodBucketElimination),
+	})
+	if resp3.Status != StatusOverWidth {
+		t.Errorf("explicit bucketelimination on K6: status = %s, want over_width", resp3.Status)
 	}
 }
 

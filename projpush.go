@@ -102,6 +102,12 @@ const (
 	// projections, semijoin pushdown, and late materialization. Not
 	// listed in Methods since it is not a plan shape.
 	MethodStream = core.MethodStream
+	// MethodWCOJ is the worst-case-optimal execution strategy
+	// (ExecuteWCOJ): one leapfrog multiway join over sorted arena
+	// indexes, whose work is bounded by the AGM output bound rather than
+	// any join tree's intermediate width. Not listed in Methods since it
+	// is not a plan shape.
+	MethodWCOJ = core.MethodWCOJ
 )
 
 // Methods lists all optimization methods.
@@ -263,10 +269,11 @@ type Fallback = engine.Fallback
 type Attempt = engine.Attempt
 
 // DegradationLadder is the standard fallback ladder for a query: the
-// Yannakakis full reducer (narrow queries only), then the streaming
-// executor, then early projection, then bucket elimination — ordered
-// from lowest peak memory to most robust. rng drives bucket
-// elimination's tie-breaking; nil is deterministic.
+// Yannakakis full reducer on narrow queries (the worst-case-optimal
+// multiway join on wide ones), then the streaming executor, then early
+// projection, then bucket elimination — ordered from lowest peak memory
+// to most robust. rng drives bucket elimination's tie-breaking; nil is
+// deterministic.
 func DegradationLadder(q *Query, rng *rand.Rand) []Fallback {
 	return resilience.DegradationLadder(q, rng)
 }
@@ -281,8 +288,13 @@ func ExecuteResilient(ctx context.Context, p Plan, fallbacks []Fallback, db Data
 }
 
 // Run is the one-call path: build the method's plan and execute it.
-// MethodStream runs the pipelined streaming executor over its plan.
+// MethodStream runs the pipelined streaming executor over its plan;
+// MethodWCOJ runs the worst-case-optimal multiway join directly on the
+// query (no binary plan is involved).
 func Run(m Method, q *Query, db Database, opt ExecOptions, rng *rand.Rand) (*Result, error) {
+	if m == MethodWCOJ {
+		return ExecuteWCOJ(q, db, opt)
+	}
 	p, err := BuildPlan(m, q, rng)
 	if err != nil {
 		return nil, err
@@ -387,6 +399,30 @@ func ExecuteStreamContext(ctx context.Context, p Plan, db Database, opt ExecOpti
 // counts.
 func ExplainStream(p Plan, db Database, opt ExecOptions, analyze bool) (string, error) {
 	return engine.ExplainStream(p, db, opt, analyze)
+}
+
+// ExecuteWCOJ runs the query as one worst-case-optimal multiway join:
+// a global variable order is chosen (free variables first, each block
+// smallest-domain-first along an MCS order), every atom gets a sorted
+// index over its arena, and the leapfrog intersection extends one
+// variable at a time — bound variables are existence-checked only (early
+// projection at the first complete level), so total work is governed by
+// the AGM output bound, not by any join tree's intermediate width.
+// Result.Stats.Seeks and Extensions instrument the intersections.
+func ExecuteWCOJ(q *Query, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecWCOJ(q, db, opt)
+}
+
+// ExecuteWCOJContext is ExecuteWCOJ with caller-driven cancellation.
+func ExecuteWCOJContext(ctx context.Context, q *Query, db Database, opt ExecOptions) (*Result, error) {
+	return engine.ExecWCOJContext(ctx, q, db, opt)
+}
+
+// ExplainWCOJ renders the worst-case-optimal variable order (existence
+// levels marked ∃); with analyze true it executes and annotates every
+// level with its seek and extension counts.
+func ExplainWCOJ(q *Query, db Database, opt ExecOptions, analyze bool) (string, error) {
+	return engine.ExplainWCOJ(q, db, opt, analyze)
 }
 
 // MiniBucketResult is the outcome of an approximate mini-bucket run.

@@ -1,0 +1,124 @@
+package projpush
+
+import (
+	"math/rand"
+	"testing"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+)
+
+// Worst-case-optimal-vs-binary-plan benchmarks on dense cyclic shapes —
+// the regime the leapfrog executor exists for. On a triangle or 4-cycle
+// over a random edge relation, every binary plan must materialize a
+// two-atom join of about |E|²/dom rows before the closing edge can
+// filter it, while the multiway join intersects all atoms variable by
+// variable and never holds more than the (tiny) output plus the sorted
+// indexes. `make bench-json` pins the series in BENCH_wcoj.json; the
+// acceptance signal is wcoj latency or peak-bytes at least 5x under
+// bucket elimination on the triangle and four-cycle shapes.
+
+// runWCOJVariant executes one variant b.N times, reporting the
+// materialized/peak bytes and (for wcoj) the leapfrog work counters.
+func runWCOJVariant(b *testing.B, variant string, q *cq.Query, db cq.Database) {
+	b.Helper()
+	var bytes, peak, seeks, extensions int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res *engine.Result
+		var err error
+		switch variant {
+		case "wcoj":
+			res, err = engine.ExecWCOJ(q, db, ybenchOpts)
+		case "stream":
+			p, perr := core.BuildPlan(core.MethodStream, q, nil)
+			if perr != nil {
+				b.Fatal(perr)
+			}
+			res, err = engine.ExecStream(p, db, ybenchOpts)
+		default:
+			p, perr := core.BuildPlan(core.Method(variant), q, nil)
+			if perr != nil {
+				b.Fatal(perr)
+			}
+			res, err = engine.Exec(p, db, ybenchOpts)
+		}
+		if err != nil {
+			b.Fatalf("%s aborted: %v", variant, err)
+		}
+		bytes = res.Stats.Bytes
+		peak = res.Stats.PeakBytes
+		seeks = res.Stats.Seeks
+		extensions = res.Stats.Extensions
+	}
+	b.ReportMetric(float64(bytes), "stats-bytes")
+	b.ReportMetric(float64(peak), "peak-bytes")
+	if seeks > 0 {
+		b.ReportMetric(float64(seeks), "seeks")
+		b.ReportMetric(float64(extensions), "extensions")
+	}
+}
+
+func wcojVariants(b *testing.B, q *cq.Query, db cq.Database) {
+	for _, v := range []string{"wcoj", string(core.MethodBucketElimination), "stream"} {
+		v := v
+		b.Run(v, func(b *testing.B) { runWCOJVariant(b, v, q, db) })
+	}
+}
+
+// BenchmarkWCOJTriangle is the canonical worst-case-optimal workload: a
+// directed triangle over one random edge relation. The binary plans
+// build e⋈e (about rows²/dom tuples) before the closing atom prunes
+// it; semijoin pushdown cannot help because every edge participates in
+// some two-path, so the streaming engine pays the same build.
+func BenchmarkWCOJTriangle(b *testing.B) {
+	const rows, dom = 30_000, 1500
+	rng := rand.New(rand.NewSource(11))
+	db := cq.Database{"e": randomRel(rng, rows, dom, dom)}
+	q := &cq.Query{
+		Free: []cq.Var{0},
+		Atoms: []cq.Atom{
+			{Rel: "e", Args: []cq.Var{0, 1}},
+			{Rel: "e", Args: []cq.Var{1, 2}},
+			{Rel: "e", Args: []cq.Var{2, 0}},
+		},
+	}
+	wcojVariants(b, q, db)
+}
+
+// BenchmarkWCOJFourCycle is the 4-cycle over the same kind of random
+// edge relation: two independent two-path joins of about rows²/dom
+// tuples each before the binary plans can intersect them.
+func BenchmarkWCOJFourCycle(b *testing.B) {
+	const rows, dom = 20_000, 1500
+	rng := rand.New(rand.NewSource(13))
+	db := cq.Database{"e": randomRel(rng, rows, dom, dom)}
+	q := &cq.Query{
+		Free: []cq.Var{0},
+		Atoms: []cq.Atom{
+			{Rel: "e", Args: []cq.Var{0, 1}},
+			{Rel: "e", Args: []cq.Var{1, 2}},
+			{Rel: "e", Args: []cq.Var{2, 3}},
+			{Rel: "e", Args: []cq.Var{3, 0}},
+		},
+	}
+	wcojVariants(b, q, db)
+}
+
+// BenchmarkWCOJClique is the paper-flavored cyclic shape: Boolean
+// 6-COLOR on K7 (empty — the chromatic number is 7), where bucket
+// elimination's intermediates enumerate the injective partial colorings
+// of growing sub-cliques while the leapfrog join backtracks out of each
+// dead branch at its first unextendable variable.
+func BenchmarkWCOJClique(b *testing.B) {
+	g := graph.Complete(7)
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := instance.ColorDatabase(6)
+	wcojVariants(b, q, db)
+}
