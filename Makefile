@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos bench bench-json bench-yannakakis bench-stream bench-wcoj fuzz experiments clean
+.PHONY: all build vet test chaos bench bench-json bench-yannakakis bench-stream bench-wcoj bench-spill fuzz experiments clean
 
 all: build vet test
 
@@ -15,10 +15,11 @@ test:
 	go test ./...
 	go test -race . ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner ./internal/server/...
 
-# The serving-layer acceptance drill: concurrent retrying clients vs a
-# server with network + engine faults injected, under the race detector.
+# The serving-layer acceptance drills: concurrent retrying clients vs a
+# server with network + engine faults injected, and the spill drill with
+# disk faults on an out-of-core server, both under the race detector.
 chaos:
-	go test -race -run '^TestChaosDrill$$' -timeout 30s -count=1 -v ./internal/server
+	go test -race -run '^TestChaosDrill(Spill)?$$' -timeout 60s -count=1 -v ./internal/server
 
 # One iteration per benchmark: regenerates every figure series quickly.
 bench:
@@ -52,6 +53,9 @@ bench-json:
 	go test . -run '^$$' -bench '^BenchmarkWCOJ' -benchmem -benchtime 3x \
 		| go run ./cmd/benchjson > BENCH_wcoj.json
 	@cat BENCH_wcoj.json
+	go test . -run '^$$' -bench '^BenchmarkSpill' -benchmem -benchtime 3x \
+		| go run ./cmd/benchjson > BENCH_spill.json
+	@cat BENCH_spill.json
 
 # The full-reducer-vs-plan-method series on acyclic selective workloads
 # (the stats-bytes metric in the text output is the peak Stats.Bytes
@@ -70,6 +74,12 @@ bench-stream:
 # latency or peak-bytes at least 5x under bucket elimination).
 bench-wcoj:
 	go test . -run '^$$' -bench '^BenchmarkWCOJ' -benchmem -benchtime 3x
+
+# The out-of-core series: chain and spider under a budget the in-memory
+# run cannot meet (proved outside the timer), completing via spill with
+# peak residency (stats-bytes) within budget-bytes.
+bench-spill:
+	go test . -run '^$$' -bench '^BenchmarkSpill' -benchmem -benchtime 3x
 
 fuzz:
 	go test ./internal/sqlparse -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -39,9 +39,11 @@ func main() {
 		cache     = flag.Bool("cache", false, "share a subplan result cache across all measured executions")
 		cachemb   = flag.Int("cachemb", 0, "subplan cache budget in MiB (0 = engine default); implies -cache")
 		membudget = flag.Int("membudget", 0, "per-run materialized-bytes budget in MiB (0 = unlimited); runs that blow it are annotated 'membudget'")
+		spilldir  = flag.String("spilldir", "", "spill directory for out-of-core execution: runs over the memory budget degrade to disk instead of failing (empty = spilling off)")
+		maxspill  = flag.Int("maxspill", 0, "per-run spill-directory budget in MiB (0 = unlimited disk; requires -spilldir)")
 		maxwidth  = flag.Int("maxwidth", 0, "width-admission cap (0 = off); plans wider than this are rejected before executing and annotated 'overwidth'")
 		resilient = flag.Bool("resilient", false, "retry resource-aborted runs down the degradation ladder (early projection, then bucket elimination) instead of annotating them as failures")
-		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,experiment.panic=0.1' (see internal/faultinject); for robustness drills")
+		faults    = flag.String("faults", "", "fault-injection spec for robustness drills, e.g. 'join.panic=0.01,experiment.panic=0.1'; points: "+strings.Join(faultinject.PointNames(), ", "))
 		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
 		methods   = flag.String("methods", "", "comma-separated method list overriding the paper's default grid (straightforward, earlyprojection, reordering, bucketelimination, yannakakis, stream, wcoj)")
 	)
@@ -70,6 +72,7 @@ func main() {
 		Seed: *seed, Reps: *reps, Timeout: *timeout, Workers: *workers,
 		MaxBytes: int64(*membudget) << 20, Resilient: *resilient,
 		MaxWidth: *maxwidth,
+		SpillDir: *spilldir, MaxSpillBytes: int64(*maxspill) << 20,
 	}
 	if *methods != "" {
 		ms, err := parseMethods(*methods)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"projpush/internal/core"
@@ -46,6 +47,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-run execution timeout")
 		maxRows   = flag.Int("maxrows", 10_000_000, "intermediate row cap (0 = unlimited)")
 		membudget = flag.Int("membudget", 0, "materialized-bytes budget in MiB (0 = unlimited)")
+		spilldir  = flag.String("spilldir", "", "spill directory for out-of-core execution: runs over the memory budget degrade to disk instead of failing (empty = spilling off)")
+		maxspill  = flag.Int("maxspill", 0, "spill-directory budget in MiB (0 = unlimited disk; requires -spilldir)")
 		resilient = flag.Bool("resilient", false, "on row-cap/memory/internal failures, degrade to early projection then bucket elimination instead of reporting the error")
 		showSQL   = flag.Bool("sql", false, "print the generated SQL instead of executing")
 		explain   = flag.Bool("explain", false, "print the plan tree with actual cardinalities instead of the summary line")
@@ -58,7 +61,7 @@ func main() {
 		emitSuite = flag.Float64("emitsuite", 0, "print the paper's workload suite at the given scale as JSON and exit")
 		emitQuery = flag.Bool("emitquery", false, "print the generated instance as a query file (the -query format) and exit")
 		connect   = flag.String("connect", "", "send the instance to a projpushd server at this address instead of executing locally")
-		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'join.panic=0.01,kernel.latency=500us:0.1' (see internal/faultinject); for robustness drills")
+		faults    = flag.String("faults", "", "fault-injection spec for robustness drills, e.g. 'join.panic=0.01,kernel.latency=500us:0.1'; points: "+strings.Join(faultinject.PointNames(), ", "))
 		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
 	)
 	flag.Parse()
@@ -78,7 +81,10 @@ func main() {
 		}
 		return
 	}
-	opt := engine.Options{Timeout: *timeout, MaxRows: *maxRows, MaxBytes: int64(*membudget) << 20}
+	opt := engine.Options{
+		Timeout: *timeout, MaxRows: *maxRows, MaxBytes: int64(*membudget) << 20,
+		SpillDir: *spilldir, MaxSpillBytes: int64(*maxspill) << 20,
+	}
 
 	if *suiteFile != "" {
 		runSuite(*suiteFile, core.Method(*method), *all, opt, *resilient, rng)
@@ -232,6 +238,9 @@ func main() {
 		answer := "EMPTY"
 		if res.Nonempty() {
 			answer = fmt.Sprintf("NONEMPTY (%d tuples)", res.Rel.Len())
+		}
+		if res.Stats.SpilledBytes > 0 {
+			answer += fmt.Sprintf(" spilled=%dB/%df", res.Stats.SpilledBytes, res.Stats.SpillFiles)
 		}
 		fmt.Printf("%-18s width=%-3d time=%-12v maxrows=%-8d tuples=%-9d joins=%-3d %s\n",
 			m, st.Width, res.Stats.Elapsed.Round(time.Microsecond),

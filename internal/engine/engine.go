@@ -46,6 +46,19 @@ type Options struct {
 	// across executions (see Cache). The iterator executor ignores it:
 	// that engine materializes no subtree results to share.
 	Cache *Cache
+	// SpillDir, when non-empty, arms spill-to-disk: instead of failing
+	// with ErrMemLimit when live bytes exceed MaxBytes, the
+	// materializing executor spills parked intermediates and the stream
+	// executor spills breaker partitions and hash builds to temp files
+	// under this directory, replaying them when consumed. MaxBytes then
+	// bounds peak residency rather than availability. Unrecoverable
+	// disk failures surface as ErrSpill. The partition-parallel,
+	// iterator, Yannakakis, and WCOJ executors ignore it.
+	SpillDir string
+	// MaxSpillBytes caps the live bytes a run may hold on disk when
+	// spilling (0 = unlimited). Exceeding it — or a real ENOSPC — fails
+	// the run with ErrSpill.
+	MaxSpillBytes int64
 }
 
 // Stats instruments one execution.
@@ -96,6 +109,14 @@ type Stats struct {
 	// variable levels, Extensions the values that survived a level's
 	// leapfrog intersection. Zero for every other executor.
 	Seeks, Extensions int64
+	// SpilledBytes and SpillFiles count the cumulative spill traffic of
+	// the run: bytes written to and temp files created under
+	// Options.SpillDir. Zero when spilling is disabled or memory
+	// pressure never fired. They are a run-level property, not a
+	// subtree one: a subplan cache hit replays no spill traffic (the
+	// memoized result is already resident).
+	SpilledBytes int64
+	SpillFiles   int
 	// Attempts records the degradation history of an ExecResilient run:
 	// one entry per plan tried, in order, the last being the one whose
 	// stats this struct carries. Nil for the plain entry points.
@@ -125,6 +146,8 @@ func (s *Stats) merge(o *Stats) {
 	s.ReducedTuples += o.ReducedTuples
 	s.Seeks += o.Seeks
 	s.Extensions += o.Extensions
+	s.SpilledBytes += o.SpilledBytes
+	s.SpillFiles += o.SpillFiles
 }
 
 // Result is the outcome of executing a plan.
@@ -150,10 +173,32 @@ type executor struct {
 	dbFP     string
 	stats    Stats
 
+	// Spill state (nil/zero when Options.SpillDir is empty). parked
+	// holds join left inputs awaiting their sibling's evaluation — the
+	// only operator outputs alive but idle in a tree-walking executor —
+	// so they are the spill candidates under memory pressure. spillable
+	// marks relations this run materialized privately (spilling a
+	// cache-shared or base relation would free nothing). resPeak is the
+	// residency high-water mark; with a spiller the shared byte counter
+	// is credited when intermediates retire, so MaxBytes bounds
+	// residency rather than cumulative materialization.
+	spiller   *relation.Spiller
+	parked    []*parkedRel
+	spillable map[*relation.Relation]bool
+	resPeak   int64
+
 	// rows/cached record per-node output cardinalities for EXPLAIN
 	// ANALYZE; nil outside Explain.
 	rows   map[plan.Node]int
 	cached map[plan.Node]bool
+}
+
+// parkedRel is one join input parked while its sibling evaluates: either
+// still resident (rel) or spilled to disk (file).
+type parkedRel struct {
+	rel  *relation.Relation
+	size int64 // resident bytes charged for rel; 0 = not spillable
+	file *relation.SpillFile
 }
 
 func newExecutor(ctx context.Context, db cq.Database, opt Options) *executor {
@@ -173,11 +218,124 @@ func newExecutor(ctx context.Context, db cq.Database, opt Options) *executor {
 	return ex
 }
 
+// arm creates the spill manager when opt requests one. The caller owns
+// Cleanup.
+func (ex *executor) arm(opt Options) error {
+	if opt.SpillDir == "" {
+		return nil
+	}
+	sp, err := relation.NewSpiller(opt.SpillDir, opt.MaxSpillBytes)
+	if err != nil {
+		return err
+	}
+	ex.spiller = sp
+	ex.spillable = make(map[*relation.Relation]bool)
+	return nil
+}
+
+// park shelves a join input while its sibling evaluates, making it a
+// spill candidate. Returns nil when spilling is disarmed.
+func (ex *executor) park(rel *relation.Relation) *parkedRel {
+	if ex.spiller == nil {
+		return nil
+	}
+	pk := &parkedRel{rel: rel}
+	if ex.spillable[rel] {
+		pk.size = rel.Bytes()
+	}
+	ex.parked = append(ex.parked, pk)
+	return pk
+}
+
+// unpark returns the parked relation, reloading it from disk (and
+// re-charging its bytes) if pressure spilled it meanwhile. With
+// discard set the parked state is released without reloading (the
+// sibling failed; the join will not run).
+func (ex *executor) unpark(pk *parkedRel, orig *relation.Relation, st *Stats, discard bool) (*relation.Relation, error) {
+	if pk == nil {
+		return orig, nil
+	}
+	ex.parked = ex.parked[:len(ex.parked)-1]
+	if pk.rel != nil {
+		return pk.rel, nil
+	}
+	defer pk.file.Close()
+	if discard {
+		return nil, nil
+	}
+	rel, err := pk.file.Load()
+	if err != nil {
+		return nil, err
+	}
+	var last int64
+	if err := ex.lim(st).ChargeMemGrowth(rel, &last); err != nil {
+		return nil, err
+	}
+	ex.spillable[rel] = true
+	return rel, nil
+}
+
+// onPressure is the Limit callback under memory pressure: spill the
+// largest parked resident intermediate and credit its bytes. It returns
+// false when nothing spillable remains, letting the charge fail with
+// ErrMemBudget honestly.
+func (ex *executor) onPressure(int64) (bool, error) {
+	var best *parkedRel
+	for _, pk := range ex.parked {
+		if pk.rel != nil && pk.size > 0 && (best == nil || pk.size > best.size) {
+			best = pk
+		}
+	}
+	if best == nil {
+		return false, nil
+	}
+	sf, err := ex.spiller.WriteRelation(best.rel)
+	if err != nil {
+		return false, err
+	}
+	// The watermark is taken after the spill credit: the pending charge
+	// that triggered this callback is not resident until the budget check
+	// admits it, so recording the pre-spill counter would count rejected
+	// (or not-yet-admitted) bytes as live.
+	if v := ex.bytes.Add(-best.size); v > ex.resPeak {
+		ex.resPeak = v
+	}
+	delete(ex.spillable, best.rel)
+	best.rel, best.file = nil, sf
+	return true, nil
+}
+
+// retire settles an operator's accounting in spill mode: kernel
+// transients (join tables, arena overshoot) are credited now that the
+// operator returned, consumed children leave residency, and the output
+// becomes the newest spill candidate. A no-op without a spiller, so
+// spill-off byte accounting is unchanged.
+func (ex *executor) retire(before int64, out *relation.Relation, children ...*relation.Relation) {
+	if ex.spiller == nil {
+		return
+	}
+	if v := ex.bytes.Load(); v > ex.resPeak {
+		ex.resPeak = v
+	}
+	if extra := ex.bytes.Load() - before - out.Bytes(); extra > 0 {
+		ex.bytes.Add(-extra)
+	}
+	for _, c := range children {
+		if c != nil && ex.spillable[c] {
+			ex.bytes.Add(-c.Bytes())
+			delete(ex.spillable, c)
+		}
+	}
+	ex.spillable[out] = true
+}
+
 // lim builds the limit charging work into the given stats frame. The byte
 // budget counter is shared across all operators of the run, so MaxBytes
 // bounds the run's cumulative materialization, not any single operator's.
+// With a spiller armed, charges that would exceed the budget first spill
+// parked intermediates through onPressure.
 func (ex *executor) lim(st *Stats) *relation.Limit {
-	return &relation.Limit{
+	l := &relation.Limit{
 		MaxRows:  ex.maxRows,
 		Deadline: ex.deadline,
 		Work:     &st.Work,
@@ -185,6 +343,10 @@ func (ex *executor) lim(st *Stats) *relation.Limit {
 		MaxBytes: ex.maxBytes,
 		Bytes:    &ex.bytes,
 	}
+	if ex.spiller != nil {
+		l.OnPressure = ex.onPressure
+	}
+	return l
 }
 
 // admissible reports whether a cached subtree's recorded footprint fits
@@ -216,7 +378,17 @@ func Exec(n plan.Node, db cq.Database, opt Options) (*Result, error) {
 func ExecContext(ctx context.Context, n plan.Node, db cq.Database, opt Options) (*Result, error) {
 	ex := newExecutor(ctx, db, opt)
 	start := time.Now()
+	if err := ex.arm(opt); err != nil {
+		return &Result{Rel: nil, Stats: ex.stats}, classifyErr(err, time.Since(start))
+	}
 	rel, err := ex.eval(n, &ex.stats)
+	if ex.spiller != nil {
+		ex.stats.SpilledBytes, ex.stats.SpillFiles = ex.spiller.Stats()
+		// Residency, not cumulative materialization, is what the budget
+		// bounded on this run.
+		ex.stats.PeakBytes = ex.resPeak
+		ex.spiller.Cleanup()
+	}
 	ex.stats.Elapsed = time.Since(start)
 	if err != nil {
 		return &Result{Rel: nil, Stats: ex.stats}, classifyErr(err, ex.stats.Elapsed)
@@ -286,6 +458,13 @@ func (ex *executor) evalCached(n plan.Node, st *Stats) (*relation.Relation, erro
 		return nil, err
 	}
 	ex.cache.put(key, toCanonical(rel, vars), entryStats)
+	if ex.spillable != nil {
+		// The cache now retains (and may share storage with) this
+		// result: spilling our reference would free nothing real, so it
+		// stops being a spill candidate and stays charged, exactly like
+		// a cache hit.
+		delete(ex.spillable, rel)
+	}
 	return rel, nil
 }
 
@@ -316,14 +495,24 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Park the left input while the right subtree evaluates: it is
+		// idle until the join runs, so under memory pressure it is the
+		// relation worth spilling.
+		pk := ex.park(l)
 		r, err := ex.eval(t.Right, st)
+		l, uerr := ex.unpark(pk, l, st, err != nil)
 		if err != nil {
 			return nil, err
 		}
+		if uerr != nil {
+			return nil, uerr
+		}
+		before := ex.bytes.Load()
 		out, err := relation.JoinLimited(l, r, ex.lim(st))
 		if err != nil {
 			return nil, err
 		}
+		ex.retire(before, out, l, r)
 		st.Joins++
 		st.Bytes += out.Bytes()
 		st.PeakBytes += out.Bytes()
@@ -337,10 +526,12 @@ func (ex *executor) evalOp(n plan.Node, st *Stats) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		before := ex.bytes.Load()
 		out, err := relation.ProjectLimited(c, t.Cols, ex.lim(st))
 		if err != nil {
 			return nil, err
 		}
+		ex.retire(before, out, c)
 		st.Projections++
 		st.Bytes += out.Bytes()
 		st.PeakBytes += out.Bytes()

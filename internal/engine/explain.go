@@ -24,7 +24,16 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 		ex = newExecutor(context.Background(), db, opt)
 		ex.rows = make(map[plan.Node]int)
 		ex.cached = make(map[plan.Node]bool)
-		if _, err := ex.eval(p, &ex.stats); err != nil {
+		if err := ex.arm(opt); err != nil {
+			return "", classifyErr(err, 0)
+		}
+		_, err := ex.eval(p, &ex.stats)
+		if ex.spiller != nil {
+			ex.stats.SpilledBytes, ex.stats.SpillFiles = ex.spiller.Stats()
+			ex.stats.PeakBytes = ex.resPeak
+			ex.spiller.Cleanup()
+		}
+		if err != nil {
 			return "", classifyErr(err, 0)
 		}
 	}
@@ -62,6 +71,10 @@ func Explain(p plan.Node, db cq.Database, opt Options, analyze bool) (string, er
 			fmt.Fprintf(&b, " (budget %d)", opt.MaxBytes)
 		}
 		b.WriteString("\n")
+		if ex.stats.SpilledBytes > 0 {
+			fmt.Fprintf(&b, "spill: %d bytes across %d files\n",
+				ex.stats.SpilledBytes, ex.stats.SpillFiles)
+		}
 		fmt.Fprintf(&b, "tuples: materialized=%d reduced=%d\n",
 			ex.stats.MaterializedTuples, ex.stats.ReducedTuples)
 	}

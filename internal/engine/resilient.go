@@ -83,12 +83,12 @@ func ExecResilientStrategy(ctx context.Context, first Fallback, fallbacks []Fall
 	db cq.Database, opt Options, workers int) (*Result, error) {
 
 	var attempts []Attempt
-	// try executes one rung; ok is false when plan construction failed
-	// (the attempt is recorded with a "plan: " prefix and the caller
-	// keeps the previous rung's result and error).
-	try := func(fb Fallback, isFirst bool) (res *Result, err error, ok bool) {
+	// try executes one rung under o; ok is false when plan construction
+	// failed (the attempt is recorded with a "plan: " prefix and the
+	// caller keeps the previous rung's result and error).
+	try := func(fb Fallback, isFirst bool, o Options) (res *Result, err error, ok bool) {
 		if fb.Run != nil {
-			res, err = fb.Run(ctx, db, opt)
+			res, err = fb.Run(ctx, db, o)
 		} else {
 			var p plan.Node
 			p, err = fb.Build()
@@ -97,9 +97,9 @@ func ExecResilientStrategy(ctx context.Context, first Fallback, fallbacks []Fall
 				return nil, err, false
 			}
 			if isFirst && workers > 1 {
-				res, err = ExecParallelContext(ctx, p, db, opt, workers)
+				res, err = ExecParallelContext(ctx, p, db, o, workers)
 			} else {
-				res, err = ExecContext(ctx, p, db, opt)
+				res, err = ExecContext(ctx, p, db, o)
 			}
 		}
 		a := Attempt{Method: fb.Name}
@@ -114,13 +114,33 @@ func ExecResilientStrategy(ctx context.Context, first Fallback, fallbacks []Fall
 		attempts = append(attempts, a)
 		return res, err, true
 	}
+	// runRung is the retry-with-spill wrapper: with Options.SpillDir set,
+	// every rung runs in-memory first (spill disarmed) and, on
+	// ErrMemLimit, re-runs the same strategy once with spilling armed —
+	// recorded as its own "<rung>+spill" attempt — before the ladder
+	// falls to the next rung. Spill retries run sequentially: the
+	// parallel executor ignores SpillDir.
+	runRung := func(fb Fallback, isFirst bool) (*Result, error, bool) {
+		if opt.SpillDir == "" {
+			return try(fb, isFirst, opt)
+		}
+		mem := opt
+		mem.SpillDir = ""
+		res, err, ok := try(fb, isFirst, mem)
+		if !ok || err == nil || !errors.Is(err, ErrMemLimit) {
+			return res, err, ok
+		}
+		sp := fb
+		sp.Name = fb.Name + "+spill"
+		return try(sp, false, opt)
+	}
 
-	res, err, _ := try(first, true)
+	res, err, _ := runRung(first, true)
 	for _, fb := range fallbacks {
 		if err == nil || !Degradable(err) {
 			break
 		}
-		r, e, ok := try(fb, false)
+		r, e, ok := runRung(fb, false)
 		if !ok {
 			continue
 		}

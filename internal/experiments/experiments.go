@@ -47,6 +47,16 @@ type Config struct {
 	// MaxBytes caps the bytes of relation storage each run may
 	// materialize (engine.Options.MaxBytes); 0 means no byte budget.
 	MaxBytes int64
+	// SpillDir, when non-empty, arms out-of-core execution
+	// (engine.Options.SpillDir): runs that would blow MaxBytes spill
+	// breaker and hash-build state to temp files under this directory
+	// instead of aborting, and resilient runs retry memory failures with
+	// spilling before degrading methods. Per-cell spill traffic lands in
+	// Cell.SpilledBytes/SpillFiles.
+	SpillDir string
+	// MaxSpillBytes bounds each run's spill-directory footprint
+	// (0 = unlimited disk).
+	MaxSpillBytes int64
 	// MaxWidth, when positive, is a width-admission cap mirroring the
 	// serving layer (internal/server): a method whose plan width
 	// exceeds it is rejected before execution with engine.ErrOverWidth
@@ -132,6 +142,11 @@ type Cell struct {
 	// worst-case-optimal strategy produces them, so they stay zero for
 	// the plan-based methods.
 	Seeks, Extensions int64
+	// SpilledBytes and SpillFiles total the out-of-core traffic of this
+	// cell's executions (zero unless Config.SpillDir is set and some run
+	// actually spilled).
+	SpilledBytes int64
+	SpillFiles   int
 	// Failures counts failed repetitions by kind; nil when every
 	// repetition succeeded. Admission verdicts ("overwidth", "shed")
 	// mean the run was rejected before executing; the rest ("timeout",
@@ -203,6 +218,8 @@ func failureKind(err error) string {
 		return "rowcap"
 	case errors.Is(err, engine.ErrMemLimit):
 		return "membudget"
+	case errors.Is(err, engine.ErrSpill):
+		return "spillfail"
 	case errors.Is(err, engine.ErrInternal):
 		return "panic"
 	case errors.Is(err, engine.ErrOverWidth):
@@ -282,7 +299,10 @@ func freeVars(g *graph.Graph, frac float64, rng *rand.Rand) []cq.Var {
 // execOptions translates a config into engine options, threading the
 // shared subplan cache through every measured execution.
 func (c Config) execOptions() engine.Options {
-	return engine.Options{Timeout: c.Timeout, MaxRows: c.MaxRows, MaxBytes: c.MaxBytes, Cache: c.Cache}
+	return engine.Options{
+		Timeout: c.Timeout, MaxRows: c.MaxRows, MaxBytes: c.MaxBytes, Cache: c.Cache,
+		SpillDir: c.SpillDir, MaxSpillBytes: c.MaxSpillBytes,
+	}
 }
 
 // outcome is one measurement: duration, plan width, cache traffic, and
@@ -292,7 +312,19 @@ type outcome struct {
 	w                 int
 	hits, misses      int64
 	seeks, extensions int64
+	spilled           int64
+	spillFiles        int
 	err               error
+}
+
+// fold copies a result's counters into the outcome (no-op on nil).
+func (o *outcome) fold(res *engine.Result) {
+	if res == nil {
+		return
+	}
+	o.hits, o.misses = res.Stats.CacheHits, res.Stats.CacheMisses
+	o.seeks, o.extensions = res.Stats.Seeks, res.Stats.Extensions
+	o.spilled, o.spillFiles = res.Stats.SpilledBytes, res.Stats.SpillFiles
 }
 
 // measure builds and executes one method on one query, returning the
@@ -325,8 +357,9 @@ func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Con
 	} else {
 		res, err = engine.Exec(p, db, cfg.execOptions())
 	}
-	return outcome{d: time.Since(start), w: w,
-		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}
+	o := outcome{d: time.Since(start), w: w, err: err}
+	o.fold(res)
+	return o
 }
 
 // measureYannakakis runs the full-reducer execution strategy: the join
@@ -350,8 +383,9 @@ func measureYannakakis(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) 
 	} else {
 		res, err = engine.ExecYannakakisTree(context.Background(), tree, db, cfg.execOptions())
 	}
-	return outcome{d: time.Since(start), w: w,
-		hits: res.Stats.CacheHits, misses: res.Stats.CacheMisses, err: err}
+	o := outcome{d: time.Since(start), w: w, err: err}
+	o.fold(res)
+	return o
 }
 
 // measureStream runs the pipelined streaming executor: the plan shape
@@ -378,9 +412,7 @@ func measureStream(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outc
 		res, err = engine.ExecStream(p, db, cfg.execOptions())
 	}
 	o := outcome{d: time.Since(start), w: w, err: err}
-	if res != nil {
-		o.hits, o.misses = res.Stats.CacheHits, res.Stats.CacheMisses
-	}
+	o.fold(res)
 	return o
 }
 
@@ -410,10 +442,7 @@ func measureWCOJ(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcom
 		res, err = engine.ExecWCOJ(q, db, cfg.execOptions())
 	}
 	o := outcome{d: time.Since(start), w: w, err: err}
-	if res != nil {
-		o.hits, o.misses = res.Stats.CacheHits, res.Stats.CacheMisses
-		o.seeks, o.extensions = res.Stats.Seeks, res.Stats.Extensions
-	}
+	o.fold(res)
 	return o
 }
 
@@ -438,8 +467,9 @@ func measureNaive(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outco
 			engine.ErrOverWidth, w, cfg.MaxWidth)}
 	}
 	er, err := engine.Exec(p, db, cfg.execOptions())
-	return outcome{d: time.Since(start), w: w,
-		hits: er.Stats.CacheHits, misses: er.Stats.CacheMisses, err: err}
+	o := outcome{d: time.Since(start), w: w, err: err}
+	o.fold(er)
+	return o
 }
 
 // repSeed derives the instance-generation seed of one repetition — the
@@ -558,6 +588,8 @@ func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Quer
 			cell.CacheMisses += o.misses
 			cell.Seeks += o.seeks
 			cell.Extensions += o.extensions
+			cell.SpilledBytes += o.spilled
+			cell.SpillFiles += o.spillFiles
 			if o.err != nil {
 				if genErrs[rep] != nil {
 					cell.fail("generator")
@@ -825,18 +857,32 @@ func hasSeeks(s *Series) bool {
 	return false
 }
 
+// hasSpill reports whether any cell spilled to disk.
+func hasSpill(s *Series) bool {
+	for _, r := range s.Rows {
+		for i := range r.Cells {
+			if r.Cells[i].SpilledBytes > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // CSV renders a series as comma-separated values: one row per x with a
 // median-seconds column per method (empty for timeouts) — the format for
 // external plotting tools. A sweep run with a subplan cache additionally
 // gets <method>_cache_hits and <method>_cache_misses columns, a sweep
 // with any failed repetition gets <method>_rejected (turned away at
 // admission: over-width, shed) and <method>_aborted (failed
-// mid-execution) columns, and a sweep that ran the worst-case-optimal
+// mid-execution) columns, a sweep that ran the worst-case-optimal
 // strategy gets <method>_seeks and <method>_extensions columns with its
-// leapfrog work counters.
+// leapfrog work counters, and a sweep where any run spilled to disk gets
+// <method>_spilled_bytes and <method>_spill_files columns.
 func CSV(s *Series) string {
 	failures := hasFailures(s)
 	seeks := hasSeeks(s)
+	spill := hasSpill(s)
 	var b strings.Builder
 	b.WriteString(s.XLabel)
 	if len(s.Rows) > 0 {
@@ -857,6 +903,11 @@ func CSV(s *Series) string {
 		if seeks {
 			for _, c := range s.Rows[0].Cells {
 				fmt.Fprintf(&b, ",%s_seeks,%s_extensions", c.Method, c.Method)
+			}
+		}
+		if spill {
+			for _, c := range s.Rows[0].Cells {
+				fmt.Fprintf(&b, ",%s_spilled_bytes,%s_spill_files", c.Method, c.Method)
 			}
 		}
 	}
@@ -882,6 +933,11 @@ func CSV(s *Series) string {
 		if seeks {
 			for i := range r.Cells {
 				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].Seeks, r.Cells[i].Extensions)
+			}
+		}
+		if spill {
+			for i := range r.Cells {
+				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].SpilledBytes, r.Cells[i].SpillFiles)
 			}
 		}
 		b.WriteString("\n")

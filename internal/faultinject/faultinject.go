@@ -56,6 +56,19 @@ const (
 	// frame is written, the configured latency elapses, then the rest
 	// follows — exercising client read loops and tail-latency bounds.
 	SlowWrite
+	// SpillWrite fails a spill-file write: the spill manager reports an
+	// unrecoverable I/O failure mid-serialization, as a dying disk or a
+	// yanked volume would.
+	SpillWrite
+	// SpillRead fails a spill-file read-back: a spilled partition cannot
+	// be reloaded when its breaker replays it.
+	SpillRead
+	// SpillFull reports disk exhaustion (ENOSPC) from the spill manager
+	// without needing a genuinely full filesystem.
+	SpillFull
+	// SpillSlow injects latency on spill file creation and read-back
+	// open, modeling a saturated or throttled disk.
+	SpillSlow
 
 	numPoints
 )
@@ -71,6 +84,18 @@ var pointNames = [numPoints]string{
 	AcceptFail:            "accept.fail",
 	ConnDrop:              "conn.drop",
 	SlowWrite:             "write.slow",
+	SpillWrite:            "spill.write.fail",
+	SpillRead:             "spill.read.fail",
+	SpillFull:             "spill.full",
+	SpillSlow:             "spill.slow",
+}
+
+// PointNames returns every valid spec point name, in declaration order.
+// CLIs use it to enumerate the points in -faults usage text.
+func PointNames() []string {
+	out := make([]string, numPoints)
+	copy(out, pointNames[:])
+	return out
 }
 
 // String returns the spec name of the point.
@@ -157,7 +182,8 @@ func pointByName(name string) (Point, error) {
 			return Point(p), nil
 		}
 	}
-	return 0, fmt.Errorf("faultinject: unknown point %q", name)
+	return 0, fmt.Errorf("faultinject: unknown point %q (valid points: %s)",
+		name, strings.Join(PointNames(), ", "))
 }
 
 // splitmix64 finalizer: spreads (seed, point, count) over 64 bits.

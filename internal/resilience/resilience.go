@@ -40,6 +40,15 @@ import (
 // like) a cyclic one, every join-tree method risks an intermediate
 // polynomially over the output, and the leapfrog multiway join is the
 // only executor whose work is bounded by the AGM output bound.
+//
+// With Options.SpillDir set, every rung additionally carries an implicit
+// retry-with-spill step (engine.ExecResilientStrategy): a rung that
+// fails with ErrMemLimit re-runs once with spilling armed — recorded as
+// a "<rung>+spill" attempt in Stats.Attempts — before the ladder falls
+// further. Memory pressure then degrades to disk latency on the same
+// strategy instead of forcing a method change, and only an actual spill
+// failure (ErrSpill) or a second memory violation moves the run down a
+// rung.
 func DegradationLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {
 	var ladder []engine.Fallback
 	if engine.MCSElimWidth(q) <= engine.DefaultYannakakisWidth {

@@ -57,6 +57,17 @@ type Config struct {
 	// MaxRows and MaxBytes bound each execution (engine.Options).
 	MaxRows  int
 	MaxBytes int64
+	// SpillDir, when non-empty, arms out-of-core execution: runs that
+	// would blow MaxBytes spill pipeline-breaker and hash-build state to
+	// temp files under this directory instead of failing, and the
+	// resilient path retries memory failures with spilling before
+	// degrading methods. It also relaxes admission: a methodless query
+	// rejected only by MaxPredictedBytes is admitted when its prediction
+	// fits MaxSpillBytes (Verdict.AdmittedOnSpill).
+	SpillDir string
+	// MaxSpillBytes bounds each run's spill-directory footprint
+	// (0 = unlimited disk).
+	MaxSpillBytes int64
 	// Workers is the executor's worker count for the direct path
 	// (default 1, the sequential executor).
 	Workers int
@@ -435,7 +446,15 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	if wcojAGM < 0 || (req.Method != "" && method != core.MethodWCOJ) {
 		wcojAGM = 0
 	}
-	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, s.cfg.MaxPredictedBytes, wcojAGM, db)
+	// The spill override applies only to methodless requests: routing
+	// below picks an executor that can actually spill, whereas an
+	// explicitly named method may be one (parallel, wcoj) that ignores
+	// the spill directory and would die at the budget anyway.
+	spillBytes := int64(-1)
+	if s.cfg.SpillDir != "" && req.Method == "" {
+		spillBytes = s.cfg.MaxSpillBytes
+	}
+	verdict := assess(q, p, string(method), s.cfg.MaxWidth, s.cfg.MaxAGMLog2, s.cfg.MaxPredictedBytes, wcojAGM, spillBytes, db)
 	if !verdict.Admitted {
 		logEntry["verdict"] = "over_width"
 		logEntry["plan_width"] = verdict.PlanWidth
@@ -453,6 +472,11 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 		// one admission the log must distinguish from a plain admit.
 		logEntry["verdict"] = "admitted_on_agm"
 		logEntry["agm_log2"] = verdict.AGMLog2
+	}
+	if verdict.AdmittedOnSpill {
+		// The byte cap said no and the spill budget overrode it.
+		logEntry["verdict"] = "admitted_on_spill"
+		logEntry["predicted_peak_bytes"] = verdict.PredictedPeakBytes
 	}
 
 	// Width-tiered routing for requests that did not name a method:
@@ -525,7 +549,10 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	opt := engine.Options{MaxRows: s.cfg.MaxRows, MaxBytes: s.cfg.MaxBytes, Cache: s.cfg.Cache}
+	opt := engine.Options{
+		MaxRows: s.cfg.MaxRows, MaxBytes: s.cfg.MaxBytes, Cache: s.cfg.Cache,
+		SpillDir: s.cfg.SpillDir, MaxSpillBytes: s.cfg.MaxSpillBytes,
+	}
 
 	// Execute: direct path unless this method's breaker is open (or the
 	// server runs fully resilient), in which case the degradation
@@ -671,6 +698,8 @@ func runStats(st *engine.Stats) *RunStats {
 		Reduced:      st.ReducedTuples,
 		Seeks:        st.Seeks,
 		Extensions:   st.Extensions,
+		SpilledBytes: st.SpilledBytes,
+		SpillFiles:   st.SpillFiles,
 		ElapsedUS:    st.Elapsed.Microseconds(),
 	}
 	for _, a := range st.Attempts {

@@ -1,0 +1,112 @@
+package projpush
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"projpush/internal/core"
+	"projpush/internal/cq"
+	"projpush/internal/engine"
+)
+
+// Out-of-core benchmarks: the chain and spider shapes run under a memory
+// budget the in-memory streaming engine cannot meet, so every iteration
+// is rescued by the spill path. The quantities under test are the disk
+// traffic the rescue costs (spilled-bytes, spill-files) and the residency
+// bound it buys: peak live bytes (stats-bytes) must stay within MaxBytes.
+// `make bench-json` pins the series in BENCH_spill.json. Each benchmark
+// first proves, outside the timer, that the same budget genuinely fails
+// without a spill directory.
+
+// runSpillVariant finds a demonstrating budget (plain run dies with
+// ErrMemLimit, spill-armed run completes), then times the spill-armed
+// runs.
+func runSpillVariant(b *testing.B, q *cq.Query, db cq.Database) {
+	b.Helper()
+	p, err := core.BuildPlan(core.MethodStream, q, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := engine.ExecStream(p, db, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var budget int64
+	for _, f := range []struct{ num, den int64 }{
+		{7, 8}, {3, 4}, {1, 2}, {1, 3}, {1, 4}, {1, 6}, {1, 8},
+	} {
+		cand := base.Stats.PeakBytes * f.num / f.den
+		if _, err := engine.ExecStream(p, db, engine.Options{MaxBytes: cand}); !errors.Is(err, engine.ErrMemLimit) {
+			continue
+		}
+		res, err := engine.ExecStream(p, db, engine.Options{MaxBytes: cand, SpillDir: b.TempDir()})
+		if err != nil {
+			continue
+		}
+		if res.Stats.SpilledBytes > 0 {
+			budget = cand
+			break
+		}
+	}
+	if budget == 0 {
+		b.Fatalf("no budget under peak %d fails in memory and completes with spill traffic", base.Stats.PeakBytes)
+	}
+	opt := engine.Options{MaxBytes: budget, SpillDir: b.TempDir()}
+	var stats engine.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.ExecStream(p, db, opt)
+		if err != nil {
+			b.Fatalf("spill-armed run aborted: %v", err)
+		}
+		if res.Stats.Bytes > budget {
+			b.Fatalf("peak live bytes %d over budget %d despite spilling", res.Stats.Bytes, budget)
+		}
+		stats = res.Stats
+	}
+	b.ReportMetric(float64(budget), "budget-bytes")
+	b.ReportMetric(float64(stats.Bytes), "stats-bytes")
+	b.ReportMetric(float64(stats.PeakBytes), "peak-bytes")
+	b.ReportMetric(float64(stats.SpilledBytes), "spilled-bytes")
+	b.ReportMetric(float64(stats.SpillFiles), "spill-files")
+}
+
+// BenchmarkSpillChain is the Figure-6 chain shape without a selective
+// head: every join's build side is full-size, so the run's resident state
+// dwarfs any fractional budget and the breakers must shed partitions to
+// disk.
+func BenchmarkSpillChain(b *testing.B) {
+	const atoms, rows, dom = 6, 4000, 3000
+	rng := rand.New(rand.NewSource(11))
+	db := cq.Database{}
+	q := &cq.Query{Free: []cq.Var{0, 1}}
+	for i := 0; i < atoms; i++ {
+		name := fmt.Sprintf("r%d", i)
+		db[name] = randomRel(rng, rows, dom, dom)
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: name, Args: []cq.Var{cq.Var(i), cq.Var(i + 1)}})
+	}
+	runSpillVariant(b, q, db)
+}
+
+// BenchmarkSpillSpider is the two-level star with no selective arm and a
+// dense domain: the arm joins (not the semijoin-pushdown indexes, which
+// cannot spill) dominate residency, so the breakers shed build partitions
+// to disk and replay them under budget.
+func BenchmarkSpillSpider(b *testing.B) {
+	const arms, rows, dom = 4, 6000, 800
+	rng := rand.New(rand.NewSource(13))
+	db := cq.Database{}
+	q := &cq.Query{Free: []cq.Var{0}}
+	for i := 0; i < arms; i++ {
+		inner, outer := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		y, z := cq.Var(1+2*i), cq.Var(2+2*i)
+		db[inner] = randomRel(rng, rows, dom, dom)
+		db[outer] = randomRel(rng, rows, dom, dom)
+		q.Atoms = append(q.Atoms,
+			cq.Atom{Rel: inner, Args: []cq.Var{0, y}},
+			cq.Atom{Rel: outer, Args: []cq.Var{y, z}})
+	}
+	runSpillVariant(b, q, db)
+}
