@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test chaos bench bench-json bench-yannakakis bench-stream bench-wcoj bench-spill fuzz experiments clean
+.PHONY: all build vet test chaos chaos-cluster bench bench-json bench-yannakakis bench-stream bench-wcoj bench-spill fuzz experiments clean
 
 all: build vet test
 
@@ -13,13 +13,21 @@ vet:
 
 test:
 	go test ./...
-	go test -race . ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner ./internal/server/...
+	go test -race . ./internal/engine ./internal/relation ./internal/experiments ./internal/pgplanner ./internal/server/... ./internal/cluster
 
 # The serving-layer acceptance drills: concurrent retrying clients vs a
 # server with network + engine faults injected, and the spill drill with
 # disk faults on an out-of-core server, both under the race detector.
 chaos:
 	go test -race -run '^TestChaosDrill(Spill)?$$' -timeout 60s -count=1 -v ./internal/server
+
+# The fleet acceptance drill: a 4-worker fleet under a coordinator with
+# 2 workers hard-killed and restarted mid-run, the worker.kill chaos
+# loop armed, and network faults tearing coordinator connections, plus
+# the healthy-fleet differential check against the single-process
+# oracle — all under the race detector.
+chaos-cluster:
+	go test -race -run '^TestWorkerLossChaosDrill$$|^TestFleetDifferentialAgainstOracle$$' -timeout 60s -count=1 -v ./internal/cluster
 
 # One iteration per benchmark: regenerates every figure series quickly.
 bench:

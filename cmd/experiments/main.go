@@ -23,6 +23,7 @@ import (
 	"projpush/internal/engine"
 	"projpush/internal/experiments"
 	"projpush/internal/faultinject"
+	"projpush/internal/server/client"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 		faults    = flag.String("faults", "", "fault-injection spec for robustness drills, e.g. 'join.panic=0.01,experiment.panic=0.1'; points: "+strings.Join(faultinject.PointNames(), ", "))
 		faultseed = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
 		methods   = flag.String("methods", "", "comma-separated method list overriding the paper's default grid (straightforward, earlyprojection, reordering, bucketelimination, yannakakis, stream, wcoj)")
+		connect   = flag.String("connect", "", "route every measurement through the projpushd server or fleet coordinator at this address instead of the local engine; the CSV gains per-method failover/hedge columns")
 	)
 	flag.Parse()
 
@@ -84,6 +86,17 @@ func main() {
 	}
 	if *cache || *cachemb > 0 {
 		base.Cache = engine.NewCache(int64(*cachemb) << 20)
+	}
+	if *connect != "" {
+		// Each measured request carries the instance's rel blocks and its
+		// own timeout; the remote side's answer (or typed failure)
+		// becomes the cell. Coordinator responses also feed the
+		// failover/hedge columns.
+		base.Fleet = client.New(client.Options{
+			Addr:           *connect,
+			AttemptTimeout: *timeout + 5*time.Second,
+			MaxRetries:     -1,
+		})
 	}
 	variants := []float64{0, 0.2}
 	if *free >= 0 {

@@ -6,6 +6,12 @@
 //
 //	loadgen -addr 127.0.0.1:7433 -clients 8 -requests 50 -family augpath -order 6
 //	loadgen -addr 127.0.0.1:7433 -queryfile q.cq -clients 4
+//
+// -addr accepts a comma-separated list for multi-instance drills —
+// clients spread round-robin over the endpoints (several independent
+// servers, or several coordinator front ends of one fleet). Responses
+// stamped with a fleet worker id are attributed per worker in the
+// outcome mix, and coordinator failovers and hedge wins are summed.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +36,7 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7433", "projpushd address")
+		addr      = flag.String("addr", "127.0.0.1:7433", "projpushd address, or a comma-separated list to spread clients over several instances")
 		clients   = flag.Int("clients", 4, "concurrent clients")
 		requests  = flag.Int("requests", 25, "requests per client")
 		method    = flag.String("method", "", "optimization method (empty = server default)")
@@ -54,8 +61,14 @@ func main() {
 		}
 	}
 
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
 	type result struct {
 		status  string
+		worker  string
 		latency time.Duration
 	}
 	results := make([][]result, *clients)
@@ -81,13 +94,17 @@ func main() {
 	// admissions that only got in through the spill override.
 	var spilledRuns, spillAdmitted int64
 	var aggSpilled, aggSpillFiles int64
+	// failovers sums the replicas coordinators gave up on before
+	// answering; hedgeWins counts answers that came from a hedge request
+	// that beat the first replica. Both are zero against plain servers.
+	var failovers, hedgeWins int64
 	start := time.Now()
 	for ci := 0; ci < *clients; ci++ {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
 			c := client.New(client.Options{
-				Addr:           *addr,
+				Addr:           addrs[ci%len(addrs)],
 				MaxRetries:     *retries,
 				AttemptTimeout: *timeout,
 				Seed:           *seed + int64(ci),
@@ -131,12 +148,18 @@ func main() {
 					}
 				}
 				status := "transport_error"
+				worker := ""
 				if resp != nil {
 					status = string(resp.Status)
+					worker = resp.Worker
+					atomic.AddInt64(&failovers, int64(resp.Failovers))
+					if resp.Hedged {
+						atomic.AddInt64(&hedgeWins, 1)
+					}
 				} else if err == nil {
 					status = string(server.StatusOK)
 				}
-				results[ci] = append(results[ci], result{status: status, latency: lat})
+				results[ci] = append(results[ci], result{status: status, worker: worker, latency: lat})
 			}
 			mu.Lock()
 			attempts += c.Attempts()
@@ -151,10 +174,19 @@ func main() {
 		all = append(all, rs...)
 	}
 	counts := make(map[string]int)
+	perWorker := make(map[string]map[string]int)
 	lats := make([]time.Duration, 0, len(all))
 	for _, r := range all {
 		counts[r.status]++
 		lats = append(lats, r.latency)
+		if r.worker != "" {
+			m := perWorker[r.worker]
+			if m == nil {
+				m = make(map[string]int)
+				perWorker[r.worker] = m
+			}
+			m[r.status]++
+		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	q := func(p float64) time.Duration {
@@ -173,6 +205,32 @@ func main() {
 	sort.Strings(statuses)
 	for _, s := range statuses {
 		fmt.Printf("  %-16s %d\n", s, counts[s])
+	}
+	if len(perWorker) > 0 {
+		workers := make([]string, 0, len(perWorker))
+		for w := range perWorker {
+			workers = append(workers, w)
+		}
+		sort.Strings(workers)
+		fmt.Println("per-worker outcome mix:")
+		for _, w := range workers {
+			wm := perWorker[w]
+			ws := make([]string, 0, len(wm))
+			for s := range wm {
+				ws = append(ws, s)
+			}
+			sort.Strings(ws)
+			parts := make([]string, 0, len(ws))
+			total := 0
+			for _, s := range ws {
+				parts = append(parts, fmt.Sprintf("%s=%d", s, wm[s]))
+				total += wm[s]
+			}
+			fmt.Printf("  %-16s %-5d %s\n", w, total, strings.Join(parts, " "))
+		}
+	}
+	if failovers > 0 || hedgeWins > 0 {
+		fmt.Printf("fleet: failovers=%d hedge-wins=%d\n", failovers, hedgeWins)
 	}
 	fmt.Printf("latency p50=%v p95=%v max=%v\n",
 		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(1.0).Round(time.Microsecond))

@@ -6,6 +6,11 @@
 //	projpushd -addr :7433 -colors 3 -maxwidth 6 -concurrency 8
 //	projpushd -addr :7433 -db instance.cq -method bucketelimination -log requests.log
 //
+// Fleet topologies (internal/cluster):
+//
+//	projpushd -addr :7433 -fleet 4 -hedge        # coordinator + 4 in-process workers
+//	projpushd -addr :7434 -join 127.0.0.1:7433   # worker that registers with a coordinator
+//
 // Clients speak the length-prefixed JSON protocol of internal/server;
 // cmd/loadgen drives it under load, and `projpush -connect` sends a
 // single generated instance.
@@ -21,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"projpush/internal/cluster"
 	"projpush/internal/core"
 	"projpush/internal/cq"
 	"projpush/internal/cqparse"
@@ -28,6 +34,7 @@ import (
 	"projpush/internal/faultinject"
 	"projpush/internal/instance"
 	"projpush/internal/server"
+	"projpush/internal/server/client"
 )
 
 func main() {
@@ -58,6 +65,10 @@ func main() {
 		logFile     = flag.String("log", "", "append structured per-request JSON logs here (default stderr; 'none' disables)")
 		faults      = flag.String("faults", "", "fault-injection spec for chaos drills, e.g. 'conn.drop=0.05,join.panic=0.02'; points: "+strings.Join(faultinject.PointNames(), ", "))
 		faultseed   = flag.Int64("faultseed", 1, "seed for the fault-injection coin flips")
+		fleetN      = flag.Int("fleet", 0, "serve a fault-tolerant fleet: this many in-process workers behind a coordinator on -addr (0 = single server)")
+		hedge       = flag.Bool("hedge", false, "fleet mode: hedge slow requests against a second replica after the p95 delay")
+		join        = flag.String("join", "", "worker mode: register with the fleet coordinator at this address after listening, deregister before draining")
+		workerID    = flag.String("workerid", "", "fleet member id stamped on every response (worker mode; default the listen address)")
 	)
 	flag.Parse()
 
@@ -110,6 +121,47 @@ func main() {
 		cfg.Log = f
 	}
 
+	// SIGTERM/SIGINT: readiness flips false, the listener closes,
+	// in-flight requests drain under the deadline.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	if *fleetN > 0 {
+		fl, err := cluster.StartFleet(*addr, cluster.FleetConfig{
+			Workers: *fleetN,
+			Worker:  cfg,
+			Coordinator: cluster.Config{
+				DB:             db,
+				Method:         core.Method(*method),
+				Hedge:          *hedge,
+				RequestTimeout: *timeout,
+				LocalFallback:  true,
+				MaxRows:        *maxRows,
+				MaxBytes:       int64(*membudget) << 20,
+				Log:            cfg.Log,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "projpushd: coordinating %d workers (%s) on %s (method=%s hedge=%v)\n",
+			*fleetN, strings.Join(fl.WorkerAddrs(), ", "), fl.Addr(), *method, *hedge)
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "projpushd: %v, draining fleet (deadline %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err = fl.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "projpushd: fleet drained cleanly")
+		return
+	}
+
+	cfg.WorkerID = *workerID
+	if cfg.WorkerID == "" && *join != "" {
+		cfg.WorkerID = *addr
+	}
 	srv := server.New(cfg)
 	if err := srv.Listen(*addr); err != nil {
 		fatal(err)
@@ -117,15 +169,34 @@ func main() {
 	fmt.Fprintf(os.Stderr, "projpushd: serving %d relations on %s (method=%s maxwidth=%d concurrency=%d)\n",
 		len(db), srv.Addr(), *method, *maxWidth, *concurrency)
 
-	// SIGTERM/SIGINT: readiness flips false, the listener closes,
-	// in-flight requests drain under the deadline.
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	// Worker mode: announce ourselves to the coordinator; it routes our
+	// shard of the fingerprint space here until we deregister.
+	var coord *client.Client
+	if *join != "" {
+		coord = client.New(client.Options{Addr: *join})
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := coord.Do(ctx, &server.Request{Op: "register", Addr: srv.Addr().String()})
+		cancel()
+		if err != nil {
+			fatal(fmt.Errorf("-join %s: %w", *join, err))
+		}
+		fmt.Fprintf(os.Stderr, "projpushd: registered with coordinator %s\n", *join)
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()
 	select {
 	case sig := <-sigs:
 		fmt.Fprintf(os.Stderr, "projpushd: %v, draining (deadline %v)\n", sig, *drain)
+		if coord != nil {
+			// Deregister first: the coordinator re-routes our shard to the
+			// surviving replicas while our in-flight requests finish.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if _, err := coord.Do(ctx, &server.Request{Op: "deregister", Addr: srv.Addr().String()}); err != nil {
+				fmt.Fprintf(os.Stderr, "projpushd: deregister: %v\n", err)
+			}
+			cancel()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(ctx)
 		cancel()

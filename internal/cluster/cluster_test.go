@@ -1,0 +1,624 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/server"
+	"projpush/internal/server/client"
+)
+
+// colorQueryText renders one 3-COLOR family query as request text.
+func colorQueryText(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	q, err := instance.ColorQuery(g, instance.BooleanFree(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cqparse.WriteQuery(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRingOrderIsDeterministicAndComplete(t *testing.T) {
+	r := newRing(64)
+	addrs := []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1", "10.0.0.4:1"}
+	for _, a := range addrs {
+		r.add(a)
+	}
+	first := r.order("some-fingerprint")
+	if len(first) != len(addrs) {
+		t.Fatalf("order returned %d workers, want %d", len(first), len(addrs))
+	}
+	seen := map[string]bool{}
+	for _, a := range first {
+		seen[a] = true
+	}
+	if len(seen) != len(addrs) {
+		t.Fatalf("order has duplicates: %v", first)
+	}
+	for i := 0; i < 10; i++ {
+		again := r.order("some-fingerprint")
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("order not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+	// Keys spread: over many fingerprints, more than one worker leads.
+	leads := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		leads[r.order(fmt.Sprintf("fp-%d", i))[0]] = true
+	}
+	if len(leads) < 2 {
+		t.Errorf("64 fingerprints all routed to one worker: %v", leads)
+	}
+}
+
+func TestRingMembershipChangeIsMinimal(t *testing.T) {
+	r := newRing(64)
+	addrs := []string{"a:1", "b:1", "c:1", "d:1"}
+	for _, a := range addrs {
+		r.add(a)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("fp-%d", i)
+		before[k] = r.order(k)[0]
+	}
+	r.remove("c:1")
+	moved := 0
+	for k, prev := range before {
+		now := r.order(k)[0]
+		if prev != "c:1" && now != prev {
+			moved++
+		}
+	}
+	// Consistent hashing: keys not owned by the removed worker stay put.
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed worker were remapped", moved)
+	}
+	// Re-adding restores the original assignment exactly.
+	r.add("c:1")
+	for k, prev := range before {
+		if now := r.order(k)[0]; now != prev {
+			t.Fatalf("key %s moved from %s to %s after remove+re-add", k, prev, now)
+		}
+	}
+}
+
+// TestWorkerBreakerStateMachine drives one worker's health breaker with
+// an injectable clock through the flapping sequence the drills rely on:
+// closed under scattered failures, open at the threshold, half-open one
+// trial after the cooldown, re-opened (cooldown reset) on a failed
+// trial, closed again on a successful one.
+func TestWorkerBreakerStateMachine(t *testing.T) {
+	const (
+		threshold = 2
+		cooldown  = time.Second
+	)
+	now := time.Unix(1000, 0)
+	w := newWorker("x:1", client.Options{})
+
+	if got := w.status(now, cooldown); got != "up" {
+		t.Fatalf("initial status = %s, want up", got)
+	}
+	w.fail(now, threshold)
+	if got := w.status(now, cooldown); got != "up" {
+		t.Fatalf("one failure below threshold flipped status to %s", got)
+	}
+	w.ok()
+	w.fail(now, threshold)
+	if got := w.status(now, cooldown); got != "up" {
+		t.Fatalf("ok() did not reset the failure streak (status %s)", got)
+	}
+
+	// Two consecutive failures: open.
+	w.fail(now, threshold)
+	if got := w.status(now, cooldown); got != "down" {
+		t.Fatalf("status after threshold failures = %s, want down", got)
+	}
+	if w.admit(now, cooldown) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: half-open, exactly one trial admitted.
+	now = now.Add(cooldown)
+	if got := w.status(now, cooldown); got != "half-open" {
+		t.Fatalf("status after cooldown = %s, want half-open", got)
+	}
+	if !w.admit(now, cooldown) {
+		t.Fatal("half-open breaker refused the trial request")
+	}
+	if w.admit(now, cooldown) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// Failed trial: re-open with the cooldown anchor reset.
+	w.fail(now, threshold)
+	if got := w.status(now, cooldown); got != "down" {
+		t.Fatalf("status after failed trial = %s, want down", got)
+	}
+	if w.admit(now.Add(cooldown/2), cooldown) {
+		t.Fatal("failed trial did not reset the cooldown")
+	}
+
+	// Next trial succeeds: closed, requests flow.
+	now = now.Add(cooldown)
+	if !w.admit(now, cooldown) {
+		t.Fatal("breaker refused the second trial")
+	}
+	w.ok()
+	if got := w.status(now, cooldown); got != "up" {
+		t.Fatalf("status after successful trial = %s, want up", got)
+	}
+	if !w.admit(now, cooldown) || !w.admit(now, cooldown) {
+		t.Fatal("closed breaker limited admission")
+	}
+}
+
+// fakeWorker is a Handler-mode server whose per-request behavior is
+// switched at runtime: mode 0 answers OK, 1 answers StatusInternal, 2
+// sleeps before answering OK (the hedging victim). served counts the
+// queries it answered.
+type fakeWorker struct {
+	id     string
+	srv    *server.Server
+	addr   string
+	mode   atomic.Int32
+	delay  time.Duration
+	served atomic.Int64
+}
+
+func startFakeWorker(t *testing.T, id string, delay time.Duration) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{id: id, delay: delay}
+	f.srv = server.New(server.Config{
+		WorkerID: id,
+		Handler: func(req *server.Request, remote string) *server.Response {
+			switch req.Op {
+			case "ready":
+				ready := true
+				return &server.Response{Status: server.StatusOK, Ready: &ready}
+			case "query":
+				switch f.mode.Load() {
+				case 1:
+					return &server.Response{Status: server.StatusInternal, Error: "injected"}
+				case 2:
+					time.Sleep(f.delay)
+				}
+				f.served.Add(1)
+				return &server.Response{
+					Status: server.StatusOK,
+					Answer: &server.Answer{Nonempty: true, Rows: 1, Tuples: [][]int32{{0}}},
+				}
+			default:
+				return &server.Response{Status: server.StatusError, Error: "unexpected op " + req.Op}
+			}
+		},
+	})
+	if err := f.srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	f.addr = f.srv.Addr().String()
+	go f.srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		f.srv.Shutdown(ctx)
+	})
+	return f
+}
+
+// newTestCoordinator builds an in-process coordinator over the fake
+// workers with the background prober disabled, so tests control health
+// transitions explicitly.
+func newTestCoordinator(t *testing.T, cfg Config, fakes ...*fakeWorker) (*Coordinator, map[string]*fakeWorker) {
+	t.Helper()
+	byAddr := make(map[string]*fakeWorker, len(fakes))
+	for _, f := range fakes {
+		cfg.Workers = append(cfg.Workers, f.addr)
+		byAddr[f.addr] = f
+	}
+	cfg.DB = instance.ColorDatabase(3)
+	cfg.HealthInterval = -1
+	co := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		co.Shutdown(ctx)
+	})
+	return co, byAddr
+}
+
+func TestForwardFailoverOnInternalFault(t *testing.T) {
+	f1 := startFakeWorker(t, "w-a", 0)
+	f2 := startFakeWorker(t, "w-b", 0)
+	co, byAddr := newTestCoordinator(t, Config{RequestTimeout: 2 * time.Second}, f1, f2)
+
+	text := colorQueryText(t, graph.AugmentedPath(4))
+	req := &server.Request{Op: "query", Query: text}
+	fp := co.affinity(req, mustParse(t, co, text))
+	order := co.ring.order(fp)
+	primary, secondary := byAddr[order[0]], byAddr[order[1]]
+	primary.mode.Store(1) // isolated internal fault on the affinity shard
+
+	resp, err := co.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != server.StatusOK {
+		t.Fatalf("status = %s (%s), want ok", resp.Status, resp.Error)
+	}
+	if resp.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", resp.Failovers)
+	}
+	if resp.Worker != secondary.id {
+		t.Errorf("answered by %q, want the failover replica %q", resp.Worker, secondary.id)
+	}
+	if h := co.health(); h.Failovers != 1 {
+		t.Errorf("health.Failovers = %d, want 1", h.Failovers)
+	}
+
+	// With the fault cleared, traffic returns to the affinity shard — the
+	// typed fault never opened its breaker.
+	primary.mode.Store(0)
+	resp, err = co.Do(context.Background(), req)
+	if err != nil || resp.Status != server.StatusOK {
+		t.Fatalf("after clearing fault: %v / %+v", err, resp)
+	}
+	if resp.Worker != primary.id {
+		t.Errorf("answered by %q, want the affinity shard %q", resp.Worker, primary.id)
+	}
+	if resp.Failovers != 0 {
+		t.Errorf("Failovers = %d after recovery, want 0", resp.Failovers)
+	}
+}
+
+func TestHedgedRequestWinsAndCancelsLoser(t *testing.T) {
+	f1 := startFakeWorker(t, "w-a", 400*time.Millisecond)
+	f2 := startFakeWorker(t, "w-b", 400*time.Millisecond)
+	co, byAddr := newTestCoordinator(t, Config{
+		RequestTimeout: 5 * time.Second,
+		Hedge:          true,
+		HedgeFloor:     20 * time.Millisecond,
+	}, f1, f2)
+
+	text := colorQueryText(t, graph.Ladder(3))
+	req := &server.Request{Op: "query", Query: text}
+	fp := co.affinity(req, mustParse(t, co, text))
+	order := co.ring.order(fp)
+	primary, secondary := byAddr[order[0]], byAddr[order[1]]
+	primary.mode.Store(2) // the affinity shard stalls; the hedge must win
+
+	start := time.Now()
+	resp, err := co.Do(context.Background(), req)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != server.StatusOK {
+		t.Fatalf("status = %s (%s), want ok", resp.Status, resp.Error)
+	}
+	if !resp.Hedged {
+		t.Error("winning answer not marked Hedged")
+	}
+	if resp.Worker != secondary.id {
+		t.Errorf("answered by %q, want the hedge replica %q", resp.Worker, secondary.id)
+	}
+	if resp.Failovers != 0 {
+		t.Errorf("Failovers = %d, want 0 (the primary was slow, not failed)", resp.Failovers)
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Errorf("hedged answer took %v; the stalled primary was waited out", elapsed)
+	}
+	if h := co.health(); h.Hedges != 1 {
+		t.Errorf("health.Hedges = %d, want 1", h.Hedges)
+	}
+}
+
+func TestDeregisterReroutesAndRegisterRestores(t *testing.T) {
+	f1 := startFakeWorker(t, "w-a", 0)
+	f2 := startFakeWorker(t, "w-b", 0)
+	co, byAddr := newTestCoordinator(t, Config{RequestTimeout: 2 * time.Second}, f1, f2)
+
+	text := colorQueryText(t, graph.AugmentedPath(5))
+	req := &server.Request{Op: "query", Query: text}
+	fp := co.affinity(req, mustParse(t, co, text))
+	order := co.ring.order(fp)
+	primary, secondary := byAddr[order[0]], byAddr[order[1]]
+
+	resp, err := co.Do(context.Background(), req)
+	if err != nil || resp.Worker != primary.id {
+		t.Fatalf("baseline: err=%v worker=%q, want %q", err, resp.Worker, primary.id)
+	}
+
+	// Graceful exit: the shard re-routes with zero failovers — this is a
+	// planned handoff, not a failure.
+	if resp, err := co.Do(context.Background(), &server.Request{Op: "deregister", Addr: primary.addr}); err != nil || resp.Status != server.StatusOK {
+		t.Fatalf("deregister: %v / %+v", err, resp)
+	}
+	if st := co.WorkerStates()[primary.addr]; st != "draining" {
+		t.Errorf("deregistered worker state = %q, want draining", st)
+	}
+	resp, err = co.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Worker != secondary.id || resp.Failovers != 0 {
+		t.Errorf("after deregister: worker=%q failovers=%d, want %q/0", resp.Worker, resp.Failovers, secondary.id)
+	}
+
+	// Rejoin: the ring assignment is address-stable, so the shard comes
+	// straight back.
+	if resp, err := co.Do(context.Background(), &server.Request{Op: "register", Addr: primary.addr}); err != nil || resp.Status != server.StatusOK {
+		t.Fatalf("register: %v / %+v", err, resp)
+	}
+	resp, err = co.Do(context.Background(), req)
+	if err != nil || resp.Worker != primary.id {
+		t.Errorf("after re-register: err=%v worker=%q, want %q", err, resp.Worker, primary.id)
+	}
+}
+
+// TestHealthProbeOpensAndRecovers exercises the probe path against real
+// worker death and revival: strikes from failed probes open the breaker
+// (removing the worker from routing), the cooldown admits a half-open
+// probe, and a revived worker closes it again — all on an injectable
+// clock, with the background prober disabled and probe rounds driven
+// explicitly.
+func TestHealthProbeOpensAndRecovers(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	mkServer := func() *server.Server {
+		return server.New(server.Config{DB: db, RequestTimeout: time.Second})
+	}
+	s1, s2 := mkServer(), mkServer()
+	if err := s1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go s1.Serve()
+	go s2.Serve()
+	addr1, addr2 := s1.Addr().String(), s2.Addr().String()
+	shutdown := func(s *server.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+	defer shutdown(s1)
+
+	var clock struct {
+		mu  sync.Mutex
+		now time.Time
+	}
+	clock.now = time.Unix(5000, 0)
+	advance := func(d time.Duration) {
+		clock.mu.Lock()
+		clock.now = clock.now.Add(d)
+		clock.mu.Unlock()
+	}
+	cfg := Config{
+		DB:             db,
+		Workers:        []string{addr1, addr2},
+		HealthInterval: -1,
+		HealthTimeout:  200 * time.Millisecond,
+		DialTimeout:    200 * time.Millisecond,
+		FailThreshold:  2,
+		Cooldown:       time.Second,
+		RequestTimeout: 2 * time.Second,
+		now: func() time.Time {
+			clock.mu.Lock()
+			defer clock.mu.Unlock()
+			return clock.now
+		},
+	}
+	co := New(cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		co.Shutdown(ctx)
+	}()
+
+	co.checkWorkers()
+	states := co.WorkerStates()
+	if states[addr1] != "up" || states[addr2] != "up" {
+		t.Fatalf("initial probe: states = %v, want both up", states)
+	}
+
+	// Kill worker 2 the hard way; two probe rounds strike it out.
+	s2.Abort()
+	shutdown(s2)
+	co.checkWorkers()
+	co.checkWorkers()
+	if st := co.WorkerStates()[addr2]; st != "down" {
+		t.Fatalf("dead worker state after 2 probe rounds = %q, want down", st)
+	}
+
+	// Routing excludes it: every query answers from worker 1.
+	text := colorQueryText(t, graph.AugmentedPath(4))
+	for i := 0; i < 3; i++ {
+		resp, err := co.Do(context.Background(), &server.Request{Op: "query", Query: text})
+		if err != nil || resp.Status != server.StatusOK {
+			t.Fatalf("query with dead replica: %v / %+v", err, resp)
+		}
+	}
+
+	// Inside the cooldown nothing is probed; past it, the half-open
+	// probe finds the worker still dead and re-opens.
+	advance(cfg.Cooldown)
+	if st := co.WorkerStates()[addr2]; st != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", st)
+	}
+	co.checkWorkers()
+	if st := co.WorkerStates()[addr2]; st != "down" {
+		t.Fatalf("failed half-open probe left state %q, want down", st)
+	}
+
+	// Revive on the same address; the next half-open probe closes it.
+	s2 = mkServer()
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if err = s2.Listen(addr2); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr2, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	go s2.Serve()
+	defer shutdown(s2)
+	advance(cfg.Cooldown)
+	co.checkWorkers()
+	if st := co.WorkerStates()[addr2]; st != "up" {
+		t.Fatalf("revived worker state = %q, want up", st)
+	}
+}
+
+func TestLocalFallbackRescuesWhenFleetIsGone(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	co := New(Config{
+		DB:             db,
+		HealthInterval: -1,
+		LocalFallback:  true,
+		RequestTimeout: 5 * time.Second,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		co.Shutdown(ctx)
+	}()
+
+	text := colorQueryText(t, graph.AugmentedPath(4))
+	resp, err := co.Do(context.Background(), &server.Request{Op: "query", Query: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != server.StatusDegraded {
+		t.Fatalf("status = %s (%s), want degraded (rescued locally)", resp.Status, resp.Error)
+	}
+	if resp.Worker != "local" {
+		t.Errorf("Worker = %q, want local", resp.Worker)
+	}
+	if resp.Answer == nil || !resp.Answer.Nonempty {
+		t.Fatalf("rescued answer = %+v, want the nonempty 3-coloring", resp.Answer)
+	}
+	if resp.Stats == nil || len(resp.Stats.Attempts) < 2 {
+		t.Fatalf("Stats.Attempts = %+v, want the failed fleet attempt leading a local rung", resp.Stats)
+	}
+	if a := resp.Stats.Attempts[0]; a.Method != "fleet" || a.Err == "" {
+		t.Errorf("Attempts[0] = %+v, want the failed fleet rung with its error", a)
+	}
+	if h := co.health(); h.Rescued != 1 {
+		t.Errorf("health.Rescued = %d, want 1", h.Rescued)
+	}
+}
+
+func TestUnavailableWithoutFallbackIsTypedAndRetryable(t *testing.T) {
+	co := New(Config{
+		DB:             instance.ColorDatabase(3),
+		HealthInterval: -1,
+		RequestTimeout: time.Second,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		co.Shutdown(ctx)
+	}()
+
+	text := colorQueryText(t, graph.AugmentedPath(4))
+	resp, err := co.Do(context.Background(), &server.Request{Op: "query", Query: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != server.StatusUnavailable {
+		t.Fatalf("status = %s, want unavailable", resp.Status)
+	}
+	se := &client.StatusError{Status: resp.Status, Msg: resp.Error}
+	if !client.Retryable(se) {
+		t.Error("unavailable must be retryable (workers may rejoin)")
+	}
+	if h := co.health(); h.Unavailable != 1 {
+		t.Errorf("health.Unavailable = %d, want 1", h.Unavailable)
+	}
+}
+
+// TestAffinityHeaderStampsForwards pins the distributed-cache contract:
+// the coordinator stamps every forward with the plan fingerprint it
+// routed on, and repeats of the same query family land on the same
+// worker with the same affinity header.
+func TestAffinityHeaderStampsForwards(t *testing.T) {
+	var seen struct {
+		mu         sync.Mutex
+		affinities []string
+	}
+	f := &fakeWorker{id: "w-a"}
+	f.srv = server.New(server.Config{
+		WorkerID: f.id,
+		Handler: func(req *server.Request, remote string) *server.Response {
+			if req.Op == "ready" {
+				ready := true
+				return &server.Response{Status: server.StatusOK, Ready: &ready}
+			}
+			seen.mu.Lock()
+			seen.affinities = append(seen.affinities, req.Affinity)
+			seen.mu.Unlock()
+			return &server.Response{Status: server.StatusOK, Answer: &server.Answer{}}
+		},
+	})
+	if err := f.srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	f.addr = f.srv.Addr().String()
+	go f.srv.Serve()
+	co, _ := newTestCoordinator(t, Config{RequestTimeout: 2 * time.Second}, f)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		f.srv.Shutdown(ctx)
+	}()
+
+	text := colorQueryText(t, graph.Cycle(5))
+	for i := 0; i < 3; i++ {
+		if _, err := co.Do(context.Background(), &server.Request{Op: "query", Query: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen.mu.Lock()
+	defer seen.mu.Unlock()
+	if len(seen.affinities) != 3 {
+		t.Fatalf("worker saw %d forwards, want 3", len(seen.affinities))
+	}
+	for _, a := range seen.affinities {
+		if a == "" {
+			t.Fatal("forward missing the affinity header")
+		}
+		if a != seen.affinities[0] {
+			t.Fatalf("affinity changed between repeats: %v", seen.affinities)
+		}
+	}
+}
+
+// mustParse parses request text the way the coordinator does, for tests
+// that need the query to compute ring positions.
+func mustParse(t *testing.T, co *Coordinator, text string) *cq.Query {
+	t.Helper()
+	file, err := cqparse.ParseWith(strings.NewReader(text), co.cfg.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file.Query
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"projpush/internal/cq"
+	"projpush/internal/cqparse"
+	"projpush/internal/engine"
+	"projpush/internal/graph"
+	"projpush/internal/instance"
+	"projpush/internal/server"
+	"projpush/internal/server/client"
+)
+
+// fleetCase is a query text plus its oracle answer, mirroring the
+// single-server chaos drill's differential setup: free variables make
+// the answers real relations, and each oracle is computed once up
+// front with no faults armed.
+type fleetCase struct {
+	name   string
+	text   string
+	tuples [][]int32
+}
+
+func buildFleetCases(t *testing.T, db cq.Database) []fleetCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"augpath4", graph.AugmentedPath(4)},
+		{"augpath5", graph.AugmentedPath(5)},
+		{"ladder3", graph.Ladder(3)},
+		{"cycle5", graph.Cycle(5)},
+	}
+	var cases []fleetCase
+	for _, gc := range graphs {
+		free := instance.ChooseFree(instance.EdgeVertices(gc.g), 0.3, rng)
+		q, err := instance.ColorQuery(gc.g, free)
+		if err != nil {
+			t.Fatalf("%s: ColorQuery: %v", gc.name, err)
+		}
+		var buf bytes.Buffer
+		if err := cqparse.WriteQuery(&buf, q); err != nil {
+			t.Fatalf("%s: WriteQuery: %v", gc.name, err)
+		}
+		oracle, err := engine.EvalOracle(q, db)
+		if err != nil {
+			t.Fatalf("%s: EvalOracle: %v", gc.name, err)
+		}
+		sorted := oracle.SortedTuples()
+		tuples := make([][]int32, len(sorted))
+		for i, tup := range sorted {
+			row := make([]int32, len(tup))
+			for j, v := range tup {
+				row[j] = int32(v)
+			}
+			tuples[i] = row
+		}
+		cases = append(cases, fleetCase{name: gc.name, text: buf.String(), tuples: tuples})
+	}
+	return cases
+}
+
+func sameTuples(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFleetDifferentialAgainstOracle pins the fleet's answers to the
+// single-process oracle over the paper's Figure 6–9 query families: a
+// healthy 3-worker fleet, no faults, every answer differentially equal,
+// and the affinity sharding stable — repeats of a query land on the
+// same worker every time.
+func TestFleetDifferentialAgainstOracle(t *testing.T) {
+	db := instance.ColorDatabase(3)
+	cases := buildFleetCases(t, db)
+
+	fl, err := StartFleet("127.0.0.1:0", FleetConfig{
+		Workers: 3,
+		Worker: server.Config{
+			DB:             db,
+			MaxConcurrent:  4,
+			RequestTimeout: 5 * time.Second,
+			Resilient:      true,
+		},
+		Coordinator:   Config{RequestTimeout: 5 * time.Second},
+		ChaosInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	c := client.New(client.Options{Addr: fl.Addr(), AttemptTimeout: 5 * time.Second})
+	shard := make(map[string]string)
+	for round := 0; round < 3; round++ {
+		for _, cse := range cases {
+			resp, err := c.Query(context.Background(), cse.text, "")
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, cse.name, err)
+			}
+			if resp.Status != server.StatusOK {
+				t.Fatalf("round %d %s: status %s (%s)", round, cse.name, resp.Status, resp.Error)
+			}
+			if resp.Answer == nil || !sameTuples(resp.Answer.Tuples, cse.tuples) {
+				t.Errorf("round %d %s: fleet answer differs from the oracle", round, cse.name)
+			}
+			if resp.Worker == "" {
+				t.Fatalf("round %d %s: answer not stamped with its worker", round, cse.name)
+			}
+			if prev, ok := shard[cse.name]; ok && prev != resp.Worker {
+				t.Errorf("%s: affinity moved from %s to %s on a healthy fleet", cse.name, prev, resp.Worker)
+			}
+			shard[cse.name] = resp.Worker
+			if resp.Failovers != 0 || resp.Hedged {
+				t.Errorf("round %d %s: failovers=%d hedged=%v on a healthy fleet",
+					round, cse.name, resp.Failovers, resp.Hedged)
+			}
+		}
+	}
+	t.Logf("affinity shards: %v", shard)
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"projpush/internal/server/client"
+)
+
+// worker is the coordinator's view of one fleet member: a dedicated
+// transport client plus a breaker-style health state machine. It mirrors
+// the server's per-method breaker (closed → open → half-open) but guards
+// a whole peer instead of a strategy: consecutive transport failures —
+// from the health prober or from live forwards — open it, a cooldown
+// later one trial request (or probe) is admitted, and a single success
+// closes it again. Typed responses count as successes even when they
+// carry an error status: a worker that sheds load or rejects a query is
+// alive, and routing away from it is admission control's job, not
+// failover's.
+type worker struct {
+	addr string
+	cl   *client.Client
+
+	mu       sync.Mutex
+	failures int       // consecutive transport failures
+	down     bool      // breaker open
+	openedAt time.Time // when it opened (cooldown anchor)
+	probing  bool      // a half-open trial is in flight
+	draining bool      // deregistered; excluded from routing, reaped at idle
+
+	// inFlight counts forwards currently using this worker, so drain can
+	// reap it only once idle.
+	inFlight atomic.Int64
+}
+
+func newWorker(addr string, opt client.Options) *worker {
+	opt.Addr = addr
+	// The coordinator owns retry policy (failover beats re-dialing a dead
+	// peer), so the per-worker transport never retries on its own.
+	opt.MaxRetries = -1
+	return &worker{addr: addr, cl: client.New(opt)}
+}
+
+// admit reports whether a forward may use this worker now. Closed: yes.
+// Open within the cooldown: no. Open past the cooldown: one caller gets
+// through as the half-open trial; concurrent callers are held off until
+// that trial resolves via ok or fail.
+func (w *worker) admit(now time.Time, cooldown time.Duration) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		return false
+	}
+	if !w.down {
+		return true
+	}
+	if now.Sub(w.openedAt) >= cooldown && !w.probing {
+		w.probing = true
+		return true
+	}
+	return false
+}
+
+// ok records a successful round trip (typed responses included) and
+// closes the breaker.
+func (w *worker) ok() {
+	w.mu.Lock()
+	w.failures = 0
+	w.down = false
+	w.probing = false
+	w.mu.Unlock()
+}
+
+// fail records a transport failure. The breaker opens when consecutive
+// failures reach threshold, and re-opens immediately (resetting the
+// cooldown) when a half-open trial fails.
+func (w *worker) fail(now time.Time, threshold int) {
+	w.mu.Lock()
+	w.failures++
+	if w.probing || w.failures >= threshold {
+		w.down = true
+		w.openedAt = now
+		w.probing = false
+	}
+	w.mu.Unlock()
+}
+
+// drain marks the worker as deregistered: no new forwards, reaped once
+// inFlight hits zero.
+func (w *worker) drain() {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+}
+
+// isDraining reports the drain flag.
+func (w *worker) isDraining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// status renders the health-report state: "up", "down", "half-open" (open
+// but past the cooldown, trial pending or in flight), or "draining".
+func (w *worker) status(now time.Time, cooldown time.Duration) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case w.draining:
+		return "draining"
+	case !w.down:
+		return "up"
+	case now.Sub(w.openedAt) >= cooldown:
+		return "half-open"
+	default:
+		return "down"
+	}
+}

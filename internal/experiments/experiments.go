@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"projpush/internal/core"
 	"projpush/internal/cq"
+	"projpush/internal/cqparse"
 	"projpush/internal/engine"
 	"projpush/internal/faultinject"
 	"projpush/internal/graph"
@@ -29,8 +31,18 @@ import (
 	"projpush/internal/pgplanner"
 	"projpush/internal/plan"
 	"projpush/internal/resilience"
+	"projpush/internal/server"
 	"projpush/internal/stats"
 )
+
+// Remote executes a measurement somewhere else — a fleet coordinator
+// (cluster.Coordinator satisfies it in process, client.Client over TCP).
+// The harness ships each instance as a self-contained request and takes
+// the wire answer's stats, so the same sweeps that profile the local
+// engine also profile a distributed fleet under failures.
+type Remote interface {
+	Do(ctx context.Context, req *server.Request) (*server.Response, error)
+}
 
 // Config controls a sweep.
 type Config struct {
@@ -109,6 +121,13 @@ type Config struct {
 	// one fixed database, so repeated sweeps hit heavily; per-cell hit
 	// and miss counts land in Cell.CacheHits/CacheMisses.
 	Cache *engine.Cache
+	// Fleet, when non-nil, routes every structural-method measurement
+	// through it instead of the local engine: each repetition ships its
+	// query and database as one request and measures the round trip, so
+	// the sweep profiles a distributed fleet — failovers and hedge wins
+	// land in Cell.Failovers/Hedges. The naive baseline (and compile-time
+	// sweeps) stay local: their quantity is planner effort, not serving.
+	Fleet Remote
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +173,10 @@ type Cell struct {
 	// aborted mid-execution. Failed repetitions also count into
 	// Sample.Timeouts, as the paper's plots lump every abort together.
 	Failures map[string]int
+	// Failovers and Hedges total the coordinator-side fleet events behind
+	// this cell's answers: replicas given up on before an answer arrived,
+	// and answers won by a hedge request (zero for local sweeps).
+	Failovers, Hedges int64
 }
 
 // rejected counts the repetitions turned away at admission, before any
@@ -245,6 +268,9 @@ type Series struct {
 	// Cache records whether the sweep ran with a subplan cache; CSV
 	// adds per-method hit/miss columns when set.
 	Cache bool
+	// Fleet records whether the sweep routed through a fleet coordinator
+	// (Config.Fleet); CSV adds per-method failover/hedge columns when set.
+	Fleet bool
 }
 
 // Family names a structured graph family from Figure 1.
@@ -314,6 +340,8 @@ type outcome struct {
 	seeks, extensions int64
 	spilled           int64
 	spillFiles        int
+	failovers         int64
+	hedged            bool
 	err               error
 }
 
@@ -331,6 +359,9 @@ func (o *outcome) fold(res *engine.Result) {
 // execution duration (plan construction included; it is negligible, as
 // the paper notes for the subquery-based methods) and the plan width.
 func measure(m core.Method, q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcome {
+	if cfg.Fleet != nil {
+		return measureFleet(m, q, db, cfg)
+	}
 	if m == core.MethodYannakakis {
 		return measureYannakakis(q, db, rng, cfg)
 	}
@@ -443,6 +474,42 @@ func measureWCOJ(q *cq.Query, db cq.Database, rng *rand.Rand, cfg Config) outcom
 	}
 	o := outcome{d: time.Since(start), w: w, err: err}
 	o.fold(res)
+	return o
+}
+
+// measureFleet runs one measurement through Config.Fleet: the instance is
+// rendered as a self-contained request (rel blocks plus the query, so the
+// remote side needs no shared database) and the round trip is measured
+// end to end — routing, failover, hedging, and any local rescue included.
+// Wire statuses classify through the same failureKind buckets as local
+// errors (a client.StatusError aliases the engine sentinels), so fleet
+// and local sweeps share failure vocabulary; the plan-width column comes
+// from the responder's admission verdict.
+func measureFleet(m core.Method, q *cq.Query, db cq.Database, cfg Config) outcome {
+	var buf bytes.Buffer
+	if err := cqparse.Write(&buf, db, q); err != nil {
+		return outcome{err: err}
+	}
+	req := &server.Request{
+		Op:      "query",
+		Query:   buf.String(),
+		Method:  string(m),
+		Timeout: cfg.Timeout.String(),
+	}
+	start := time.Now()
+	resp, err := cfg.Fleet.Do(context.Background(), req)
+	o := outcome{d: time.Since(start), err: err}
+	if resp != nil {
+		o.failovers = int64(resp.Failovers)
+		o.hedged = resp.Hedged
+		if resp.Verdict != nil {
+			o.w = resp.Verdict.PlanWidth
+		}
+		if resp.Stats != nil {
+			o.seeks, o.extensions = resp.Stats.Seeks, resp.Stats.Extensions
+			o.spilled, o.spillFiles = resp.Stats.SpilledBytes, resp.Stats.SpillFiles
+		}
+	}
 	return o
 }
 
@@ -590,6 +657,10 @@ func runPoint(x float64, cfg Config, gen func(rep int, rng *rand.Rand) (*cq.Quer
 			cell.Extensions += o.extensions
 			cell.SpilledBytes += o.spilled
 			cell.SpillFiles += o.spillFiles
+			cell.Failovers += o.failovers
+			if o.hedged {
+				cell.Hedges++
+			}
 			if o.err != nil {
 				if genErrs[rep] != nil {
 					cell.fail("generator")
@@ -613,6 +684,7 @@ func DensityScaling(cfg Config, order int, densities []float64) (*Series, error)
 		Title:  fmt.Sprintf("3-COLOR density scaling, order=%d, free=%.0f%%", order, cfg.FreeFraction*100),
 		XLabel: "density",
 		Cache:  cfg.Cache != nil,
+		Fleet:  cfg.Fleet != nil,
 	}
 	for _, d := range densities {
 		row, err := runPoint(d, cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
@@ -646,6 +718,7 @@ func OrderScaling(cfg Config, density float64, orders []int) (*Series, error) {
 		Title:  fmt.Sprintf("3-COLOR order scaling, density=%.1f, free=%.0f%%", density, cfg.FreeFraction*100),
 		XLabel: "order",
 		Cache:  cfg.Cache != nil,
+		Fleet:  cfg.Fleet != nil,
 	}
 	for _, n := range orders {
 		row, err := runPoint(float64(n), cfg, func(rep int, rng *rand.Rand) (*cq.Query, cq.Database, error) {
@@ -679,6 +752,7 @@ func StructuredScaling(cfg Config, family Family, orders []int) (*Series, error)
 		Title:  fmt.Sprintf("3-COLOR %s, free=%.0f%%", family, cfg.FreeFraction*100),
 		XLabel: "order",
 		Cache:  cfg.Cache != nil,
+		Fleet:  cfg.Fleet != nil,
 	}
 	for _, n := range orders {
 		g, err := BuildFamily(family, n)
@@ -760,6 +834,7 @@ func SATScaling(cfg Config, k, nvars int, densities []float64) (*Series, error) 
 		Title:  fmt.Sprintf("%d-SAT density scaling, %d variables, free=%.0f%%", k, nvars, cfg.FreeFraction*100),
 		XLabel: "density",
 		Cache:  cfg.Cache != nil,
+		Fleet:  cfg.Fleet != nil,
 	}
 	for _, d := range densities {
 		m := int(d*float64(nvars) + 0.5)
@@ -877,8 +952,10 @@ func hasSpill(s *Series) bool {
 // admission: over-width, shed) and <method>_aborted (failed
 // mid-execution) columns, a sweep that ran the worst-case-optimal
 // strategy gets <method>_seeks and <method>_extensions columns with its
-// leapfrog work counters, and a sweep where any run spilled to disk gets
-// <method>_spilled_bytes and <method>_spill_files columns.
+// leapfrog work counters, a sweep where any run spilled to disk gets
+// <method>_spilled_bytes and <method>_spill_files columns, and a sweep
+// routed through a fleet coordinator gets <method>_failovers and
+// <method>_hedges columns with the per-cell fleet event totals.
 func CSV(s *Series) string {
 	failures := hasFailures(s)
 	seeks := hasSeeks(s)
@@ -910,6 +987,11 @@ func CSV(s *Series) string {
 				fmt.Fprintf(&b, ",%s_spilled_bytes,%s_spill_files", c.Method, c.Method)
 			}
 		}
+		if s.Fleet {
+			for _, c := range s.Rows[0].Cells {
+				fmt.Fprintf(&b, ",%s_failovers,%s_hedges", c.Method, c.Method)
+			}
+		}
 	}
 	b.WriteString("\n")
 	for _, r := range s.Rows {
@@ -938,6 +1020,11 @@ func CSV(s *Series) string {
 		if spill {
 			for i := range r.Cells {
 				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].SpilledBytes, r.Cells[i].SpillFiles)
+			}
+		}
+		if s.Fleet {
+			for i := range r.Cells {
+				fmt.Fprintf(&b, ",%d,%d", r.Cells[i].Failovers, r.Cells[i].Hedges)
 			}
 		}
 		b.WriteString("\n")

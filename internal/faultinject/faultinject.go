@@ -56,6 +56,20 @@ const (
 	// frame is written, the configured latency elapses, then the rest
 	// follows — exercising client read loops and tail-latency bounds.
 	SlowWrite
+	// ConnReadFail severs a server connection on the read side: the
+	// handler closes the socket instead of reading the next request, so
+	// the peer's in-flight send or pending response read fails — the
+	// receive-path twin of ConnDrop.
+	ConnReadFail
+	// SlowRead injects latency ahead of a server-side frame read,
+	// modeling a congested inbound path or a slow-trickling peer — the
+	// read-side twin of SlowWrite.
+	SlowRead
+	// WorkerKill hard-stops a fleet worker from the supervisor's chaos
+	// loop: listener and connections close abruptly with no drain, as a
+	// crashed or OOM-killed process would, and the supervisor restarts
+	// the worker after its restart delay.
+	WorkerKill
 	// SpillWrite fails a spill-file write: the spill manager reports an
 	// unrecoverable I/O failure mid-serialization, as a dying disk or a
 	// yanked volume would.
@@ -84,6 +98,9 @@ var pointNames = [numPoints]string{
 	AcceptFail:            "accept.fail",
 	ConnDrop:              "conn.drop",
 	SlowWrite:             "write.slow",
+	ConnReadFail:          "conn.read.fail",
+	SlowRead:              "read.slow",
+	WorkerKill:            "worker.kill",
 	SpillWrite:            "spill.write.fail",
 	SpillRead:             "spill.read.fail",
 	SpillFull:             "spill.full",

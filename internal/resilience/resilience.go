@@ -104,6 +104,29 @@ func WCOJRung(q *cq.Query) engine.Fallback {
 	}
 }
 
+// RemoteRung adapts an execution that happens outside the local engine —
+// a cluster coordinator's forward to its worker fleet — into a
+// degradation-ladder rung. run receives the context and may ignore the
+// database and options entirely; a nil result is normalized to an empty
+// one to satisfy the Fallback.Run contract. The coordinator composes
+// RemoteRung ahead of DegradationLadder so that when every replica for a
+// shard is down (run fails with an error wrapping engine.ErrInternal,
+// which is degradable), execution falls back to local degraded rungs and
+// Stats.Attempts leads with the failed fleet attempt — the answer then
+// honestly reports how it was rescued.
+func RemoteRung(name string, run func(ctx context.Context) (*engine.Result, error)) engine.Fallback {
+	return engine.Fallback{
+		Name: name,
+		Run: func(ctx context.Context, _ cq.Database, _ engine.Options) (*engine.Result, error) {
+			res, err := run(ctx)
+			if res == nil {
+				res = &engine.Result{}
+			}
+			return res, err
+		},
+	}
+}
+
 // PlanLadder is the plan-based part of the ladder: early projection, then
 // bucket elimination.
 func PlanLadder(q *cq.Query, rng *rand.Rand) []engine.Fallback {

@@ -39,12 +39,14 @@ func (e *StatusError) Is(target error) bool {
 	switch e.Status {
 	case server.StatusOverWidth:
 		return target == engine.ErrOverWidth
-	case server.StatusShed, server.StatusDraining:
+	case server.StatusShed, server.StatusDraining, server.StatusUnavailable:
 		return target == engine.ErrOverloaded
 	case server.StatusTimeout:
 		return target == engine.ErrTimeout || errors.Is(engine.ErrTimeout, target)
 	case server.StatusInternal:
 		return target == engine.ErrInternal
+	case server.StatusResourceLimit:
+		return target == engine.ErrMemLimit || target == engine.ErrRowLimit
 	case server.StatusCanceled:
 		return target == engine.ErrCanceled || errors.Is(engine.ErrCanceled, target)
 	}
@@ -62,7 +64,8 @@ func Retryable(err error) bool {
 	var se *StatusError
 	if errors.As(err, &se) {
 		switch se.Status {
-		case server.StatusShed, server.StatusTimeout, server.StatusInternal, server.StatusDraining:
+		case server.StatusShed, server.StatusTimeout, server.StatusInternal,
+			server.StatusDraining, server.StatusUnavailable:
 			return true
 		}
 		return false
@@ -94,6 +97,11 @@ type Options struct {
 	// Seed seeds the jitter RNG (0 uses a fixed default; drills want
 	// distinct seeds per client).
 	Seed int64
+	// Jitter, when non-nil, replaces the seeded RNG as the backoff
+	// jitter source: each call must return a factor in [0, 1). Failover
+	// tests inject a constant so retry schedules are deterministic
+	// regardless of how many clients share the process.
+	Jitter func() float64
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +226,11 @@ func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Re
 		deadline = d
 	}
 	conn.SetDeadline(deadline)
+	// A canceled context must unblock the read immediately — a hedged
+	// request's loser would otherwise sit in ReadFrame until the attempt
+	// deadline, holding its connection and goroutine open.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
 	if err := server.WriteFrame(conn, req); err != nil {
 		return nil, fmt.Errorf("client: send: %w", err)
 	}
@@ -229,20 +242,36 @@ func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Re
 }
 
 // wait sleeps the jittered exponential backoff for the given attempt,
-// or returns early when ctx ends.
+// or returns early when ctx ends. A backoff that would not fit the
+// context's remaining deadline is not slept at all: the retry it buys
+// could never complete, so the caller gets its terminal answer with the
+// deadline budget unspent instead of burned in a doomed sleep.
 func (c *Client) wait(ctx context.Context, attempt int) error {
 	backoff := c.opt.BaseBackoff << uint(attempt)
 	if backoff > c.opt.MaxBackoff || backoff <= 0 {
 		backoff = c.opt.MaxBackoff
 	}
-	c.mu.Lock()
-	jitter := 0.5 + c.rng.Float64()
-	c.mu.Unlock()
-	d := time.Duration(float64(backoff) * jitter)
+	d := time.Duration(float64(backoff) * (0.5 + c.jitter()))
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); d >= remaining {
+			return context.DeadlineExceeded
+		}
+	}
 	select {
 	case <-time.After(d):
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// jitter draws one backoff jitter factor in [0, 1) from the injected
+// source or the seeded RNG.
+func (c *Client) jitter() float64 {
+	if c.opt.Jitter != nil {
+		return c.opt.Jitter()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
 }

@@ -1,0 +1,108 @@
+// Black-box tests for the retry layer's backoff policy: the injectable
+// jitter source makes the sleeps deterministic, and a backoff that
+// cannot fit the context's remaining deadline is skipped instead of
+// slept — the failover-ladder contract the coordinator relies on.
+package client_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"projpush/internal/server"
+	"projpush/internal/server/client"
+)
+
+// startSheddingServer serves a Handler-mode server that sheds every
+// query — the always-retryable peer the backoff tests need.
+func startSheddingServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{
+		Handler: func(req *server.Request, remote string) *server.Response {
+			return &server.Response{Status: server.StatusShed, Error: "drill shed"}
+		},
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv.Addr().String()
+}
+
+// TestBackoffSkipsSleepsTheDeadlineCannotFit pins the budget contract:
+// when the next backoff exceeds the context's remaining deadline, the
+// client returns the terminal typed answer immediately — it neither
+// burns the budget in a doomed sleep nor issues a retry that could
+// never complete.
+func TestBackoffSkipsSleepsTheDeadlineCannotFit(t *testing.T) {
+	addr := startSheddingServer(t)
+	c := client.New(client.Options{
+		Addr:           addr,
+		MaxRetries:     10,
+		BaseBackoff:    300 * time.Millisecond,
+		MaxBackoff:     time.Second,
+		AttemptTimeout: time.Second,
+		Jitter:         func() float64 { return 0.5 }, // factor exactly 1.0
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	resp, err := c.Query(ctx, "ignored", "")
+	elapsed := time.Since(start)
+
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != server.StatusShed {
+		t.Fatalf("err = %v, want the typed shed outcome", err)
+	}
+	if resp == nil || resp.Status != server.StatusShed {
+		t.Errorf("resp = %+v, want the shed response alongside the error", resp)
+	}
+	if got := c.Attempts(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (the 300ms backoff cannot fit a 150ms budget)", got)
+	}
+	if elapsed >= 150*time.Millisecond {
+		t.Errorf("returned after %v; the deadline budget was burned in a doomed sleep", elapsed)
+	}
+}
+
+// TestInjectedJitterDrivesBackoff pins the injectable jitter source:
+// the sleeps are exactly the deterministic factors it returns, so
+// drills and the coordinator's failover ladder can decorrelate (or
+// here, zero out and count) retry timing.
+func TestInjectedJitterDrivesBackoff(t *testing.T) {
+	addr := startSheddingServer(t)
+	var draws atomic.Int64
+	c := client.New(client.Options{
+		Addr:           addr,
+		MaxRetries:     3,
+		BaseBackoff:    2 * time.Millisecond,
+		MaxBackoff:     10 * time.Millisecond,
+		AttemptTimeout: time.Second,
+		Jitter: func() float64 {
+			draws.Add(1)
+			return 0 // factor 0.5: minimum sleeps, deterministic
+		},
+	})
+	resp, err := c.Query(context.Background(), "ignored", "")
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != server.StatusShed {
+		t.Fatalf("err = %v, want the typed shed outcome after retries", err)
+	}
+	if resp == nil || resp.Status != server.StatusShed {
+		t.Errorf("resp = %+v, want the final shed response", resp)
+	}
+	if got := c.Attempts(); got != 4 {
+		t.Errorf("attempts = %d, want 4 (initial + 3 retries)", got)
+	}
+	if got := draws.Load(); got != 3 {
+		t.Errorf("jitter drawn %d times, want once per backoff (3)", got)
+	}
+}

@@ -63,6 +63,10 @@ const (
 	// StatusDraining: the server is shutting down and no longer admits
 	// queries. Retryable (against a replica, or after restart).
 	StatusDraining Status = "draining"
+	// StatusUnavailable: a fleet coordinator found no healthy worker for
+	// the request's shard and has no local fallback armed. Retryable
+	// (workers may recover or rejoin).
+	StatusUnavailable Status = "unavailable"
 	// StatusError: any other failure (unknown op, unknown method, plan
 	// construction failure). Terminal.
 	StatusError Status = "error"
@@ -90,7 +94,21 @@ type Request struct {
 	Method string `json:"method,omitempty"`
 	// Timeout optionally tightens the per-request execution deadline
 	// (a Go duration string); it can never extend the server's cap.
+	// A fleet coordinator rewrites it per forwarded attempt to the
+	// request's remaining deadline, so failover retries shrink the
+	// worker-side budget instead of resetting it.
 	Timeout string `json:"timeout,omitempty"`
+	// Affinity is the fingerprint-affinity header a fleet coordinator
+	// stamps on forwarded requests: the renaming-invariant plan
+	// fingerprint it consistent-hashed to pick the worker, so the
+	// worker's request log can audit that affinity-sharded subplan-cache
+	// traffic really lands on its shard. Empty on direct requests.
+	Affinity string `json:"affinity,omitempty"`
+	// Addr is the worker's serving address, for the coordinator ops
+	// "register" (join the fleet) and "deregister" (leave gracefully:
+	// new requests are re-routed to the remaining replicas while
+	// in-flight ones finish).
+	Addr string `json:"addr,omitempty"`
 }
 
 // Answer is a query result.
@@ -211,6 +229,23 @@ type Health struct {
 	// Breakers maps each method that has seen traffic to its circuit
 	// breaker state ("closed", "open", "half-open").
 	Breakers map[string]string `json:"breakers,omitempty"`
+	// Worker echoes the server's configured worker id (fleet members
+	// only; empty on single-process servers).
+	Worker string `json:"worker,omitempty"`
+	// Workers maps each fleet member's address to its health state
+	// ("up", "down", "half-open", "draining") — present only on
+	// coordinator health responses.
+	Workers map[string]string `json:"workers,omitempty"`
+	// Failovers, Hedges, Rescued and Unavailable count coordinator-side
+	// events: worker attempts that failed over to the next replica,
+	// hedge requests fired against a second replica, requests rescued by
+	// the coordinator's local degraded execution after every replica for
+	// their shard was down, and requests that found no healthy replica
+	// with no local fallback armed.
+	Failovers   int64 `json:"failovers,omitempty"`
+	Hedges      int64 `json:"hedges,omitempty"`
+	Rescued     int64 `json:"rescued,omitempty"`
+	Unavailable int64 `json:"unavailable,omitempty"`
 }
 
 // Response is one server message.
@@ -223,6 +258,20 @@ type Response struct {
 	Explain string    `json:"explain,omitempty"`
 	Health  *Health   `json:"health,omitempty"`
 	Ready   *bool     `json:"ready,omitempty"`
+	// Worker identifies the fleet member that produced the response
+	// (its Config.WorkerID, or its address when the coordinator filled
+	// it in; "local" for a coordinator's local degraded execution).
+	// Empty on single-process servers.
+	Worker string `json:"worker,omitempty"`
+	// Failovers counts the replicas that failed before this answer was
+	// produced — each one a worker the coordinator gave up on (dropped
+	// connection, timeout, shed, draining, isolated fault) before
+	// retrying the next replica on the ring with the remaining deadline.
+	Failovers int `json:"failovers,omitempty"`
+	// Hedged reports that the answer came from a hedge request: a
+	// second replica fired after the coordinator's p95-based delay that
+	// beat the still-running first attempt.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // WriteFrame marshals v and writes it as one length-prefixed frame.

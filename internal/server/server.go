@@ -111,6 +111,18 @@ type Config struct {
 	// Log, when non-nil, receives one structured JSON line per request
 	// (fingerprint, admission verdict, status, attempts, bytes).
 	Log io.Writer
+	// WorkerID, when non-empty, identifies this server as a fleet member:
+	// it is stamped on every response (Response.Worker) and on the health
+	// payload, so coordinators and load generators can attribute
+	// outcomes per worker.
+	WorkerID string
+	// Handler, when non-nil, replaces the built-in query lifecycle:
+	// every request (any op) is dispatched to it under the same
+	// connection handling, panic isolation, and in-flight accounting.
+	// The cluster coordinator fronts a worker fleet this way, reusing
+	// the accept loop, network fault points, and graceful drain without
+	// duplicating them.
+	Handler func(req *Request, remote string) *Response
 
 	// now is the breaker clock, injectable in tests.
 	now func() time.Time
@@ -201,6 +213,15 @@ func (s *Server) Listen(addr string) error {
 // Addr returns the bound address (after Listen).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
+// Draining reports whether Shutdown or Abort has begun: readiness is
+// false and new queries are refused.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlightRequests returns the number of requests currently being
+// handled, so a Handler-mode front end (the cluster coordinator) can
+// report the same in_flight gauge the built-in health endpoint does.
+func (s *Server) InFlightRequests() int64 { return s.inFlight.Load() }
+
 // Serve accepts connections until the listener is closed (Shutdown). It
 // returns nil on a clean shutdown. Each connection gets its own handler
 // goroutine with panic isolation: a fault in one connection can never
@@ -268,6 +289,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
+// Abort hard-stops the server without draining: the listener and every
+// live connection close immediately, exactly as a crashed or OOM-killed
+// process would look to its peers. In-flight handler goroutines keep
+// running until their execution finishes and their response write fails;
+// call Shutdown afterwards to join them. Worker-loss chaos drills use
+// Abort as the kill primitive.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
 // handleConn serves one connection's request/response loop.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.wg.Done()
@@ -283,6 +322,14 @@ func (s *Server) handleConn(c net.Conn) {
 		c.Close()
 	}()
 	for {
+		// Read-side network fault points, the receive twins of
+		// ConnDrop/SlowWrite: a failed read severs the connection before
+		// the next request is consumed, a slow read stalls the inbound
+		// path ahead of the frame.
+		if faultinject.FailAlloc(faultinject.ConnReadFail) {
+			return // defer closes the socket under the peer
+		}
+		faultinject.Sleep(faultinject.SlowRead)
 		var req Request
 		if err := ReadFrame(c, &req); err != nil {
 			return // EOF, torn frame, or force-close during drain
@@ -339,7 +386,13 @@ func (s *Server) handleRequest(req *Request, remote string) (resp *Response) {
 			s.failed.Add(1)
 			resp = &Response{Status: StatusInternal, Error: fmt.Sprintf("request handler panic: %v", r)}
 		}
+		if resp != nil && resp.Worker == "" && s.cfg.WorkerID != "" {
+			resp.Worker = s.cfg.WorkerID
+		}
 	}()
+	if s.cfg.Handler != nil {
+		return s.cfg.Handler(req, remote)
+	}
 	switch req.Op {
 	case "health":
 		return &Response{Status: StatusOK, Health: s.health()}
@@ -357,6 +410,7 @@ func (s *Server) handleRequest(req *Request, remote string) (resp *Response) {
 func (s *Server) health() *Health {
 	h := &Health{
 		Ready:     !s.draining.Load(),
+		Worker:    s.cfg.WorkerID,
 		InFlight:  s.inFlight.Load(),
 		Served:    s.served.Load(),
 		Degraded:  s.degraded.Load(),
@@ -435,7 +489,13 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 		return finish(&Response{Status: StatusError, Error: "plan: " + err.Error()})
 	}
 	logEntry["method"] = string(method)
-	logEntry["fp"] = fingerprintID(p)
+	logEntry["fp"] = FingerprintID(p)
+	if req.Affinity != "" {
+		// Coordinator-stamped affinity header: lets the log audit that
+		// consistent-hash routing keeps a fingerprint's subplan-cache
+		// traffic on this shard.
+		logEntry["affinity"] = req.Affinity
+	}
 
 	// Width-aware admission: reject before materializing anything. The
 	// worst-case-optimal override applies only when the wcoj executor
@@ -609,12 +669,12 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 
 	resp := &Response{Verdict: verdict}
 	if res != nil {
-		resp.Stats = runStats(&res.Stats)
+		resp.Stats = StatsOf(&res.Stats)
 		logEntry["bytes"] = res.Stats.Bytes
 		logEntry["attempts"] = len(res.Stats.Attempts)
 	}
 	if err != nil {
-		resp.Status, resp.Error = classifyStatus(err), err.Error()
+		resp.Status, resp.Error = ClassifyStatus(err), err.Error()
 		s.failed.Add(1)
 		return finish(resp)
 	}
@@ -624,7 +684,7 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 		s.degraded.Add(1)
 	}
 	s.served.Add(1)
-	resp.Answer = answerOf(res)
+	resp.Answer = AnswerOf(res)
 	logEntry["rows"] = resp.Answer.Rows
 	return finish(resp)
 }
@@ -649,8 +709,8 @@ func directOutcome(res *engine.Result) error {
 	return errors.New(first.Err)
 }
 
-// classifyStatus maps an engine failure to its wire status.
-func classifyStatus(err error) Status {
+// ClassifyStatus maps an engine failure to its wire status.
+func ClassifyStatus(err error) Status {
 	switch {
 	case errors.Is(err, engine.ErrTimeout):
 		return StatusTimeout
@@ -665,8 +725,8 @@ func classifyStatus(err error) Status {
 	}
 }
 
-// answerOf renders a result relation in sorted order.
-func answerOf(res *engine.Result) *Answer {
+// AnswerOf renders a result relation in sorted order.
+func AnswerOf(res *engine.Result) *Answer {
 	rel := res.Rel
 	attrs := make([]int, len(rel.Attrs()))
 	for i, a := range rel.Attrs() {
@@ -684,8 +744,8 @@ func answerOf(res *engine.Result) *Answer {
 	return &Answer{Attrs: attrs, Nonempty: rel.Len() > 0, Rows: rel.Len(), Tuples: tuples}
 }
 
-// runStats converts engine stats for the wire.
-func runStats(st *engine.Stats) *RunStats {
+// StatsOf converts engine stats for the wire.
+func StatsOf(st *engine.Stats) *RunStats {
 	rs := &RunStats{
 		MaxRows:      st.MaxRows,
 		MaxArity:     st.MaxArity,
@@ -708,9 +768,9 @@ func runStats(st *engine.Stats) *RunStats {
 	return rs
 }
 
-// fingerprintID hashes a plan's renaming-invariant fingerprint to a
+// FingerprintID hashes a plan's renaming-invariant fingerprint to a
 // short stable id for the request log.
-func fingerprintID(p plan.Node) string {
+func FingerprintID(p plan.Node) string {
 	fp, _ := plan.Fingerprint(p)
 	h := fnv.New64a()
 	io.WriteString(h, fp)
