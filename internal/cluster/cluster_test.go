@@ -169,6 +169,137 @@ func TestWorkerBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestWorkerTrialTokenLifecycle pins the half-open token plumbing the
+// failover path depends on: enumeration (eligible) never claims the
+// trial, claim hands it to exactly one caller and reports it, and
+// releaseTrial returns an unresolved token so the worker stays
+// recoverable after a cancelled trial attempt.
+func TestWorkerTrialTokenLifecycle(t *testing.T) {
+	const (
+		threshold = 1
+		cooldown  = time.Second
+	)
+	now := time.Unix(2000, 0)
+	w := newWorker("x:1", client.Options{})
+	w.fail(now, threshold) // open
+	now = now.Add(cooldown)
+
+	// eligible is a read: any number of calls leave the token unclaimed.
+	for i := 0; i < 5; i++ {
+		if !w.eligible(now, cooldown) {
+			t.Fatal("half-open worker not eligible for candidate lists")
+		}
+	}
+	ok, trial := w.claim(now, cooldown)
+	if !ok || !trial {
+		t.Fatalf("claim after eligible checks = (%v, %v), want the trial token", ok, trial)
+	}
+	if ok, _ := w.claim(now, cooldown); ok {
+		t.Fatal("second concurrent trial claimed")
+	}
+	if w.eligible(now, cooldown) != true {
+		t.Fatal("trial in flight must not hide the worker from enumeration")
+	}
+
+	// A cancelled trial releases the token; the next claim gets it.
+	w.releaseTrial()
+	ok, trial = w.claim(now, cooldown)
+	if !ok || !trial {
+		t.Fatalf("claim after releaseTrial = (%v, %v), want the trial token back", ok, trial)
+	}
+	w.ok()
+	if got := w.status(now, cooldown); got != "up" {
+		t.Fatalf("status after successful reclaimed trial = %s, want up", got)
+	}
+}
+
+// TestBackupEnumerationDoesNotLockOutHalfOpenWorker is the regression
+// drill for the trial-token leak: a half-open worker listed as a backup
+// candidate — but never attempted, because the primary answers — must
+// keep its trial token, so the next health probe (or forward) can still
+// admit it and the worker heals instead of being excluded forever.
+func TestBackupEnumerationDoesNotLockOutHalfOpenWorker(t *testing.T) {
+	f1 := startFakeWorker(t, "w-a", 0)
+	f2 := startFakeWorker(t, "w-b", 0)
+	var clock struct {
+		mu  sync.Mutex
+		now time.Time
+	}
+	clock.now = time.Unix(7000, 0)
+	cfg := Config{
+		RequestTimeout: 2 * time.Second,
+		FailThreshold:  1,
+		Cooldown:       time.Second,
+		now: func() time.Time {
+			clock.mu.Lock()
+			defer clock.mu.Unlock()
+			return clock.now
+		},
+	}
+	co, byAddr := newTestCoordinator(t, cfg, f1, f2)
+
+	text := colorQueryText(t, graph.AugmentedPath(4))
+	req := &server.Request{Op: "query", Query: text}
+	fp := co.affinity(req, mustParse(t, co, text))
+	order := co.ring.order(fp)
+	primary, secondary := byAddr[order[0]], byAddr[order[1]]
+
+	// Open the backup replica's breaker and elapse the cooldown: it is
+	// now half-open, one trial pending.
+	co.mu.Lock()
+	sec := co.workers[secondary.addr]
+	co.mu.Unlock()
+	sec.fail(clock.now, cfg.FailThreshold)
+	clock.mu.Lock()
+	clock.now = clock.now.Add(cfg.Cooldown)
+	clock.mu.Unlock()
+	if st := co.WorkerStates()[secondary.addr]; st != "half-open" {
+		t.Fatalf("backup state = %q, want half-open", st)
+	}
+
+	// Traffic on the shard: the primary answers every time, the half-open
+	// backup is enumerated as a failover candidate but never attempted.
+	for i := 0; i < 5; i++ {
+		resp, err := co.Do(context.Background(), req)
+		if err != nil || resp.Status != server.StatusOK {
+			t.Fatalf("query %d: %v / %+v", i, err, resp)
+		}
+		if resp.Worker != primary.id {
+			t.Fatalf("query %d answered by %q, want the primary %q", i, resp.Worker, primary.id)
+		}
+	}
+	sec.mu.Lock()
+	probing := sec.probing
+	sec.mu.Unlock()
+	if probing {
+		t.Fatal("candidate enumeration consumed the backup's half-open trial token")
+	}
+
+	// The probe round must therefore still be admitted — and heal it.
+	co.checkWorkers()
+	if st := co.WorkerStates()[secondary.addr]; st != "up" {
+		t.Fatalf("backup state after probe = %q, want up (recovered)", st)
+	}
+}
+
+// TestCanceledRequestIsTypedCanceled pins the cancellation status: a
+// caller that gives up gets StatusCanceled, not a fabricated timeout.
+func TestCanceledRequestIsTypedCanceled(t *testing.T) {
+	f1 := startFakeWorker(t, "w-a", 0)
+	co, _ := newTestCoordinator(t, Config{RequestTimeout: 5 * time.Second}, f1)
+
+	text := colorQueryText(t, graph.AugmentedPath(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp, err := co.Do(ctx, &server.Request{Op: "query", Query: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != server.StatusCanceled {
+		t.Fatalf("status = %s (%s), want canceled", resp.Status, resp.Error)
+	}
+}
+
 // fakeWorker is a Handler-mode server whose per-request behavior is
 // switched at runtime: mode 0 answers OK, 1 answers StatusInternal, 2
 // sleeps before answering OK (the hedging victim). served counts the
@@ -187,7 +318,7 @@ func startFakeWorker(t *testing.T, id string, delay time.Duration) *fakeWorker {
 	f := &fakeWorker{id: id, delay: delay}
 	f.srv = server.New(server.Config{
 		WorkerID: id,
-		Handler: func(req *server.Request, remote string) *server.Response {
+		Handler: func(_ context.Context, req *server.Request, remote string) *server.Response {
 			switch req.Op {
 			case "ready":
 				ready := true
@@ -568,7 +699,7 @@ func TestAffinityHeaderStampsForwards(t *testing.T) {
 	f := &fakeWorker{id: "w-a"}
 	f.srv = server.New(server.Config{
 		WorkerID: f.id,
-		Handler: func(req *server.Request, remote string) *server.Response {
+		Handler: func(_ context.Context, req *server.Request, remote string) *server.Response {
 			if req.Op == "ready" {
 				ready := true
 				return &server.Response{Status: server.StatusOK, Ready: &ready}

@@ -262,12 +262,16 @@ func (c *Coordinator) Do(ctx context.Context, req *server.Request) (*server.Resp
 	case "query", "explain":
 		return c.coordinate(ctx, req), nil
 	default:
-		return c.handle(req, "inproc"), nil
+		return c.handle(ctx, req, "inproc"), nil
 	}
 }
 
 // handle is the server.Config.Handler: the coordinator's op dispatch.
-func (c *Coordinator) handle(req *server.Request, remote string) *server.Response {
+// ctx is the per-request context the server derives from the client
+// connection, so a peer that disconnects (or a draining front) cancels
+// the coordinated fan-out instead of letting it run to the full
+// RequestTimeout on dead air.
+func (c *Coordinator) handle(ctx context.Context, req *server.Request, remote string) *server.Response {
 	switch req.Op {
 	case "register":
 		if req.Addr == "" {
@@ -287,7 +291,7 @@ func (c *Coordinator) handle(req *server.Request, remote string) *server.Respons
 		ready := !c.srv.Draining()
 		return &server.Response{Status: server.StatusOK, Ready: &ready}
 	case "query", "explain":
-		return c.coordinate(context.Background(), req)
+		return c.coordinate(ctx, req)
 	default:
 		return &server.Response{Status: server.StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -383,6 +387,15 @@ func (c *Coordinator) coordinateInner(ctx context.Context, req *server.Request, 
 		return resp
 	}
 	if ctx.Err() != nil {
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// Plain cancellation — the caller (or its connection) gave up;
+			// not a deadline, and the counters must not call it one.
+			return &server.Response{
+				Status:    server.StatusCanceled,
+				Error:     fmt.Sprintf("%v: request canceled after %d failovers", engine.ErrCanceled, failovers),
+				Failovers: failovers,
+			}
+		}
 		return &server.Response{
 			Status:    server.StatusTimeout,
 			Error:     fmt.Sprintf("%v: fleet deadline expired after %d failovers", engine.ErrTimeout, failovers),
@@ -420,10 +433,14 @@ func (c *Coordinator) affinity(req *server.Request, q *cq.Query) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// candidates returns the shard's failover sequence: every admissible
+// candidates returns the shard's failover sequence: every eligible
 // worker in ring order from the fingerprint. Health filtering happens
 // here, after the walk, so the ring itself stays stable under flapping
 // and a recovered worker gets its old shard (and warm cache) back.
+// Enumeration is deliberately non-claiming: a half-open worker's single
+// trial token is claimed only when forward actually launches an attempt
+// at it, so listing one as a backup that the primary's answer makes
+// moot does not burn the trial and lock the worker out of recovery.
 func (c *Coordinator) candidates(fp string) []*worker {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -434,7 +451,7 @@ func (c *Coordinator) candidates(fp string) []*worker {
 		if w == nil {
 			continue
 		}
-		if w.admit(now, c.cfg.Cooldown) {
+		if w.eligible(now, c.cfg.Cooldown) {
 			out = append(out, w)
 		}
 	}
@@ -466,14 +483,25 @@ func (c *Coordinator) forward(ctx context.Context, req *server.Request, fp strin
 	defer cancel()
 	results := make(chan attemptResult, len(cands))
 	next, inflight := 0, 0
-	launch := func(hedge bool) {
-		w := cands[next]
-		next++
-		inflight++
-		go func() {
-			r, e := c.attempt(actx, w, req)
-			results <- attemptResult{resp: r, err: e, w: w, hedge: hedge}
-		}()
+	// launch claims the next launchable candidate and fires an attempt at
+	// it; a half-open candidate whose trial token was claimed elsewhere in
+	// the meantime is skipped. Reports whether anything was launched.
+	launch := func(hedge bool) bool {
+		for next < len(cands) {
+			w := cands[next]
+			next++
+			ok, trial := w.claim(c.cfg.now(), c.cfg.Cooldown)
+			if !ok {
+				continue
+			}
+			inflight++
+			go func() {
+				r, e := c.attempt(actx, w, req, trial)
+				results <- attemptResult{resp: r, err: e, w: w, hedge: hedge}
+			}()
+			return true
+		}
+		return false
 	}
 	launch(false)
 	var hedgeC <-chan time.Time
@@ -497,15 +525,14 @@ func (c *Coordinator) forward(ctx context.Context, req *server.Request, fp strin
 			failovers++
 			// Launch the next replica only when nothing else is pending: a
 			// still-running hedge sibling is already covering the request.
-			if inflight == 0 && next < len(cands) && actx.Err() == nil {
+			if inflight == 0 && actx.Err() == nil {
 				launch(false)
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if next < len(cands) && inflight > 0 {
+			if inflight > 0 && launch(true) {
 				c.hedges.Add(1)
 				hedged = true
-				launch(true)
 			}
 		case <-actx.Done():
 			return nil, "", failovers, hedged, actx.Err()
@@ -518,14 +545,20 @@ func (c *Coordinator) forward(ctx context.Context, req *server.Request, fp strin
 // propagated: the worker-side execution budget is rewritten to what is
 // actually left, so failover retries shrink the budget instead of
 // resetting it. Transport failures strike the worker's breaker; typed
-// responses (even rejections) count as proof of life.
-func (c *Coordinator) attempt(ctx context.Context, w *worker, req *server.Request) (*server.Response, error) {
+// responses (even rejections) count as proof of life. trial marks an
+// attempt that claimed the worker's half-open trial token; an attempt
+// that ends without proving anything must hand the token back or the
+// worker can never be probed or routed to again.
+func (c *Coordinator) attempt(ctx context.Context, w *worker, req *server.Request, trial bool) (*server.Response, error) {
 	w.inFlight.Add(1)
 	defer w.inFlight.Add(-1)
 	r := *req
 	if dl, ok := ctx.Deadline(); ok {
 		rem := time.Until(dl)
 		if rem <= 0 {
+			if trial {
+				w.releaseTrial()
+			}
 			return nil, context.DeadlineExceeded
 		}
 		r.Timeout = rem.String()
@@ -545,6 +578,10 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, req *server.Reques
 		// really failed us. (Cancellation-induced read errors — a hedge
 		// loser, a caller giving up — are not the worker's fault.)
 		w.fail(c.cfg.now(), c.cfg.FailThreshold)
+	} else if trial {
+		// Cancelled mid-trial: the worker proved nothing either way, so
+		// the trial token goes back instead of leaking claimed.
+		w.releaseTrial()
 	}
 	return nil, err
 }

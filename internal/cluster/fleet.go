@@ -163,30 +163,58 @@ func (f *Fleet) Restart(i int) error {
 	f.mu.Lock()
 	m := f.members[i]
 	f.mu.Unlock()
+	// Bind outside m.mu: the retry loop can take seconds while the dead
+	// listener's port lingers, and holding the member mutex through it
+	// would block Down(i) — and with it the whole chaos tick — and stall
+	// Shutdown's member sweep on this slot. The lock is taken only at the
+	// end, to swap the bound server in after re-checking the flags.
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	// Checked under m.mu: Shutdown closes stop before sweeping members, so
-	// a restart that would otherwise revive a worker after its slot was
-	// swept (leaking its accept loop past the final join) sees the closed
-	// channel here and stands down.
-	select {
-	case <-f.stop:
-		return nil
-	default:
-	}
-	if !m.down {
+	down := m.down
+	m.mu.Unlock()
+	if !down {
 		return nil
 	}
 	srv := server.New(m.cfg)
 	var err error
 	for deadline := time.Now().Add(5 * time.Second); ; {
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
 		if err = srv.Listen(m.addr); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("cluster: worker %s rebind %s: %w", m.id, m.addr, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		m.mu.Lock()
+		down = m.down
+		m.mu.Unlock()
+		if !down {
+			return nil // a concurrent restart won the slot
+		}
+		select {
+		case <-f.stop:
+			return nil
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Checked under m.mu: Shutdown closes stop before sweeping members, so
+	// a restart that would otherwise revive a worker after its slot was
+	// swept (leaking its accept loop past the final join) sees the closed
+	// channel here, releases the freshly bound listener, and stands down.
+	select {
+	case <-f.stop:
+		srv.Abort()
+		return nil
+	default:
+	}
+	if !m.down {
+		srv.Abort()
+		return nil
 	}
 	m.srv = srv
 	m.down = false

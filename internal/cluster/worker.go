@@ -42,24 +42,57 @@ func newWorker(addr string, opt client.Options) *worker {
 	return &worker{addr: addr, cl: client.New(opt)}
 }
 
-// admit reports whether a forward may use this worker now. Closed: yes.
-// Open within the cooldown: no. Open past the cooldown: one caller gets
-// through as the half-open trial; concurrent callers are held off until
-// that trial resolves via ok or fail.
-func (w *worker) admit(now time.Time, cooldown time.Duration) bool {
+// eligible reports whether this worker belongs in a failover candidate
+// list right now, WITHOUT claiming anything: closed workers qualify, and
+// so do half-open ones (cooldown elapsed) even while a trial is in
+// flight — enumeration must never consume the trial token, or a backup
+// candidate that is listed but never attempted locks the worker out of
+// routing and probing forever. The token is claimed by claim/admit only
+// when an attempt actually launches.
+func (w *worker) eligible(now time.Time, cooldown time.Duration) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.draining {
 		return false
 	}
+	return !w.down || now.Sub(w.openedAt) >= cooldown
+}
+
+// claim admits one actual attempt. Closed: yes, no token involved. Open
+// within the cooldown: no. Open past the cooldown: one caller gets
+// through as the half-open trial (trial=true); concurrent callers are
+// held off until that trial resolves via ok, fail, or releaseTrial.
+func (w *worker) claim(now time.Time, cooldown time.Duration) (ok, trial bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		return false, false
+	}
 	if !w.down {
-		return true
+		return true, false
 	}
 	if now.Sub(w.openedAt) >= cooldown && !w.probing {
 		w.probing = true
-		return true
+		return true, true
 	}
-	return false
+	return false, false
+}
+
+// admit is claim for callers that resolve every admitted attempt via
+// ok/fail (the health prober) and so never need the token back.
+func (w *worker) admit(now time.Time, cooldown time.Duration) bool {
+	ok, _ := w.claim(now, cooldown)
+	return ok
+}
+
+// releaseTrial returns an unresolved half-open trial token: the attempt
+// that claimed it was cancelled before proving anything (hedge loser,
+// caller gave up), so the worker goes back to plain half-open and the
+// next attempt or probe may try again.
+func (w *worker) releaseTrial() {
+	w.mu.Lock()
+	w.probing = false
+	w.mu.Unlock()
 }
 
 // ok records a successful round trip (typed responses included) and

@@ -20,7 +20,7 @@ import (
 func startSheddingServer(t *testing.T) string {
 	t.Helper()
 	srv := server.New(server.Config{
-		Handler: func(req *server.Request, remote string) *server.Response {
+		Handler: func(_ context.Context, req *server.Request, remote string) *server.Response {
 			return &server.Response{Status: server.StatusShed, Error: "drill shed"}
 		},
 	})

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -119,10 +120,14 @@ type Config struct {
 	// Handler, when non-nil, replaces the built-in query lifecycle:
 	// every request (any op) is dispatched to it under the same
 	// connection handling, panic isolation, and in-flight accounting.
-	// The cluster coordinator fronts a worker fleet this way, reusing
-	// the accept loop, network fault points, and graceful drain without
-	// duplicating them.
-	Handler func(req *Request, remote string) *Response
+	// ctx is canceled when the requesting connection's peer disconnects
+	// mid-request (and when the connection closes), so long-running
+	// handlers — the cluster coordinator's fan-out in particular — stop
+	// instead of running to their full timeout for a client that is
+	// gone. The cluster coordinator fronts a worker fleet this way,
+	// reusing the accept loop, network fault points, and graceful drain
+	// without duplicating them.
+	Handler func(ctx context.Context, req *Request, remote string) *Response
 
 	// now is the breaker clock, injectable in tests.
 	now func() time.Time
@@ -307,9 +312,20 @@ func (s *Server) Abort() {
 	s.mu.Unlock()
 }
 
-// handleConn serves one connection's request/response loop.
+// handleConn serves one connection's request/response loop. Each
+// request is handled under a context canceled when the peer hangs up:
+// while a request is in flight, a watcher goroutine blocks in Peek on
+// the connection's buffered reader — the only bytes that can legally
+// arrive there are the next pipelined request's, so a read error means
+// the client is gone and the in-flight work (a coordinator fan-out, an
+// execution) should stop rather than run out its timeout. The watcher
+// doubles as the idle wait between requests: it returns exactly when
+// ReadFrame would unblock, and is always joined before the next read
+// (bufio.Reader is not concurrency-safe) and before the handler exits
+// (the drain's goroutine-leak guarantee).
 func (s *Server) handleConn(c net.Conn) {
 	defer s.wg.Done()
+	var watchDone chan struct{}
 	defer func() {
 		// Connection-level panic isolation: a handler bug kills this
 		// connection only, never the process.
@@ -320,7 +336,14 @@ func (s *Server) handleConn(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 		c.Close()
+		if watchDone != nil {
+			<-watchDone // Peek unblocked by the Close above
+		}
 	}()
+	connCtx, cancelConn := context.WithCancel(context.Background())
+	defer cancelConn()
+	br := bufio.NewReader(c)
+	remote := c.RemoteAddr().String()
 	for {
 		// Read-side network fault points, the receive twins of
 		// ConnDrop/SlowWrite: a failed read severs the connection before
@@ -331,13 +354,24 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		faultinject.Sleep(faultinject.SlowRead)
 		var req Request
-		if err := ReadFrame(c, &req); err != nil {
+		if err := ReadFrame(br, &req); err != nil {
 			return // EOF, torn frame, or force-close during drain
 		}
-		resp := s.handleRequest(&req, c.RemoteAddr().String())
+		rctx, cancelReq := context.WithCancel(connCtx)
+		watchDone = make(chan struct{})
+		go func(cancel context.CancelFunc) {
+			defer close(watchDone)
+			if _, err := br.Peek(1); err != nil {
+				cancel()
+			}
+		}(cancelReq)
+		resp := s.handleRequest(rctx, &req, remote)
 		if err := s.writeResponse(c, resp); err != nil {
-			return
+			return // defer closes the socket and joins the watcher
 		}
+		<-watchDone // next request's first byte arrived, or the peer left
+		cancelReq()
+		watchDone = nil
 	}
 }
 
@@ -378,7 +412,7 @@ func (t tornWriter) Write(p []byte) (int, error) {
 // handleRequest dispatches one request with request-level panic
 // isolation: a panic is converted into a StatusInternal response and the
 // connection keeps serving.
-func (s *Server) handleRequest(req *Request, remote string) (resp *Response) {
+func (s *Server) handleRequest(ctx context.Context, req *Request, remote string) (resp *Response) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	defer func() {
@@ -391,7 +425,7 @@ func (s *Server) handleRequest(req *Request, remote string) (resp *Response) {
 		}
 	}()
 	if s.cfg.Handler != nil {
-		return s.cfg.Handler(req, remote)
+		return s.cfg.Handler(ctx, req, remote)
 	}
 	switch req.Op {
 	case "health":
@@ -400,7 +434,7 @@ func (s *Server) handleRequest(req *Request, remote string) (resp *Response) {
 		ready := !s.draining.Load()
 		return &Response{Status: StatusOK, Ready: &ready}
 	case "query", "explain":
-		return s.handleQuery(req, remote)
+		return s.handleQuery(ctx, req, remote)
 	default:
 		return &Response{Status: StatusError, Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -442,8 +476,10 @@ func (s *Server) breakerFor(method string) *breaker {
 }
 
 // handleQuery is the per-request lifecycle: parse, plan, admit, queue,
-// execute (direct or ladder), classify, log.
-func (s *Server) handleQuery(req *Request, remote string) *Response {
+// execute (direct or ladder), classify, log. reqCtx is the connection's
+// per-request context: a peer disconnect cancels the queue wait and the
+// execution instead of holding a slot for a client that is gone.
+func (s *Server) handleQuery(reqCtx context.Context, req *Request, remote string) *Response {
 	start := time.Now()
 	logEntry := map[string]any{
 		"op":     req.Op,
@@ -591,7 +627,7 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 	}
 
 	// Concurrency gate: bounded queue, bounded wait, typed shedding.
-	queueCtx, cancelQueue := context.WithTimeout(context.Background(), s.cfg.QueueWait)
+	queueCtx, cancelQueue := context.WithTimeout(reqCtx, s.cfg.QueueWait)
 	err = s.lim.acquire(queueCtx)
 	cancelQueue()
 	if err != nil {
@@ -607,7 +643,7 @@ func (s *Server) handleQuery(req *Request, remote string) *Response {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(reqCtx, timeout)
 	defer cancel()
 	opt := engine.Options{
 		MaxRows: s.cfg.MaxRows, MaxBytes: s.cfg.MaxBytes, Cache: s.cfg.Cache,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"runtime"
 	"strings"
@@ -517,5 +518,100 @@ func TestPredictedPeakAdmission(t *testing.T) {
 	}
 	if resp.Stats != nil {
 		t.Fatalf("byte-budget rejection carried run stats %+v", resp.Stats)
+	}
+}
+
+// TestPeerDisconnectCancelsInFlightHandler pins the per-request context
+// contract: a client that hangs up mid-request cancels the handler's
+// context, so long-running work (a coordinator fan-out, an execution)
+// stops instead of running to its full timeout for a peer that is gone.
+func TestPeerDisconnectCancelsInFlightHandler(t *testing.T) {
+	outcome := make(chan error, 1)
+	started := make(chan struct{})
+	s := New(Config{
+		Handler: func(ctx context.Context, req *Request, remote string) *Response {
+			close(started)
+			select {
+			case <-ctx.Done():
+				outcome <- ctx.Err()
+			case <-time.After(5 * time.Second):
+				outcome <- nil
+			}
+			return &Response{Status: StatusOK}
+		},
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, &Request{Op: "query", Query: "ignored"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(3 * time.Second):
+		t.Fatal("handler never started")
+	}
+	conn.Close() // the client gives up mid-request
+
+	select {
+	case err := <-outcome:
+		if err == nil {
+			t.Fatal("handler ran to completion; peer disconnect did not cancel its context")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("handler context not canceled after peer disconnect")
+	}
+}
+
+// TestPipelinedRequestsAllAnswered guards the disconnect watcher against
+// eating pipelined frames: Peek must not consume the next request's
+// bytes, so a client that writes several requests back-to-back before
+// reading gets every answer, in order.
+func TestPipelinedRequestsAllAnswered(t *testing.T) {
+	s := New(Config{
+		Handler: func(ctx context.Context, req *Request, remote string) *Response {
+			return &Response{Status: StatusOK, Explain: req.Query}
+		},
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := WriteFrame(conn, &Request{Op: "query", Query: fmt.Sprintf("q-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var resp Response
+		if err := ReadFrame(conn, &resp); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if resp.Status != StatusOK || resp.Explain != fmt.Sprintf("q-%d", i) {
+			t.Fatalf("response %d = %+v, want ok/q-%d", i, resp, i)
+		}
 	}
 }
